@@ -1,0 +1,255 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§5). Each benchmark runs the corresponding experiment from
+// internal/experiments at a downscaled configuration and reports the
+// headline metric the paper's figure conveys (throughput ratios, averages,
+// series end-points) via b.ReportMetric, plus the rendered series through
+// b.Log at -v. cmd/hermes-bench runs the same experiments at larger scale.
+package hermes
+
+import (
+	"testing"
+	"time"
+
+	"hermes/internal/experiments"
+)
+
+// benchScale keeps every figure bench to a few seconds per system run.
+func benchScale() experiments.Scale {
+	sc := experiments.Small()
+	sc.Phase = 800 * time.Millisecond
+	sc.Window = 200 * time.Millisecond
+	sc.Clients = 48
+	return sc
+}
+
+// runFigure executes one experiment per benchmark iteration and returns
+// the last result.
+func runFigure(b *testing.B, name string, sc experiments.Scale) *experiments.Result {
+	b.Helper()
+	run := experiments.Registry[name]
+	if run == nil {
+		b.Fatalf("unknown experiment %s", name)
+	}
+	var res *experiments.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = run(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + res.Render())
+	return res
+}
+
+// avgOf returns the mean Y of the series with the given label (0 if absent).
+func avgOf(res *experiments.Result, label string) float64 {
+	for _, s := range res.Series {
+		if s.Label == label {
+			return experiments.AvgY(s)
+		}
+	}
+	return 0
+}
+
+func BenchmarkFigure1Traces(b *testing.B) {
+	res := runFigure(b, "fig1", benchScale())
+	b.ReportMetric(avgOf(res, "machine-0"), "avg-load")
+}
+
+func BenchmarkFigure2LookBack(b *testing.B) {
+	res := runFigure(b, "fig2", benchScale())
+	rangeP := avgOf(res, "Range Partition")
+	if rangeP > 0 {
+		b.ReportMetric(avgOf(res, "LEAP")/rangeP, "leap/range")
+		b.ReportMetric(avgOf(res, "Clay")/rangeP, "clay/range")
+	}
+}
+
+func BenchmarkFigure6aLookBack(b *testing.B) {
+	res := runFigure(b, "fig6a", benchScale())
+	calvin := avgOf(res, "Calvin")
+	if calvin > 0 {
+		b.ReportMetric(avgOf(res, "Hermes")/calvin, "hermes/calvin")
+		b.ReportMetric(avgOf(res, "Schism 1")/calvin, "schism1/calvin")
+	}
+}
+
+func BenchmarkFigure6bOnline(b *testing.B) {
+	res := runFigure(b, "fig6b", benchScale())
+	calvin := avgOf(res, "Calvin")
+	if calvin > 0 {
+		b.ReportMetric(avgOf(res, "Hermes")/calvin, "hermes/calvin")
+		b.ReportMetric(avgOf(res, "T-Part")/calvin, "tpart/calvin")
+		b.ReportMetric(avgOf(res, "LEAP")/calvin, "leap/calvin")
+	}
+}
+
+func BenchmarkFigure7LatencyBreakdown(b *testing.B) {
+	sc := benchScale()
+	sc.Phase = 600 * time.Millisecond
+	res := runFigure(b, "fig7", sc)
+	// Paper's observation: Hermes cuts remote-data wait vs Calvin.
+	var calvinRemote, hermesRemote float64
+	for _, s := range res.Series {
+		if len(s.Y) >= 4 {
+			switch s.Label {
+			case "Calvin":
+				calvinRemote = s.Y[3]
+			case "Hermes":
+				hermesRemote = s.Y[3]
+			}
+		}
+	}
+	if calvinRemote > 0 {
+		b.ReportMetric(hermesRemote/calvinRemote, "remote-wait-ratio")
+	}
+}
+
+func BenchmarkFigure8Utilization(b *testing.B) {
+	sc := benchScale()
+	sc.Phase = 600 * time.Millisecond
+	res := runFigure(b, "fig8", sc)
+	b.ReportMetric(avgOf(res, "Hermes"), "hermes-cpu-%")
+	b.ReportMetric(avgOf(res, "Calvin"), "calvin-cpu-%")
+}
+
+func BenchmarkFigure8bNetworkPerTxn(b *testing.B) {
+	sc := benchScale()
+	sc.Phase = 600 * time.Millisecond
+	res := runFigure(b, "fig8b", sc)
+	b.ReportMetric(avgOf(res, "Hermes"), "hermes-bytes/txn")
+	b.ReportMetric(avgOf(res, "T-Part"), "tpart-bytes/txn")
+}
+
+func BenchmarkFigure9TxnLength(b *testing.B) {
+	sc := benchScale()
+	sc.Phase = 500 * time.Millisecond
+	res := runFigure(b, "fig9", sc)
+	// Improvement of Hermes over Calvin at the longest setting.
+	for _, s := range res.Series {
+		if s.Label == "Hermes" && len(s.Y) > 0 {
+			b.ReportMetric(s.Y[len(s.Y)-1], "hermes-improvement-%")
+		}
+	}
+}
+
+func BenchmarkFigure10BatchSize(b *testing.B) {
+	sc := benchScale()
+	sc.Phase = 500 * time.Millisecond
+	res := runFigure(b, "fig10", sc)
+	if len(res.Series) == 1 && len(res.Series[0].Y) > 0 {
+		ys := res.Series[0].Y
+		best, worst := ys[0], ys[0]
+		for _, v := range ys {
+			if v > best {
+				best = v
+			}
+			if v < worst {
+				worst = v
+			}
+		}
+		if worst > 0 {
+			b.ReportMetric(best/worst, "best/worst-batch")
+		}
+	}
+}
+
+func BenchmarkFigure11TPCC(b *testing.B) {
+	sc := benchScale()
+	sc.Phase = 500 * time.Millisecond
+	res := runFigure(b, "fig11", sc)
+	// Hermes vs Calvin at the 90% concentration point (last X).
+	var calvin90, hermes90 float64
+	for _, s := range res.Series {
+		if len(s.Y) == 0 {
+			continue
+		}
+		switch s.Label {
+		case "Calvin":
+			calvin90 = s.Y[len(s.Y)-1]
+		case "Hermes":
+			hermes90 = s.Y[len(s.Y)-1]
+		}
+	}
+	if calvin90 > 0 {
+		b.ReportMetric(hermes90/calvin90, "hermes/calvin@90%")
+	}
+}
+
+func BenchmarkFigure12MultiTenant(b *testing.B) {
+	res := runFigure(b, "fig12", benchScale())
+	calvin := avgOf(res, "Calvin")
+	if calvin > 0 {
+		b.ReportMetric(avgOf(res, "Hermes")/calvin, "hermes/calvin")
+	}
+}
+
+func BenchmarkFigure13InitialPartitioning(b *testing.B) {
+	sc := benchScale()
+	sc.Phase = 500 * time.Millisecond
+	res := runFigure(b, "fig13", sc)
+	// Robustness: Hermes's worst layout relative to its best.
+	for _, s := range res.Series {
+		if s.Label == "Hermes" && len(s.Y) > 0 {
+			worst, best := s.Y[0], s.Y[0]
+			for _, v := range s.Y {
+				if v < worst {
+					worst = v
+				}
+				if v > best {
+					best = v
+				}
+			}
+			if best > 0 {
+				b.ReportMetric(worst/best, "hermes-worst/best-layout")
+			}
+		}
+	}
+}
+
+func BenchmarkAblationAlgorithm1(b *testing.B) {
+	sc := benchScale()
+	sc.Phase = 600 * time.Millisecond
+	res := runFigure(b, "ablation", sc)
+	full := avgOf(res, "Hermes (full)")
+	if full > 0 {
+		b.ReportMetric(avgOf(res, "no-reorder")/full, "noreorder/full")
+		b.ReportMetric(avgOf(res, "no-rebalance")/full, "norebalance/full")
+		b.ReportMetric(avgOf(res, "no-fusion")/full, "nofusion/full")
+	}
+}
+
+func BenchmarkAblationFusionCapacity(b *testing.B) {
+	sc := benchScale()
+	sc.Phase = 400 * time.Millisecond
+	res := runFigure(b, "ablation-fusion", sc)
+	b.ReportMetric(avgOf(res, "LRU"), "lru-avg-committed")
+}
+
+func BenchmarkAblationAlpha(b *testing.B) {
+	sc := benchScale()
+	sc.Phase = 400 * time.Millisecond
+	runFigure(b, "ablation-alpha", sc)
+}
+
+func BenchmarkFigure14ScaleOut(b *testing.B) {
+	res := runFigure(b, "fig14", benchScale())
+	// The paper's point: Squall craters mid-migration, Hermes does not.
+	trough := func(label string) float64 {
+		for _, s := range res.Series {
+			if s.Label == label && len(s.Y) > 1 {
+				min := s.Y[1] // skip warm-up window
+				for _, v := range s.Y[1:] {
+					if v < min {
+						min = v
+					}
+				}
+				return min
+			}
+		}
+		return 0
+	}
+	b.ReportMetric(trough("Squall"), "squall-trough")
+	b.ReportMetric(trough("Hermes w/o cold (5%)"), "hermes-trough")
+}

@@ -1,0 +1,60 @@
+package hermes
+
+import (
+	"time"
+
+	"hermes/internal/engine"
+)
+
+// Checkpoint is a consistent snapshot of the whole cluster (§4.3): the
+// storage of every node after a batch boundary plus the command-log
+// prefix from which the deterministic routing state can be rebuilt by
+// replay.
+type Checkpoint = engine.Checkpoint
+
+// Checkpoint quiesces the database and snapshots it. The returned
+// checkpoint, together with the command-log tail (which the engine keeps
+// internally), is sufficient to rebuild the exact cluster state.
+func (db *DB) Checkpoint(timeout time.Duration) (*Checkpoint, error) {
+	return db.cluster.Checkpoint(timeout)
+}
+
+// Recover reopens a database from a checkpoint taken by an identically
+// configured instance: storage is restored, routing state (fusion tables,
+// placement) is rebuilt by replaying the deterministic routing algorithm
+// over the checkpointed input prefix, and any tail of post-checkpoint
+// input is re-executed. The options must match the original instance
+// (same nodes, policy, and partitioning), otherwise replayed routing
+// diverges from the original run.
+func Recover(opts Options, cp *Checkpoint) (*DB, error) {
+	if opts.Policy == "" {
+		opts.Policy = PolicyHermes
+	}
+	base := opts.Base
+	if base == nil && opts.Rows > 0 {
+		// Mirror Open's defaulting so a round-trip with the same Options
+		// reconstructs the same partitioner.
+		db, err := Open(opts)
+		if err != nil {
+			return nil, err
+		}
+		db.Close()
+		base = db.base
+	}
+	opts.Base = base
+	return recoverWith(opts, cp)
+}
+
+func recoverWith(opts Options, cp *Checkpoint) (*DB, error) {
+	tmp, err := Open(opts) // validates options and builds config defaults
+	if err != nil {
+		return nil, err
+	}
+	cfg := tmp.cluster.ConfigCopy()
+	tmp.Close()
+	cl, err := engine.Recover(cfg, cp, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{cluster: cl, opts: opts, base: opts.Base}, nil
+}

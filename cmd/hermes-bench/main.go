@@ -1,0 +1,85 @@
+// Command hermes-bench regenerates the paper's tables and figures on the
+// emulated cluster.
+//
+// Usage:
+//
+//	hermes-bench -list
+//	hermes-bench -experiment fig6b
+//	hermes-bench -experiment all -full
+//
+// Without -full, experiments run at the downscaled benchmark scale
+// (seconds per system); with -full they run at a larger scale closer to
+// the paper's parameter ranges (minutes per figure).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hermes/internal/experiments"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list available experiments")
+		exp     = flag.String("experiment", "", "experiment to run (fig1..fig14, or 'all')")
+		full    = flag.Bool("full", false, "run at full scale (slower, closer to paper parameters)")
+		nodes   = flag.Int("nodes", 0, "override node count")
+		rows    = flag.Uint64("rows", 0, "override table size")
+		clients = flag.Int("clients", 0, "override closed-loop client count")
+		phase   = flag.Duration("phase", 0, "override measured duration per system run")
+		seed    = flag.Int64("seed", 0, "override random seed")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("experiments:", strings.Join(experiments.Names(), " "))
+		return
+	}
+	if *exp == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	sc := experiments.Small()
+	if *full {
+		sc = experiments.Full()
+	}
+	if *nodes > 0 {
+		sc.Nodes = *nodes
+	}
+	if *rows > 0 {
+		sc.Rows = *rows
+	}
+	if *clients > 0 {
+		sc.Clients = *clients
+	}
+	if *phase > 0 {
+		sc.Phase = *phase
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = experiments.Names()
+	}
+	for _, name := range names {
+		run, ok := experiments.Registry[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", name)
+			os.Exit(2)
+		}
+		start := time.Now()
+		res, err := run(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Print(res.Render())
+		fmt.Printf("(%s in %.1fs)\n\n", name, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,162 @@
+// Command hermesd runs an interactive single-process Hermes cluster: a
+// small REPL over the public API for poking at the system — load records,
+// run transactions, trigger scale-out, and watch placement move.
+//
+// Usage:
+//
+//	hermesd -nodes 4 -rows 10000 -policy hermes
+//
+// Commands:
+//
+//	get <row>                read a record
+//	set <row> <value>        transactional write
+//	inc <row> [<row>...]     transactional multi-row increment
+//	owner <row>              current owner and home of a row
+//	addnode                  activate a standby node (scale-out)
+//	migrate <lo> <hi> <node> cold-migrate rows [lo,hi) to a node
+//	stats                    throughput/latency/network counters
+//	quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"hermes"
+)
+
+func main() {
+	var (
+		nodes   = flag.Int("nodes", 4, "active nodes")
+		standby = flag.Int("standby", 2, "standby nodes for scale-out")
+		rows    = flag.Uint64("rows", 10000, "table size")
+		policy  = flag.String("policy", "hermes", "routing policy (hermes|calvin|g-store|leap|t-part)")
+	)
+	flag.Parse()
+
+	db, err := hermes.Open(hermes.Options{
+		Nodes:        *nodes,
+		StandbyNodes: *standby,
+		Rows:         *rows,
+		Policy:       hermes.Policy(*policy),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer db.Close()
+	db.LoadUniform(64)
+	fmt.Printf("hermesd: %d nodes (+%d standby), %d rows, policy=%s\n", *nodes, *standby, *rows, *policy)
+
+	nextStandby := *nodes
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			fmt.Print("> ")
+			continue
+		}
+		switch fields[0] {
+		case "quit", "exit":
+			return
+		case "get":
+			if row, ok := parseRow(fields, 1); ok {
+				v, found := db.Read(hermes.MakeKey(0, row))
+				fmt.Printf("%q (present=%v)\n", v, found)
+			}
+		case "set":
+			if row, ok := parseRow(fields, 1); ok && len(fields) > 2 {
+				k := hermes.MakeKey(0, row)
+				err := db.ExecWait(0, &hermes.OpProc{
+					Reads: []hermes.Key{k}, Writes: []hermes.Key{k},
+					Value: []byte(fields[2]),
+				})
+				report(err)
+			}
+		case "inc":
+			var keys []hermes.Key
+			for _, f := range fields[1:] {
+				if row, err := strconv.ParseUint(f, 10, 64); err == nil {
+					keys = append(keys, hermes.MakeKey(0, row))
+				}
+			}
+			if len(keys) > 0 {
+				err := db.ExecWait(0, &hermes.OpProc{
+					Reads: keys, Writes: keys,
+					Mutate: func(_ hermes.Key, cur []byte) []byte {
+						out := make([]byte, 8)
+						copy(out, cur)
+						out[0]++
+						return out
+					},
+				})
+				report(err)
+			}
+		case "owner":
+			if row, ok := parseRow(fields, 1); ok {
+				k := hermes.MakeKey(0, row)
+				pl := db.Cluster().Node(0).Policy().Placement()
+				fmt.Printf("owner=%d home=%d\n", pl.Owner(k), pl.Home(k))
+			}
+		case "addnode":
+			if nextStandby >= *nodes+*standby {
+				fmt.Println("no standby nodes left")
+				break
+			}
+			err := db.Provision([]hermes.NodeID{hermes.NodeID(nextStandby)}, nil)
+			report(err)
+			if err == nil {
+				fmt.Printf("node %d active\n", nextStandby)
+				nextStandby++
+			}
+		case "migrate":
+			if len(fields) == 4 {
+				lo, _ := strconv.ParseUint(fields[1], 10, 64)
+				hi, _ := strconv.ParseUint(fields[2], 10, 64)
+				to, _ := strconv.Atoi(fields[3])
+				var keys []hermes.Key
+				for r := lo; r < hi; r++ {
+					keys = append(keys, hermes.MakeKey(0, r))
+				}
+				report(db.Migrate(keys, hermes.NodeID(to), 500))
+			}
+		case "stats":
+			db.Drain(2 * time.Second)
+			st := db.Stats()
+			fmt.Printf("committed=%d aborted=%d migrations=%d remote-reads=%d\n",
+				st.Committed, st.Aborted, st.Migrations, st.RemoteReads)
+			fmt.Printf("net: %d msgs, %d bytes; latency p50=%v p99=%v\n",
+				st.NetworkMsgs, st.NetworkBytes, st.P50, st.P99)
+		default:
+			fmt.Println("commands: get set inc owner addnode migrate stats quit")
+		}
+		fmt.Print("> ")
+	}
+}
+
+func parseRow(fields []string, idx int) (uint64, bool) {
+	if len(fields) <= idx {
+		fmt.Println("missing row argument")
+		return 0, false
+	}
+	row, err := strconv.ParseUint(fields[idx], 10, 64)
+	if err != nil {
+		fmt.Println("bad row:", err)
+		return 0, false
+	}
+	return row, true
+}
+
+func report(err error) {
+	if err != nil {
+		fmt.Println("error:", err)
+	} else {
+		fmt.Println("ok")
+	}
+}

@@ -1,0 +1,48 @@
+// Command tracegen emits a synthetic Google-like cluster load trace as
+// CSV (one row per machine, one column per window) — the substitute for
+// the Google cluster-usage trace described in DESIGN.md §5 and used by
+// the Fig. 1 experiment.
+//
+// Usage:
+//
+//	tracegen -machines 20 -windows 2160 -seed 1 > trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hermes/internal/trace"
+)
+
+func main() {
+	var (
+		machines = flag.Int("machines", 20, "number of machines")
+		windows  = flag.Int("windows", 2160, "number of time windows")
+		seed     = flag.Int64("seed", 1, "random seed")
+		spikes   = flag.Float64("spike-rate", 0, "override per-window spike probability")
+		out      = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	cfg := trace.DefaultConfig(*machines, *windows, *seed)
+	if *spikes > 0 {
+		cfg.SpikeRate = *spikes
+	}
+	c := trace.Generate(cfg)
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if _, err := w.WriteString(c.MarshalCSV()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,71 @@
+// Google-workload comparison: runs the paper's complex trace-driven YCSB
+// workload (§5.2.2) against Hermes and Calvin on identical emulated
+// clusters and prints throughput over time — a miniature Fig. 6.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"hermes"
+	"hermes/internal/trace"
+	"hermes/internal/workload"
+)
+
+const (
+	nodes   = 4
+	rows    = 20_000
+	clients = 32
+	runFor  = 3 * time.Second
+	window  = 500 * time.Millisecond
+)
+
+func main() {
+	tr := trace.Generate(trace.DefaultConfig(nodes, int(runFor/window)+2, 1))
+	for _, policy := range []hermes.Policy{hermes.PolicyCalvin, hermes.PolicyHermes} {
+		tput := run(policy, tr)
+		fmt.Printf("%-8s throughput per %v window: ", policy, window)
+		for _, v := range tput {
+			fmt.Printf("%6d", v)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nHermes should sustain visibly higher and more even throughput:")
+	fmt.Println("prescient routing fuses the global hot records near their readers")
+	fmt.Println("and balances per-batch load, where Calvin pays a remote read on")
+	fmt.Println("every distributed transaction.")
+}
+
+func run(policy hermes.Policy, tr *trace.Cluster) []int64 {
+	db, err := hermes.Open(hermes.Options{
+		Nodes:       nodes,
+		Rows:        rows,
+		Policy:      policy,
+		NetLatency:  200 * time.Microsecond,
+		StatsWindow: window,
+		BatchSize:   64,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+	db.LoadUniform(64)
+
+	gen := workload.NewGoogle(workload.GoogleConfig{
+		Rows: rows, Nodes: nodes, Trace: tr,
+		WindowDur: window, DistributedRatio: 0.5, ReadWriteRatio: 0.5,
+		Theta: 0.9, SweepPeriod: runFor, Payload: 64, Seed: 42,
+	})
+	driver := &workload.Driver{Gen: gen, Clients: clients}
+	driver.Run(submitter{db}, time.Now())
+	time.Sleep(runFor)
+	driver.Stop()
+	db.Drain(10 * time.Second)
+	return db.Stats().Throughput
+}
+
+type submitter struct{ db *hermes.DB }
+
+func (s submitter) Submit(via hermes.NodeID, proc hermes.Procedure) (<-chan struct{}, error) {
+	return s.db.Exec(via, proc)
+}

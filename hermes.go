@@ -1,0 +1,316 @@
+// Package hermes is a from-scratch Go reproduction of "Don't Look Back,
+// Look into the Future: Prescient Data Partitioning and Migration for
+// Deterministic Database Systems" (Lin et al., SIGMOD 2021): a
+// Calvin-style deterministic distributed database whose transaction
+// router jointly performs load balancing, dynamic data (re-)partitioning,
+// and live data migration by analyzing whole batches of queued future
+// transactions.
+//
+// The package exposes the emulated cluster — every node runs its own
+// storage shard, deterministic lock manager, and routing-policy replica
+// inside one process, connected by a latency-modelled transport — plus
+// every routing policy the paper evaluates (Hermes's prescient routing
+// and the Calvin, G-Store+, LEAP, and T-Part baselines, with Clay/Schism/
+// Squall in the experiment harness).
+//
+// Quick start:
+//
+//	db, err := hermes.Open(hermes.Options{Nodes: 4, Rows: 100_000})
+//	if err != nil { ... }
+//	defer db.Close()
+//	db.LoadUniform(64)
+//	err = db.ExecWait(0, &hermes.OpProc{
+//	    Reads:  []hermes.Key{hermes.MakeKey(0, 1), hermes.MakeKey(0, 99_000)},
+//	    Writes: []hermes.Key{hermes.MakeKey(0, 1)},
+//	    Value:  []byte("updated"),
+//	})
+package hermes
+
+import (
+	"fmt"
+	"time"
+
+	"hermes/internal/core"
+	"hermes/internal/engine"
+	"hermes/internal/fusion"
+	"hermes/internal/metrics"
+	"hermes/internal/network"
+	"hermes/internal/partition"
+	"hermes/internal/router"
+	"hermes/internal/sequencer"
+	"hermes/internal/tx"
+)
+
+// Re-exported core types so applications only import this package.
+type (
+	// Key identifies a record (table-tagged row id).
+	Key = tx.Key
+	// NodeID identifies a machine node / partition.
+	NodeID = tx.NodeID
+	// Procedure is a deterministic stored procedure with declared
+	// read/write-sets.
+	Procedure = tx.Procedure
+	// ExecCtx is the procedure's database access interface.
+	ExecCtx = tx.ExecCtx
+	// OpProc is the ready-made read/modify/write procedure.
+	OpProc = tx.OpProc
+	// FuncProc adapts a function to the Procedure interface.
+	FuncProc = tx.FuncProc
+	// Partitioner maps keys to home partitions.
+	Partitioner = partition.Partitioner
+	// Breakdown is the per-transaction latency decomposition.
+	Breakdown = metrics.Breakdown
+)
+
+// MakeKey builds a key for a row in a table.
+func MakeKey(table uint8, row uint64) Key { return tx.MakeKey(table, row) }
+
+// Policy selects the transaction routing algorithm — the only difference
+// between the systems the paper compares.
+type Policy string
+
+// Available routing policies.
+const (
+	// PolicyHermes is the paper's prescient transaction routing with
+	// data fusion and a bounded fusion table (§3).
+	PolicyHermes Policy = "hermes"
+	// PolicyCalvin is vanilla Calvin: multi-master execution over static
+	// partitions.
+	PolicyCalvin Policy = "calvin"
+	// PolicyGStore is the G-Store+ look-present baseline: pull to a
+	// majority master, write back after commit.
+	PolicyGStore Policy = "g-store"
+	// PolicyLEAP is the LEAP look-present baseline: migrate records to
+	// the majority master.
+	PolicyLEAP Policy = "leap"
+	// PolicyTPart is the T-Part routing baseline: balanced single-master
+	// routing with forward pushing, no persistent migration.
+	PolicyTPart Policy = "t-part"
+)
+
+// Options configures Open. Zero values get sensible defaults.
+type Options struct {
+	// Nodes is the number of (initially active) server nodes.
+	Nodes int
+	// StandbyNodes are additional nodes created inactive for later
+	// scale-out via Provision.
+	StandbyNodes int
+	// Rows sizes the default single-table database for LoadUniform and
+	// the default range partitioner.
+	Rows uint64
+	// Policy picks the routing algorithm (default PolicyHermes).
+	Policy Policy
+	// Base overrides the static home partitioning (default: uniform
+	// range over Rows and Nodes; required if Rows is 0).
+	Base Partitioner
+	// FusionCapacity bounds Hermes's fusion table in entries (default
+	// 2.5% of Rows, the paper's working bound from §4.1).
+	FusionCapacity int
+	// Alpha is the load-imbalance tolerance θ = ⌈b/n·(1+α)⌉.
+	Alpha float64
+	// BatchSize and BatchInterval configure the sequencer.
+	BatchSize     int
+	BatchInterval time.Duration
+	// NetLatency is the one-way network latency between nodes (0 = off);
+	// NetBandwidth in bytes/s adds a size-proportional term (0 = off).
+	NetLatency   time.Duration
+	NetBandwidth float64
+	// StorageDelay is a per-record storage access cost (0 = off).
+	StorageDelay time.Duration
+	// Executors bounds concurrent transaction execution per node
+	// (default 4; negative = unbounded). ExecCost is the simulated CPU
+	// time per executed transaction (0 = off). Together they set a
+	// node's saturation throughput.
+	Executors int
+	ExecCost  time.Duration
+	// StatsWindow is the throughput window (default 1s).
+	StatsWindow time.Duration
+}
+
+// DB is an open emulated cluster.
+type DB struct {
+	cluster *engine.Cluster
+	opts    Options
+	base    Partitioner
+}
+
+// Open builds and starts a cluster.
+func Open(opts Options) (*DB, error) {
+	if opts.Nodes <= 0 {
+		return nil, fmt.Errorf("hermes: Nodes must be positive")
+	}
+	if opts.Policy == "" {
+		opts.Policy = PolicyHermes
+	}
+	base := opts.Base
+	if base == nil {
+		if opts.Rows == 0 {
+			return nil, fmt.Errorf("hermes: need Rows or an explicit Base partitioner")
+		}
+		base = partition.NewUniformRange(0, opts.Rows, opts.Nodes)
+	}
+	if opts.FusionCapacity == 0 && opts.Rows > 0 {
+		opts.FusionCapacity = int(opts.Rows / 40) // 2.5% of the database
+	}
+	if opts.BatchSize == 0 {
+		opts.BatchSize = 100
+	}
+	if opts.BatchInterval == 0 {
+		opts.BatchInterval = 5 * time.Millisecond
+	}
+	pf, err := policyFactory(opts.Policy, base, opts)
+	if err != nil {
+		return nil, err
+	}
+	var lat network.LatencyModel
+	if opts.NetLatency > 0 || opts.NetBandwidth > 0 {
+		lat = network.UniformLatency(opts.NetLatency, opts.NetBandwidth)
+	}
+	ids := make([]tx.NodeID, opts.Nodes+opts.StandbyNodes)
+	for i := range ids {
+		ids[i] = tx.NodeID(i)
+	}
+	cl, err := engine.New(engine.Config{
+		Nodes:        ids,
+		Active:       ids[:opts.Nodes],
+		Policy:       pf,
+		Seq:          sequencer.Config{BatchSize: opts.BatchSize, Interval: opts.BatchInterval},
+		Latency:      lat,
+		StorageDelay: opts.StorageDelay,
+		Executors:    opts.Executors,
+		ExecCost:     opts.ExecCost,
+		Window:       opts.StatsWindow,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DB{cluster: cl, opts: opts, base: base}, nil
+}
+
+func policyFactory(p Policy, base Partitioner, opts Options) (engine.PolicyFactory, error) {
+	switch p {
+	case PolicyHermes:
+		cfg := core.Config{
+			Alpha:          opts.Alpha,
+			FusionCapacity: opts.FusionCapacity,
+			FusionPolicy:   fusion.LRU,
+		}
+		return func(a []tx.NodeID) router.Policy { return core.New(base, a, cfg) }, nil
+	case PolicyCalvin:
+		return func(a []tx.NodeID) router.Policy { return router.NewCalvin(base, a) }, nil
+	case PolicyGStore:
+		return func(a []tx.NodeID) router.Policy { return router.NewGStore(base, a) }, nil
+	case PolicyLEAP:
+		return func(a []tx.NodeID) router.Policy { return router.NewLEAP(base, a) }, nil
+	case PolicyTPart:
+		return func(a []tx.NodeID) router.Policy { return router.NewTPart(base, a, opts.Alpha) }, nil
+	default:
+		return nil, fmt.Errorf("hermes: unknown policy %q", p)
+	}
+}
+
+// Exec submits a transaction through node via's front-end and returns a
+// channel closed on completion.
+func (db *DB) Exec(via NodeID, proc Procedure) (<-chan struct{}, error) {
+	return db.cluster.Submit(via, proc)
+}
+
+// ExecWait submits and blocks until the transaction completes.
+func (db *DB) ExecWait(via NodeID, proc Procedure) error {
+	return db.cluster.SubmitAndWait(via, proc)
+}
+
+// Load seeds one record at its home partition. Use before running
+// transactions.
+func (db *DB) Load(k Key, v []byte) { db.cluster.LoadRecord(k, v) }
+
+// LoadUniform seeds Rows records of the given payload size, counters
+// zeroed.
+func (db *DB) LoadUniform(payload int) {
+	for i := uint64(0); i < db.opts.Rows; i++ {
+		v := make([]byte, payload)
+		db.cluster.LoadRecord(tx.MakeKey(0, i), v)
+	}
+}
+
+// Read fetches a record through current placement (diagnostics; not the
+// transactional path).
+func (db *DB) Read(k Key) ([]byte, bool) { return db.cluster.ReadRecord(k) }
+
+// Provision activates and/or deactivates nodes through a totally ordered
+// control transaction (§3.3).
+func (db *DB) Provision(add, remove []NodeID) error {
+	done, err := db.cluster.Provision(add, remove)
+	if err != nil {
+		return err
+	}
+	<-done
+	return nil
+}
+
+// Migrate moves the given keys to node to using chunked cold-migration
+// transactions (Squall-style). Hot keys tracked by the fusion table are
+// skipped automatically (§3.3). It blocks until all chunks commit.
+func (db *DB) Migrate(keys []Key, to NodeID, chunkSize int) error {
+	if chunkSize <= 0 {
+		chunkSize = 1000
+	}
+	for start := 0; start < len(keys); start += chunkSize {
+		end := start + chunkSize
+		if end > len(keys) {
+			end = len(keys)
+		}
+		if err := db.ExecWait(to, &tx.MigrationProc{Keys: keys[start:end], To: to}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Drain waits for all in-flight transactions to finish everywhere.
+func (db *DB) Drain(timeout time.Duration) bool { return db.cluster.Drain(timeout) }
+
+// Close shuts the cluster down.
+func (db *DB) Close() { db.cluster.Stop() }
+
+// Stats is a snapshot of run-wide measurements.
+type Stats struct {
+	Committed    int64
+	Aborted      int64
+	Migrations   int64
+	RemoteReads  int64
+	NetworkMsgs  int64
+	NetworkBytes int64
+	// Throughput is committed transactions per StatsWindow, oldest first.
+	Throughput []int64
+	// AvgBreakdown is the mean per-transaction latency decomposition.
+	AvgBreakdown Breakdown
+	// P50 and P99 are approximate total-latency quantiles.
+	P50, P99 time.Duration
+}
+
+// Stats snapshots the cluster's metrics.
+func (db *DB) Stats() Stats {
+	col := db.cluster.Collector()
+	msgs, bytes := db.cluster.NetStats().Totals()
+	return Stats{
+		Committed:    col.Committed(),
+		Aborted:      col.Aborted(),
+		Migrations:   col.Migrations(),
+		RemoteReads:  col.RemoteReads(),
+		NetworkMsgs:  msgs,
+		NetworkBytes: bytes,
+		Throughput:   col.Throughput(),
+		AvgBreakdown: col.AvgBreakdown(),
+		P50:          col.LatencyQuantile(0.5),
+		P99:          col.LatencyQuantile(0.99),
+	}
+}
+
+// Fingerprint hashes the full cluster state (storage + fusion tables);
+// identical inputs always produce identical fingerprints.
+func (db *DB) Fingerprint() uint64 { return db.cluster.Fingerprint() }
+
+// Cluster exposes the underlying engine cluster for advanced integration
+// (experiment harnesses, workload drivers).
+func (db *DB) Cluster() *engine.Cluster { return db.cluster }

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math"
+
+	"hermes/internal/partition"
+	"hermes/internal/router"
+	"hermes/internal/tx"
+)
+
+// Ablation switches turn off individual ingredients of the prescient
+// router so experiments can attribute the gains of Algorithm 1 to its
+// parts (reordering, the load-balancing pass, data fusion itself):
+//
+//   - NoReorder keeps the batch in arrival order during step 1, routing
+//     each transaction greedily in place — isolating the value of
+//     reordering (the Fig. 3/Fig. 5 ping-pong avoidance).
+//   - NoRebalance skips step 3 entirely, leaving the route that minimizes
+//     remote reads — the router degenerates toward LEAP-with-lookahead.
+//   - NoFusion routes exactly like Hermes but never migrates ownership:
+//     written remote records are sent back to their owners after commit —
+//     the router degenerates toward T-Part-without-forward-pushing.
+type Ablation struct {
+	NoReorder   bool
+	NoRebalance bool
+	NoFusion    bool
+}
+
+// AblatedPrescient is a Prescient router with selected ingredients
+// disabled. It implements router.Policy.
+type AblatedPrescient struct {
+	p   *Prescient
+	abl Ablation
+}
+
+// NewAblated returns a prescient router with the given ablations.
+// (With NoFusion the table simply stays empty — nothing ever migrates.)
+func NewAblated(base partition.Partitioner, active []tx.NodeID, cfg Config, abl Ablation) *AblatedPrescient {
+	return &AblatedPrescient{p: New(base, active, cfg), abl: abl}
+}
+
+// Name implements router.Policy.
+func (a *AblatedPrescient) Name() string {
+	n := "hermes"
+	if a.abl.NoReorder {
+		n += "-noreorder"
+	}
+	if a.abl.NoRebalance {
+		n += "-norebalance"
+	}
+	if a.abl.NoFusion {
+		n += "-nofusion"
+	}
+	return n
+}
+
+// Placement implements router.Policy.
+func (a *AblatedPrescient) Placement() *router.Placement { return a.p.pl }
+
+// RouteUser implements router.Policy.
+func (a *AblatedPrescient) RouteUser(txns []*tx.Request) []*router.Route {
+	p := a.p
+	active := p.pl.Active()
+	n := len(active)
+	b := len(txns)
+	if n == 0 || b == 0 {
+		return nil
+	}
+
+	overlay := make(map[tx.Key]tx.NodeID)
+	order := make([]*tx.Request, 0, b)
+	masters := make([]tx.NodeID, 0, b)
+	loads := make([]int, n)
+	nodeIdx := make(map[tx.NodeID]int, n)
+	for i, node := range active {
+		nodeIdx[node] = i
+	}
+
+	if a.abl.NoReorder {
+		// Step 1 without reordering: greedy route in arrival order.
+		for i, r := range txns {
+			s, x := p.bestRouteFor(r, overlay, active, nodeIdx)
+			s.pos = i
+			order = append(order, r)
+			masters = append(masters, active[x])
+			loads[x]++
+			for _, k := range r.WriteSet() {
+				overlay[k] = active[x]
+			}
+		}
+	} else {
+		full := p.RouteUserPlanOnly(txns, overlay, active, nodeIdx, loads)
+		order, masters = full.order, full.masters
+	}
+
+	if !a.abl.NoRebalance {
+		theta := int(math.Ceil(float64(b) / float64(n) * (1 + p.cfg.Alpha)))
+		p.rebalance(order, masters, loads, overlay, active, nodeIdx, theta)
+	}
+
+	routes := make([]*router.Route, 0, b)
+	for i, r := range order {
+		if a.abl.NoFusion {
+			routes = append(routes, a.commitRouteNoFusion(r, masters[i]))
+		} else {
+			routes = append(routes, p.commitRoute(r, masters[i]))
+		}
+	}
+	return routes
+}
+
+// commitRouteNoFusion emits a route where remote written records are
+// write-backs instead of migrations, leaving placement untouched.
+func (a *AblatedPrescient) commitRouteNoFusion(r *tx.Request, master tx.NodeID) *router.Route {
+	p := a.p
+	access := r.AccessSet()
+	owners := make(map[tx.Key]tx.NodeID, len(access))
+	for _, k := range access {
+		owners[k] = p.pl.Owner(k)
+	}
+	route := &router.Route{Txn: r, Mode: router.SingleMaster, Master: master, Owners: owners}
+	for _, k := range r.WriteSet() {
+		if owners[k] != master {
+			route.WriteBack = append(route.WriteBack, k)
+		}
+	}
+	return route
+}

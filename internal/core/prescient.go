@@ -1,0 +1,419 @@
+// Package core implements the paper's primary contribution: the prescient
+// transaction routing algorithm (§3.2, Algorithm 1). Looking at a whole
+// totally ordered batch of future transactions at once, it jointly
+// optimizes three concerns that previous systems handled separately:
+//
+//  1. distributed-transaction cost — transactions are reordered and routed
+//     greedily to minimize remote reads against the *evolving* placement
+//     (P₀ … P_b), so a record migrated by one transaction is reused by the
+//     transactions that follow it (avoiding the ping-pong of Fig. 3);
+//  2. load balance — step 3 reroutes transactions off overloaded nodes,
+//     backward through the reordered batch, accepting a move only if it
+//     adds at most δ remote edges, relaxing δ until the per-node load
+//     bound θ = ⌈b/n·(1+α)⌉ holds;
+//  3. data (re-)partitioning and live migration — written records migrate
+//     to the master on the fly with the transaction itself (data fusion),
+//     and the resulting fine-grained placement is tracked in the bounded,
+//     deterministically evicted fusion table shared (by replication) with
+//     every scheduler.
+//
+// Everything here is a pure function of the input batch stream, so every
+// node's replica computes the identical plan with zero coordination.
+package core
+
+import (
+	"math"
+
+	"hermes/internal/fusion"
+	"hermes/internal/partition"
+	"hermes/internal/router"
+	"hermes/internal/tx"
+)
+
+// Config tunes the prescient router.
+type Config struct {
+	// Alpha is the load-imbalance tolerance in θ = ⌈b/n·(1+α)⌉ (§3.2.1).
+	Alpha float64
+	// FusionCapacity bounds the fusion table (entries); ≤ 0 = unbounded.
+	// The paper expresses this as a fraction of the database (§4.1, §5.4).
+	FusionCapacity int
+	// FusionPolicy selects the deterministic replacement strategy.
+	FusionPolicy fusion.Policy
+}
+
+// DefaultConfig returns the settings used by the paper's main experiments:
+// α = 0 (strict balance) and an LRU-limited fusion table.
+func DefaultConfig(fusionCapacity int) Config {
+	return Config{Alpha: 0, FusionCapacity: fusionCapacity, FusionPolicy: fusion.LRU}
+}
+
+// Prescient is the Hermes routing policy. It implements router.Policy.
+type Prescient struct {
+	pl  *router.Placement
+	cfg Config
+}
+
+// New returns a prescient router over base with the given active nodes.
+func New(base partition.Partitioner, active []tx.NodeID, cfg Config) *Prescient {
+	return &Prescient{
+		pl:  router.NewPlacement(base, active, fusion.New(cfg.FusionCapacity, cfg.FusionPolicy)),
+		cfg: cfg,
+	}
+}
+
+// Name implements router.Policy.
+func (p *Prescient) Name() string { return "hermes" }
+
+// Placement implements router.Policy.
+func (p *Prescient) Placement() *Placement { return p.pl }
+
+// Placement is re-exported so callers needn't import router for the type.
+type Placement = router.Placement
+
+// RouteUser implements router.Policy: Algorithm 1 followed by the final
+// placement replay that commits the batch's effects to the fusion table.
+func (p *Prescient) RouteUser(txns []*tx.Request) []*router.Route {
+	active := p.pl.Active()
+	n := len(active)
+	b := len(txns)
+	if n == 0 || b == 0 {
+		return nil
+	}
+
+	// ---- Step 1 (lines 4-9): greedy reorder + route minimizing remote
+	// reads against the evolving placement. The overlay holds the
+	// in-flight write-set migrations (P_i) without touching the real
+	// fusion table yet.
+	overlay := make(map[tx.Key]tx.NodeID)
+	loads := make([]int, n)               // l per active-node index
+	nodeIdx := make(map[tx.NodeID]int, n) // node id -> index in active
+	for i, a := range active {
+		nodeIdx[a] = i
+	}
+	planned := p.RouteUserPlanOnly(txns, overlay, active, nodeIdx, loads)
+	order, masters := planned.order, planned.masters
+
+	// ---- Step 2 (lines 11-12) + Step 3 (lines 14-30).
+	theta := int(math.Ceil(float64(b) / float64(n) * (1 + p.cfg.Alpha)))
+	p.rebalance(order, masters, loads, overlay, active, nodeIdx, theta)
+
+	// ---- Final replay: commit the routed schedule to the real placement
+	// (fusion table), producing per-transaction owner maps, data-fusion
+	// migrations, and eviction write-backs at each position in B′.
+	routes := make([]*router.Route, 0, b)
+	for i, r := range order {
+		routes = append(routes, p.commitRoute(r, masters[i]))
+	}
+	return routes
+}
+
+// plannedBatch is the output of step 1: the reordered batch B′ and the
+// master assignment x_i aligned with it.
+type plannedBatch struct {
+	order   []*tx.Request
+	masters []tx.NodeID
+}
+
+// RouteUserPlanOnly runs step 1 of Algorithm 1 (greedy reorder + route),
+// mutating overlay and loads in place. Exported within the package for
+// the ablated router.
+func (p *Prescient) RouteUserPlanOnly(txns []*tx.Request, overlay map[tx.Key]tx.NodeID, active []tx.NodeID, nodeIdx map[tx.NodeID]int, loads []int) plannedBatch {
+	b := len(txns)
+	order := make([]*tx.Request, 0, b)
+	masters := make([]tx.NodeID, 0, b)
+	// Step-1 selection caches each pending transaction's best (score,
+	// node); a cache entry is invalidated only when a selected
+	// transaction's write-set intersects that transaction's access set
+	// (the only event that changes its remote-read count). byKey is the
+	// inverted index driving invalidation.
+	type cand struct {
+		s     score
+		node  int
+		valid bool
+	}
+	cands := make([]cand, b)
+	taken := make([]bool, b)
+	byKey := make(map[tx.Key][]int)
+	for i, r := range txns {
+		for _, k := range r.AccessSet() {
+			byKey[k] = append(byKey[k], i)
+		}
+	}
+	for i, r := range txns {
+		s, x := p.bestRouteFor(r, overlay, active, nodeIdx)
+		s.pos = i
+		cands[i] = cand{s: s, node: x, valid: true}
+	}
+	for picked := 0; picked < b; picked++ {
+		bestTxn := -1
+		for i := range cands {
+			if taken[i] {
+				continue
+			}
+			if !cands[i].valid {
+				s, x := p.bestRouteFor(txns[i], overlay, active, nodeIdx)
+				s.pos = i
+				cands[i] = cand{s: s, node: x, valid: true}
+			}
+			if bestTxn == -1 || cands[i].s.less(cands[bestTxn].s) {
+				bestTxn = i
+			}
+		}
+		r := txns[bestTxn]
+		taken[bestTxn] = true
+		order = append(order, r)
+		masters = append(masters, active[cands[bestTxn].node])
+		loads[cands[bestTxn].node]++
+		for _, k := range r.WriteSet() {
+			if overlay[k] != active[cands[bestTxn].node] {
+				overlay[k] = active[cands[bestTxn].node]
+				for _, ti := range byKey[k] {
+					if !taken[ti] {
+						cands[ti].valid = false
+					}
+				}
+			}
+		}
+	}
+
+	return plannedBatch{order: order, masters: masters}
+}
+
+// rebalance runs steps 2 and 3 of Algorithm 1: it finds overloaded nodes
+// (load > theta) and reroutes transactions off them, backward through B′,
+// under a growing remote-edge budget δ. order, masters, loads, and
+// overlay are mutated in place.
+func (p *Prescient) rebalance(order []*tx.Request, masters []tx.NodeID, loads []int, overlay map[tx.Key]tx.NodeID, active []tx.NodeID, nodeIdx map[tx.NodeID]int, theta int) {
+	b := len(order)
+	overloaded := func() int {
+		c := 0
+		for _, l := range loads {
+			if l > theta {
+				c++
+			}
+		}
+		return c
+	}
+
+	// ---- Step 3 (lines 14-30): reroute backward with growing δ budget.
+	// maxDelta bounds the relaxation: once δ exceeds any possible edge
+	// count the move is always allowed, guaranteeing termination.
+	maxDelta := 1
+	for _, r := range order {
+		if e := len(r.ReadSet()) + len(r.WriteSet())*b; e > maxDelta {
+			maxDelta = e
+		}
+	}
+	for delta := 1; overloaded() > 0 && delta <= maxDelta; delta++ {
+		for i := b - 1; i >= 0 && overloaded() > 0; i-- {
+			xi := nodeIdx[masters[i]]
+			if loads[xi] <= theta {
+				continue
+			}
+			cur := p.remoteEdges(i, masters[i], order, masters, overlay)
+			bestNode, bestDelta := -1, math.MaxInt
+			for c, cand := range active {
+				if loads[c] >= theta || cand == masters[i] {
+					continue
+				}
+				d := p.remoteEdges(i, cand, order, masters, overlay) - cur
+				if d > delta {
+					continue
+				}
+				// Prefer fewer added edges, then the least-loaded target
+				// (an empty, freshly provisioned node must win ties or
+				// it never receives work), then node id for determinism.
+				if d < bestDelta || (d == bestDelta && loads[c] < loads[bestNode]) {
+					bestNode, bestDelta = c, d
+				}
+			}
+			if bestNode == -1 {
+				continue
+			}
+			loads[xi]--
+			loads[bestNode]++
+			masters[i] = active[bestNode]
+			for _, k := range order[i].WriteSet() {
+				overlay[k] = active[bestNode]
+			}
+		}
+	}
+}
+
+// score orders candidate (transaction, node) choices in step 1:
+// primarily fewest remote reads r(x; T, P_i), then fewest write
+// migrations, then lowest node id (determinism), and finally earliest
+// batch position (stability). Load does not participate — Algorithm 1
+// defers all balancing to step 3.
+type score struct {
+	remoteReads int
+	migrations  int
+	node        int
+	pos         int
+}
+
+func (s score) less(o score) bool {
+	if s.remoteReads != o.remoteReads {
+		return s.remoteReads < o.remoteReads
+	}
+	if s.migrations != o.migrations {
+		return s.migrations < o.migrations
+	}
+	if s.node != o.node {
+		return s.node < o.node
+	}
+	return s.pos < o.pos
+}
+
+// bestRouteFor evaluates r(x; T, P_i) for all active nodes and returns the
+// best score with its active-node index.
+func (p *Prescient) bestRouteFor(r *tx.Request, overlay map[tx.Key]tx.NodeID, active []tx.NodeID, nodeIdx map[tx.NodeID]int) (score, int) {
+	reads := r.ReadSet()
+	writes := r.WriteSet()
+	readCounts := make([]int, len(active))
+	writeCounts := make([]int, len(active))
+	owner := func(k tx.Key) int {
+		o, ok := overlay[k]
+		if !ok {
+			o = p.pl.Owner(k)
+		}
+		if i, ok := nodeIdx[o]; ok {
+			return i
+		}
+		return -1
+	}
+	for _, k := range reads {
+		if i := owner(k); i >= 0 {
+			readCounts[i]++
+		}
+	}
+	for _, k := range writes {
+		if i := owner(k); i >= 0 {
+			writeCounts[i]++
+		}
+	}
+	best := score{}
+	bestAt := -1
+	for i := range active {
+		s := score{
+			remoteReads: len(reads) - readCounts[i],
+			migrations:  len(writes) - writeCounts[i],
+			node:        i,
+		}
+		if bestAt == -1 || s.less(best) {
+			best, bestAt = s, i
+		}
+	}
+	return best, bestAt
+}
+
+// remoteEdges counts the remote edges of routing order[i] to x (§3.2.2):
+// the remote reads of T_i under the final placement, plus the reads of
+// T_i's write-set by later transactions in B′ not routed to x. Keys both
+// read and written travel with T_i and are excluded from the first term.
+func (p *Prescient) remoteEdges(i int, x tx.NodeID, order []*tx.Request, masters []tx.NodeID, overlay map[tx.Key]tx.NodeID) int {
+	ti := order[i]
+	writes := ti.WriteSet()
+	edges := 0
+	for _, k := range ti.ReadSet() {
+		if tx.ContainsKey(writes, k) {
+			continue
+		}
+		o, ok := overlay[k]
+		if !ok {
+			o = p.pl.Owner(k)
+		}
+		if o != x {
+			edges++
+		}
+	}
+	for j := i + 1; j < len(order); j++ {
+		if masters[j] == x {
+			continue
+		}
+		for _, k := range order[j].ReadSet() {
+			if tx.ContainsKey(writes, k) {
+				edges++
+			}
+		}
+	}
+	return edges
+}
+
+// commitRoute applies one routed transaction to the real placement at its
+// position in B′ and emits its execution route: owner snapshot, data-
+// fusion migrations for the write-set, fusion-table bookkeeping with LRU
+// touches for reads, and eviction migrations appended to this
+// transaction's write path exactly as §4.1 prescribes.
+func (p *Prescient) commitRoute(r *tx.Request, master tx.NodeID) *router.Route {
+	access := r.AccessSet()
+	owners := make(map[tx.Key]tx.NodeID, len(access))
+	for _, k := range access {
+		owners[k] = p.pl.Owner(k)
+	}
+	route := &router.Route{Txn: r, Mode: router.SingleMaster, Master: master, Owners: owners}
+
+	var evicted []fusion.Entry
+	for _, k := range r.WriteSet() {
+		// Blind writes (keys written but never read — inserts such as
+		// TPC-C order rows) are not fused: the new record is sent to its
+		// home partition after execution. Fusing them would flood the
+		// fusion table with never-reaccessed entries whose evictions
+		// each cost a migration; keeping the table to genuinely hot
+		// records is exactly its design intent (§4.1).
+		if !tx.ContainsKey(r.ReadSet(), k) && owners[k] == p.pl.Home(k) && owners[k] != master {
+			if _, tracked := p.pl.Fusion.Get(k); !tracked {
+				route.WriteBack = append(route.WriteBack, k)
+				continue
+			}
+		}
+		if owners[k] != master {
+			route.Migrations = append(route.Migrations, router.Migration{Key: k, From: owners[k], To: master})
+		}
+		if p.pl.Home(k) == master {
+			// The record is (back) at its cold home: drop any stale
+			// fusion entry instead of spending table capacity on it.
+			p.pl.Fusion.Delete(k)
+		} else {
+			evicted = append(evicted, p.pl.Fusion.Put(k, master)...)
+		}
+	}
+	// LRU-touch read keys so hot read-mostly records stay tracked.
+	for _, k := range r.ReadSet() {
+		if !tx.ContainsKey(r.WriteSet(), k) {
+			p.pl.Fusion.Touch(k)
+		}
+	}
+	// Evicted records migrate back to their cold homes alongside this
+	// transaction (its effective write-set grows, §4.1).
+	for _, e := range evicted {
+		if _, tracked := p.pl.Fusion.Get(e.Key); tracked {
+			// A later write of this same transaction re-admitted the key
+			// (evict-then-reinsert within one commit): the table tracks
+			// it again, so no migration home happens.
+			continue
+		}
+		home := p.pl.Home(e.Key)
+		if prevOwner, inAccess := owners[e.Key]; inAccess {
+			// The table is smaller than this transaction's own footprint
+			// and evicted one of its keys. The record must still land at
+			// its cold home or placement (which now falls back to home)
+			// would point at nothing: written keys sit at the master
+			// after execution, read-only keys never moved.
+			from := prevOwner
+			if tx.ContainsKey(r.WriteSet(), e.Key) {
+				from = master
+			}
+			if from != home {
+				route.Migrations = append(route.Migrations, router.Migration{Key: e.Key, From: from, To: home})
+			}
+			continue
+		}
+		if e.Owner == home {
+			continue
+		}
+		owners[e.Key] = e.Owner
+		route.Migrations = append(route.Migrations, router.Migration{Key: e.Key, From: e.Owner, To: home})
+	}
+	return route
+}

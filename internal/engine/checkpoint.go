@@ -1,0 +1,158 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"hermes/internal/network"
+	"hermes/internal/router"
+	"hermes/internal/tx"
+)
+
+// Checkpoint is a consistent cut of the cluster per §4.3: the storage
+// contents of every node after some batch, plus the command-log prefix
+// needed to rebuild the (derived) routing state by replaying the
+// deterministic routing algorithm. Because the engine quiesces between
+// batches before snapshotting, "after batch Seq-1" is a consistent cut by
+// construction.
+type Checkpoint struct {
+	// Seq is the first batch sequence NOT covered by the checkpoint.
+	Seq uint64
+	// NextTxn is the first transaction id after the checkpointed prefix.
+	NextTxn tx.TxnID
+	// Stores holds each node's record snapshot.
+	Stores map[tx.NodeID]map[tx.Key][]byte
+	// RoutingLog is the command-log prefix (batches 0..Seq-1). Routing
+	// state is a pure function of it, so recovery replays routing only —
+	// no re-execution — to rebuild fusion tables and placement.
+	RoutingLog []*tx.Batch
+}
+
+// Checkpoint quiesces the cluster (up to timeout) and snapshots it. It
+// reports failure if in-flight transactions do not drain in time.
+func (c *Cluster) Checkpoint(timeout time.Duration) (*Checkpoint, error) {
+	if !c.Drain(timeout) {
+		return nil, fmt.Errorf("engine: cluster did not quiesce for checkpoint")
+	}
+	ref := c.nodes[c.order[0]].cmdlog
+	prefix := ref.Since(0)
+	cp := &Checkpoint{
+		Seq:        uint64(len(prefix)),
+		NextTxn:    1,
+		Stores:     make(map[tx.NodeID]map[tx.Key][]byte, len(c.nodes)),
+		RoutingLog: prefix,
+	}
+	for _, b := range prefix {
+		for _, r := range b.Txns {
+			if r.ID >= cp.NextTxn {
+				cp.NextTxn = r.ID + 1
+			}
+		}
+	}
+	for id, n := range c.nodes {
+		cp.Stores[id] = n.store.Checkpoint()
+	}
+	return cp, nil
+}
+
+// Recover builds a cluster from a checkpoint: storage is restored
+// directly, routing state is rebuilt by replaying the routing algorithm
+// over the checkpointed command-log prefix (§4.3's "replay the prescient
+// routing and data fusion"), and then any tail batches — input logged
+// after the checkpoint — are re-executed in full through ReplayBatches.
+func Recover(cfg Config, cp *Checkpoint, tail []*tx.Batch) (*Cluster, error) {
+	c, err := build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for id, snap := range cp.Stores {
+		n, ok := c.nodes[id]
+		if !ok {
+			return nil, fmt.Errorf("engine: checkpoint covers unknown node %d", id)
+		}
+		n.store.Restore(snap)
+	}
+	// Rebuild derived routing state on every replica, and seed the
+	// command logs so post-recovery appends continue the sequence.
+	for _, n := range c.nodes {
+		for _, b := range cp.RoutingLog {
+			router.BuildPlan(n.policy, b)
+			if err := n.cmdlog.Append(b); err != nil {
+				return nil, fmt.Errorf("engine: reseeding command log: %w", err)
+			}
+		}
+	}
+	// Resume the total order after the checkpointed prefix and the tail.
+	nextSeq := cp.Seq
+	nextTxn := cp.NextTxn
+	for _, b := range tail {
+		if b.Seq != nextSeq {
+			return nil, fmt.Errorf("engine: tail batch %d out of order, want %d", b.Seq, nextSeq)
+		}
+		nextSeq++
+		for _, r := range b.Txns {
+			if r.ID >= nextTxn {
+				nextTxn = r.ID + 1
+			}
+		}
+	}
+	c.leader.SetNext(nextSeq, nextTxn)
+	c.startAll()
+	if len(tail) > 0 {
+		if err := c.ReplayBatches(tail); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// ReplayBatches re-delivers pre-formed, totally ordered batches to every
+// node, preserving the original batch boundaries and transaction ids —
+// the property that makes replayed routing identical to the original run.
+// It blocks until the cluster quiesces.
+func (c *Cluster) ReplayBatches(batches []*tx.Batch) error {
+	if len(batches) == 0 {
+		return nil
+	}
+	for _, b := range batches {
+		for _, n := range c.cfg.Nodes {
+			if err := c.tr.Send(network.Message{
+				From: LeaderNode, To: n, Type: network.MsgSeqDeliver,
+				Seq: b.Seq, Batch: b,
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	// Wait until every node has logged the last replayed batch (so the
+	// quiescence check below cannot fire in the delivery gap), then
+	// drain execution.
+	wantSeq := batches[len(batches)-1].Seq + 1
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		ok := true
+		for _, n := range c.nodes {
+			if n.scheduled.Load() < wantSeq {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("engine: replay delivery stalled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !c.Drain(30 * time.Second) {
+		return fmt.Errorf("engine: replay did not quiesce")
+	}
+	return nil
+}
+
+// TailSince returns the logged batches with sequence ≥ seq from the
+// reference node's command log (for handing to Recover).
+func (c *Cluster) TailSince(seq uint64) []*tx.Batch {
+	return c.nodes[c.order[0]].cmdlog.Since(seq)
+}

@@ -1,0 +1,99 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"hermes/internal/core"
+	"hermes/internal/fusion"
+	"hermes/internal/partition"
+	"hermes/internal/router"
+	"hermes/internal/tx"
+)
+
+// checkRouteConservation simulates roleFor on every node for one route
+// and verifies the message-flow invariants the executors rely on:
+// every record a node expects has exactly one sender, and vice versa.
+func checkRouteConservation(t *testing.T, c *Cluster, rt *router.Route) {
+	t.Helper()
+	if rt.Mode != router.SingleMaster {
+		return
+	}
+	// Per-destination inbound record keys, from every node's role.
+	inbound := map[tx.NodeID]map[tx.Key]int{}
+	expected := map[tx.NodeID]int{}
+	for id, n := range c.nodes {
+		role := n.roleFor(rt)
+		expected[id] = role.expectRecords
+		for dest, keys := range role.pushTo {
+			if inbound[dest] == nil {
+				inbound[dest] = map[tx.Key]int{}
+			}
+			for _, k := range keys {
+				inbound[dest][k]++
+			}
+		}
+		// Master's outbound migrations also deliver records (post-exec).
+		for _, m := range role.outMigrations {
+			if inbound[m.To] == nil {
+				inbound[m.To] = map[tx.Key]int{}
+			}
+			inbound[m.To][m.Key]++
+		}
+		// Write-backs from the master deliver records to owners.
+		if role.isMaster {
+			for _, k := range rt.WriteBack {
+				owner := rt.Owners[k]
+				if owner != id {
+					if inbound[owner] == nil {
+						inbound[owner] = map[tx.Key]int{}
+					}
+					inbound[owner][k]++
+				}
+			}
+		}
+	}
+	for id := range c.nodes {
+		distinct := len(inbound[id])
+		if distinct < expected[id] {
+			t.Fatalf("route txn %d: node %d expects %d records but only %d distinct keys are sent to it\nroute: master=%d owners=%v migrations=%v writeback=%v",
+				rt.Txn.ID, id, expected[id], distinct, rt.Master, rt.Owners, rt.Migrations, rt.WriteBack)
+		}
+	}
+}
+
+// TestRouteConservationFuzz drives the prescient router (with a tiny
+// fusion table so self-evictions occur) through random batches and
+// checks every produced route satisfies the conservation invariant.
+func TestRouteConservationFuzz(t *testing.T) {
+	base := partition.NewUniformRange(0, testRows, 4)
+	pf := func(a []tx.NodeID) router.Policy {
+		return core.New(base, a, core.Config{Alpha: 0, FusionCapacity: 3, FusionPolicy: fusion.FIFO})
+	}
+	c := newTestCluster(t, 4, pf)
+	pol := c.nodes[0].policy
+	rng := rand.New(rand.NewSource(21))
+	var id tx.TxnID = 1
+	for batch := 0; batch < 200; batch++ {
+		var txns []*tx.Request
+		for i := 0; i < 6; i++ {
+			nKeys := 1 + rng.Intn(4)
+			var rs, ws []tx.Key
+			for j := 0; j < nKeys; j++ {
+				k := tx.MakeKey(0, uint64(rng.Intn(testRows)))
+				rs = append(rs, k)
+				if rng.Intn(3) > 0 {
+					ws = append(ws, k)
+				}
+			}
+			if rng.Intn(4) == 0 { // blind write occasionally
+				ws = append(ws, tx.MakeKey(0, uint64(rng.Intn(testRows))))
+			}
+			txns = append(txns, tx.NewRequest(id, &tx.OpProc{Reads: rs, Writes: ws}))
+			id++
+		}
+		for _, rt := range pol.RouteUser(txns) {
+			checkRouteConservation(t, c, rt)
+		}
+	}
+}

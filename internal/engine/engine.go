@@ -1,0 +1,364 @@
+// Package engine is the deterministic distributed execution engine: the
+// Calvin-style node stack of Fig. 4 (sequencer front-end → scheduler →
+// executors → storage) extended with Hermes's single-master data-fusion
+// execution (§3.1-3.2), on-the-fly record migration, fusion-table
+// eviction write-backs (§4.1), logic aborts with UNDO (§4.2), command-log
+// recovery (§4.3), and dynamic machine provisioning through totally
+// ordered control transactions (§3.3).
+//
+// The whole cluster runs in one process: every node is a goroutine group
+// with its own storage, lock manager, and routing-policy replica,
+// connected by a transport that injects configurable network latency and
+// counts bytes. Which routing policy a cluster runs (Calvin, G-Store+,
+// LEAP, T-Part, Hermes, ...) is the only difference between the systems
+// the paper compares — everything else is shared, as in the paper's
+// evaluation where all baselines were built on the same code base.
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hermes/internal/metrics"
+	"hermes/internal/network"
+	"hermes/internal/router"
+	"hermes/internal/sequencer"
+	"hermes/internal/tx"
+)
+
+// PolicyFactory builds one routing-policy replica for a node. It is
+// called once per node with the identical arguments; the returned replicas
+// must be independent (no shared mutable state) and deterministic.
+type PolicyFactory func(active []tx.NodeID) router.Policy
+
+// Config assembles a cluster.
+type Config struct {
+	// Nodes is the total node set, including standby nodes that may be
+	// activated later by provisioning (Fig. 14's scale-out target starts
+	// as a standby).
+	Nodes []tx.NodeID
+	// Active is the initially active subset (defaults to all of Nodes).
+	Active []tx.NodeID
+	// Policy builds each node's routing replica.
+	Policy PolicyFactory
+	// Seq configures request batching.
+	Seq sequencer.Config
+	// Latency is the network latency model (nil = immediate delivery).
+	Latency network.LatencyModel
+	// StorageDelay is an optional per-record storage access cost,
+	// emulating buffer-pool pressure. Zero for unit tests.
+	StorageDelay time.Duration
+	// Executors bounds how many transactions a node can *execute*
+	// concurrently (the paper's nodes have 4-core machines running a
+	// fixed executor pool). Waiting for locks or remote records does not
+	// occupy an executor slot, so the bound cannot deadlock. Default 4;
+	// negative means unbounded.
+	Executors int
+	// ExecCost is the simulated CPU time consumed by executing one
+	// transaction's logic while holding an executor slot. Together with
+	// Executors it defines a node's saturation throughput, which is what
+	// makes hot-node overload visible in the emulation. Zero for unit
+	// tests.
+	ExecCost time.Duration
+	// Window is the metrics throughput window (default 1s).
+	Window time.Duration
+	// CommitHook, if non-nil, is invoked once per committed user
+	// transaction at its committing node with the executed route. It is
+	// how external look-back controllers (Clay's planner, §5.2.1)
+	// observe the workload; it must be fast or hand off to a channel.
+	CommitHook func(route *router.Route)
+}
+
+// LeaderNode is the transport address of the dedicated total-order leader
+// machine (the paper dedicates one machine to the Zab leader).
+const LeaderNode tx.NodeID = -64
+
+// Cluster is a running emulated cluster.
+type Cluster struct {
+	cfg       Config
+	tr        *network.ChanTransport
+	leader    *sequencer.Leader
+	nodes     map[tx.NodeID]*Node
+	order     []tx.NodeID
+	collector *metrics.Collector
+	start     time.Time
+
+	mu      sync.Mutex
+	pending map[tx.TxnID]chan struct{}
+	// submitted tracks requests by pointer until the leader assigns IDs.
+	waiters map[*tx.Request]chan struct{}
+	active  []tx.NodeID
+	stopped bool
+}
+
+// New assembles and starts a cluster.
+func New(cfg Config) (*Cluster, error) {
+	c, err := build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.startAll()
+	return c, nil
+}
+
+// build assembles a cluster without starting any goroutines; recovery
+// needs the window between construction and start to restore state.
+func build(cfg Config) (*Cluster, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("engine: no nodes")
+	}
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("engine: no policy factory")
+	}
+	if len(cfg.Active) == 0 {
+		cfg.Active = cfg.Nodes
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = time.Second
+	}
+	all := append(append([]tx.NodeID(nil), cfg.Nodes...), LeaderNode)
+	c := &Cluster{
+		cfg:     cfg,
+		tr:      network.NewChanTransport(all, cfg.Latency),
+		nodes:   make(map[tx.NodeID]*Node, len(cfg.Nodes)),
+		order:   append([]tx.NodeID(nil), cfg.Nodes...),
+		pending: make(map[tx.TxnID]chan struct{}),
+		waiters: make(map[*tx.Request]chan struct{}),
+		active:  append([]tx.NodeID(nil), cfg.Active...),
+		start:   time.Now(),
+	}
+	c.collector = metrics.NewCollector(c.start, cfg.Window)
+	// Every node (including standbys) receives the full batch stream so
+	// its routing replica stays in sync; only active nodes are routed to.
+	c.leader = sequencer.NewLeader(LeaderNode, c.tr, cfg.Nodes, cfg.Seq, nil)
+	for _, id := range cfg.Nodes {
+		n := newNode(id, c, cfg.Policy(cfg.Active))
+		c.nodes[id] = n
+	}
+	return c, nil
+}
+
+func (c *Cluster) startAll() {
+	for _, n := range c.nodes {
+		n.start()
+	}
+	c.leader.Start()
+}
+
+// ConfigCopy returns the configuration the cluster was built with, for
+// constructing a compatible replacement cluster (recovery).
+func (c *Cluster) ConfigCopy() Config { return c.cfg }
+
+// Collector exposes the cluster's metrics.
+func (c *Cluster) Collector() *metrics.Collector { return c.collector }
+
+// NetStats exposes transport byte/message accounting.
+func (c *Cluster) NetStats() *network.Stats { return c.tr.Stats() }
+
+// Start returns the cluster start time (metrics epoch).
+func (c *Cluster) Start() time.Time { return c.start }
+
+// Node returns the node with the given id (nil if unknown); used by tests
+// and recovery drills.
+func (c *Cluster) Node(id tx.NodeID) *Node { return c.nodes[id] }
+
+// Active returns the currently active node set as last set by
+// provisioning calls on this handle.
+func (c *Cluster) Active() []tx.NodeID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]tx.NodeID(nil), c.active...)
+}
+
+// Submit enqueues a transaction request via the front-end of node via,
+// returning a channel closed when the transaction commits (or aborts —
+// the client gets an answer either way).
+func (c *Cluster) Submit(via tx.NodeID, proc tx.Procedure) (<-chan struct{}, error) {
+	req := tx.NewRequest(0, proc)
+	req.SubmitTime = time.Now()
+	done := make(chan struct{})
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("engine: cluster stopped")
+	}
+	c.waiters[req] = done
+	c.mu.Unlock()
+	fe := sequencer.NewFrontend(via, LeaderNode, c.tr)
+	if err := fe.Submit(req); err != nil {
+		c.mu.Lock()
+		delete(c.waiters, req)
+		c.mu.Unlock()
+		return nil, err
+	}
+	return done, nil
+}
+
+// SubmitAndWait submits and blocks until completion.
+func (c *Cluster) SubmitAndWait(via tx.NodeID, proc tx.Procedure) error {
+	done, err := c.Submit(via, proc)
+	if err != nil {
+		return err
+	}
+	<-done
+	return nil
+}
+
+// Provision submits a totally ordered membership change (§3.3) and
+// returns its completion channel.
+func (c *Cluster) Provision(add, remove []tx.NodeID) (<-chan struct{}, error) {
+	c.mu.Lock()
+	for _, n := range add {
+		found := false
+		for _, a := range c.active {
+			if a == n {
+				found = true
+			}
+		}
+		if !found {
+			c.active = append(c.active, n)
+		}
+	}
+	for _, n := range remove {
+		for i, a := range c.active {
+			if a == n {
+				c.active = append(c.active[:i], c.active[i+1:]...)
+				break
+			}
+		}
+	}
+	c.mu.Unlock()
+	return c.Submit(c.order[0], &tx.ProvisionProc{Add: add, Remove: remove})
+}
+
+// complete is called by the committing master (or by the provision path)
+// to release the client.
+func (c *Cluster) complete(id tx.TxnID) {
+	c.mu.Lock()
+	ch, ok := c.pending[id]
+	if ok {
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+	if ok {
+		close(ch)
+	}
+}
+
+// registerAssigned moves a waiter from pointer-keyed to ID-keyed tracking
+// once the totally ordered batch reveals the assigned transaction ID.
+// Exactly one node (the master candidate's registration is identical on
+// all nodes) performs the registration — it is idempotent.
+func (c *Cluster) registerAssigned(req *tx.Request) {
+	c.mu.Lock()
+	if ch, ok := c.waiters[req]; ok {
+		delete(c.waiters, req)
+		c.pending[req.ID] = ch
+	}
+	c.mu.Unlock()
+}
+
+// Pending reports the number of in-flight transactions.
+func (c *Cluster) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending) + len(c.waiters)
+}
+
+// Drain flushes the sequencer and waits (up to timeout) until all
+// in-flight transactions have completed *everywhere* — not just at their
+// committing node: every node's lock table must be empty, so all remote
+// writers, write-backs, and migrations have been applied. It reports
+// whether the cluster drained.
+func (c *Cluster) Drain(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		c.leader.Flush()
+		if c.Pending() == 0 {
+			quiesced := true
+			for _, n := range c.nodes {
+				if n.locks.QueuedKeys() != 0 {
+					quiesced = false
+					break
+				}
+			}
+			if quiesced {
+				return true
+			}
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Stop shuts the cluster down. In-flight transactions are abandoned;
+// call Drain first for a clean quiesce.
+func (c *Cluster) Stop() {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return
+	}
+	c.stopped = true
+	c.mu.Unlock()
+	c.leader.Stop()
+	for _, n := range c.nodes {
+		n.stop()
+	}
+	c.tr.Close()
+	for _, n := range c.nodes {
+		n.wait()
+	}
+}
+
+// Fingerprint returns an order-independent hash of the entire cluster
+// state: every node's storage plus every replica's fusion table. Two runs
+// on the same input must produce equal fingerprints — the determinism
+// guarantee of the whole stack.
+func (c *Cluster) Fingerprint() uint64 {
+	var acc uint64
+	for _, id := range c.order {
+		n := c.nodes[id]
+		acc ^= n.store.Fingerprint() * 31
+		if f := n.policy.Placement().Fusion; f != nil {
+			acc ^= f.Fingerprint() * 131
+		}
+	}
+	return acc
+}
+
+// TotalRecords sums the record counts across all nodes; migration must
+// conserve it.
+func (c *Cluster) TotalRecords() int {
+	total := 0
+	for _, n := range c.nodes {
+		total += n.store.Len()
+	}
+	return total
+}
+
+// LoadRecord seeds a record at its home partition as computed by node 0's
+// placement (all replicas agree). Call before submitting transactions.
+func (c *Cluster) LoadRecord(k tx.Key, v []byte) {
+	home := c.nodes[c.order[0]].policy.Placement().Home(k)
+	c.nodes[home].store.Write(k, v)
+}
+
+// ReadRecord locates and reads a record via current placement; returns
+// nil,false if absent everywhere. Intended for tests and examples, not
+// the transaction path.
+func (c *Cluster) ReadRecord(k tx.Key) ([]byte, bool) {
+	owner := c.nodes[c.order[0]].policy.Placement().Owner(k)
+	if v, ok := c.nodes[owner].store.Read(k); ok {
+		return v, true
+	}
+	for _, n := range c.nodes {
+		if v, ok := n.store.Read(k); ok {
+			return v, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,81 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"hermes/internal/core"
+	"hermes/internal/partition"
+	"hermes/internal/router"
+	"hermes/internal/tx"
+)
+
+type recordingPolicy struct {
+	router.Policy
+	mu     *sync.Mutex
+	routes map[tx.TxnID]*router.Route
+}
+
+func (r *recordingPolicy) RouteUser(txns []*tx.Request) []*router.Route {
+	out := r.Policy.RouteUser(txns)
+	r.mu.Lock()
+	for _, rt := range out {
+		r.routes[rt.Txn.ID] = rt
+	}
+	r.mu.Unlock()
+	return out
+}
+
+// TestFusionEvictionStress is the regression test for a deadlock where a
+// fusion eviction emitted for a key the same transaction later re-admitted
+// produced a migration whose source had no record, wedging the
+// destination's arrival role on a push that never came. On failure it
+// dumps the stuck routes and lock holders.
+func TestFusionEvictionStress(t *testing.T) {
+	base := partition.NewUniformRange(0, testRows, 4)
+	mu := &sync.Mutex{}
+	routes := map[tx.TxnID]*router.Route{}
+	first := true
+	pf := func(a []tx.NodeID) router.Policy {
+		p := core.New(base, a, core.DefaultConfig(testRows/4))
+		if first {
+			first = false
+			return &recordingPolicy{Policy: p, mu: mu, routes: routes}
+		}
+		return p
+	}
+	c := newTestCluster(t, 4, pf)
+	loadCounters(c, testRows)
+	const txns = 400
+	for i := 0; i < txns; i++ {
+		k1 := tx.MakeKey(0, uint64(i%testRows))
+		k2 := tx.MakeKey(0, uint64((i*37+11)%testRows))
+		if _, err := c.Submit(tx.NodeID(i%4), incProc(k1, k2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !c.Drain(15 * time.Second) {
+		c.mu.Lock()
+		var stuck []tx.TxnID
+		for id := range c.pending {
+			stuck = append(stuck, id)
+		}
+		c.mu.Unlock()
+		mu.Lock()
+		for _, id := range stuck {
+			rt := routes[id]
+			if rt == nil {
+				t.Logf("txn %d: no route recorded", id)
+				continue
+			}
+			t.Logf("STUCK txn %d: master=%d owners=%v migrations=%v writeback=%v reads=%v writes=%v",
+				id, rt.Master, rt.Owners, rt.Migrations, rt.WriteBack, rt.Txn.ReadSet(), rt.Txn.WriteSet())
+			for nid, n := range c.nodes {
+				t.Logf("  node %d holding=%v", nid, n.locks.Holding(id))
+			}
+		}
+		mu.Unlock()
+		t.Fatalf("pending=%d", c.Pending())
+	}
+}

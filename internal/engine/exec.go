@@ -1,0 +1,367 @@
+package engine
+
+import (
+	"time"
+
+	"hermes/internal/lock"
+	"hermes/internal/metrics"
+	"hermes/internal/network"
+	"hermes/internal/router"
+	"hermes/internal/storage"
+	"hermes/internal/tx"
+)
+
+// run executes this node's role for one routed transaction. It is spawned
+// per role; deadlock freedom comes from the conservative ordered locking
+// (locks were acquired in total order by the scheduler) plus the fact
+// that record waits only ever point "toward" nodes that will push
+// unconditionally once their own locks are granted.
+func (n *Node) run(rt *router.Route, role *role, grant *lock.Grant, arrival time.Time) {
+	dispatch := time.Now()
+	select {
+	case <-grant.Done():
+	case <-n.quit:
+		return
+	}
+	granted := time.Now()
+
+	var storageTime time.Duration
+
+	// Phase 1: push owned records (remote reads, write-back inputs, and
+	// migration payloads) to their destinations, deleting outbound
+	// migration sources. Serving records is real work for the owner: it
+	// occupies an executor slot and consumes a fraction of ExecCost, so
+	// systems that repeatedly pull from a hot node (G-Store's and
+	// T-Part's per-batch pulls) keep loading it, while a migration frees
+	// it — the effect behind Figs. 11-14.
+	if len(role.pushTo) > 0 {
+		n.execSlot()
+		if d := n.cluster.cfg.ExecCost / 4; d > 0 {
+			t0 := time.Now()
+			time.Sleep(d)
+			n.cluster.collector.AddBusy(int(n.id), time.Since(t0))
+		}
+	}
+	for dest, keys := range role.pushTo {
+		recs := make([]network.Record, 0, len(keys))
+		for _, k := range keys {
+			t0 := time.Now()
+			v, ok := n.store.Read(k)
+			n.sleepStorage()
+			storageTime += time.Since(t0)
+			if !ok {
+				v = nil // absent records travel as nil and materialize on write
+			}
+			recs = append(recs, network.Record{Key: k, Value: v})
+		}
+		_ = n.cluster.tr.Send(network.Message{
+			From: n.id, To: dest, Type: network.MsgRecordPush,
+			Txn: rt.Txn.ID, Records: recs,
+		})
+	}
+	for _, k := range role.deleteAfterPush {
+		n.store.Delete(k)
+	}
+	if len(role.pushTo) > 0 {
+		n.execDone()
+	}
+
+	// Phase 2: wait for inbound records if any are expected.
+	var remote map[tx.Key][]byte
+	var remoteReady time.Time
+	if role.expectRecords > 0 {
+		remote = n.mailboxFor(rt.Txn.ID).waitFor(role.expectRecords, n.quit)
+		if remote == nil {
+			return // shutting down
+		}
+		remoteReady = time.Now()
+	} else {
+		remoteReady = granted
+	}
+
+	// Phase 3: role-specific work.
+	aborted := false
+	switch {
+	case role.isMaster:
+		n.execSlot()
+		var st time.Duration
+		st, aborted = n.runMaster(rt, role, remote)
+		storageTime += st
+		n.execDone()
+	case role.isWriter:
+		n.execSlot()
+		var st time.Duration
+		st, aborted = n.runWriter(rt, remote)
+		storageTime += st
+		n.execDone()
+	default:
+		// Pure source / arrival role: insert migration arrivals and apply
+		// write-backs, then release.
+		for _, k := range role.insertArrivals {
+			if v, ok := remote[k]; ok && v != nil {
+				t0 := time.Now()
+				n.store.Write(k, v)
+				n.sleepStorage()
+				storageTime += time.Since(t0)
+			}
+		}
+		for _, k := range role.writeBackApply {
+			if v, ok := remote[k]; ok {
+				t0 := time.Now()
+				n.store.Write(k, v)
+				n.sleepStorage()
+				storageTime += time.Since(t0)
+			}
+		}
+	}
+
+	n.locks.Release(rt.Txn.ID)
+	n.dropMailbox(rt.Txn.ID)
+	n.cluster.collector.AddBusy(int(n.id), storageTime)
+
+	// Commit reporting happens exactly once, at the committing role.
+	// Provisioning control transactions were acknowledged by the
+	// scheduler, and logic aborts were counted by the executing role;
+	// neither counts as a user commit (the client is answered either
+	// way).
+	if rt.Mode != router.Provision && n.isCommitter(rt) {
+		if !aborted {
+			done := time.Now()
+			total := done.Sub(rt.Txn.SubmitTime)
+			if rt.Txn.SubmitTime.IsZero() {
+				total = done.Sub(arrival)
+			}
+			bd := metrics.Breakdown{
+				Scheduling: dispatch.Sub(arrival),
+				LockWait:   granted.Sub(dispatch),
+				RemoteWait: remoteReady.Sub(granted),
+				Storage:    storageTime,
+			}
+			if rest := total - bd.Scheduling - bd.LockWait - bd.RemoteWait - bd.Storage; rest > 0 {
+				bd.Other = rest
+			}
+			n.cluster.collector.RecordCommit(done, bd)
+			n.cluster.collector.RecordMigration(len(rt.Migrations))
+			n.cluster.collector.RecordRemoteReads(role.expectRecords)
+			if hook := n.cluster.cfg.CommitHook; hook != nil {
+				hook(rt)
+			}
+		}
+		n.cluster.complete(rt.Txn.ID)
+	}
+}
+
+func (n *Node) sleepStorage() {
+	if d := n.cluster.cfg.StorageDelay; d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// runMaster executes the transaction logic at the single-master execution
+// site: assemble the value view from local storage and pushed records,
+// insert inbound migrations into local storage, run the procedure with
+// UNDO protection, then distribute write-backs and outbound migrations.
+func (n *Node) runMaster(rt *router.Route, role *role, remote map[tx.Key][]byte) (time.Duration, bool) {
+	var storageTime time.Duration
+	req := rt.Txn
+	access := req.AccessSet()
+	writes := req.WriteSet()
+
+	inbound := map[tx.Key]bool{} // keys migrating INTO this master
+	for _, m := range rt.Migrations {
+		if m.To == n.id && m.From != n.id {
+			inbound[m.Key] = true
+		}
+	}
+	writeBack := map[tx.Key]bool{}
+	for _, k := range rt.WriteBack {
+		writeBack[k] = true
+	}
+
+	vals := make(map[tx.Key][]byte, len(access))
+	orig := make(map[tx.Key][]byte, len(access))
+	undo := storage.NewUndoLog(n.store)
+	localAfter := map[tx.Key]bool{}
+
+	for _, k := range access {
+		owner := rt.Owners[k]
+		if owner == n.id {
+			t0 := time.Now()
+			v, _ := n.store.Read(k)
+			n.sleepStorage()
+			storageTime += time.Since(t0)
+			vals[k] = v
+			localAfter[k] = true
+		} else {
+			v := remote[k]
+			vals[k] = v
+			if inbound[k] {
+				// Inbound data-fusion migration: the record becomes local
+				// storage *regardless of abort* (§4.2) — the plan's
+				// placement effects always happen.
+				if v != nil {
+					t0 := time.Now()
+					n.store.Write(k, v)
+					n.sleepStorage()
+					storageTime += time.Since(t0)
+				}
+				localAfter[k] = true
+			}
+		}
+		orig[k] = vals[k]
+	}
+	// Non-access eviction arrivals handled exactly like at any other node.
+	for _, k := range role.insertArrivals {
+		if v, ok := remote[k]; ok && v != nil {
+			t0 := time.Now()
+			n.store.Write(k, v)
+			n.sleepStorage()
+			storageTime += time.Since(t0)
+		}
+	}
+
+	ctx := &execCtx{
+		node: n, vals: vals, localAfter: localAfter,
+		undo: undo, buffered: map[tx.Key][]byte{},
+	}
+	execStart := time.Now()
+	req.Proc.Execute(ctx)
+	if d := n.cluster.cfg.ExecCost; d > 0 {
+		time.Sleep(d) // simulated CPU work while holding the executor slot
+	}
+	n.cluster.collector.AddBusy(int(n.id), time.Since(execStart))
+	storageTime += ctx.storageTime
+
+	if ctx.aborted {
+		undo.Rollback()
+		n.cluster.collector.RecordAbort()
+	} else {
+		undo.Discard()
+	}
+
+	// Write-backs: final values on commit, original values on abort (the
+	// owner still holds the lock and must be released by this message).
+	byOwner := map[tx.NodeID][]network.Record{}
+	for _, k := range writes {
+		if !writeBack[k] {
+			continue
+		}
+		v := orig[k]
+		if !ctx.aborted {
+			if bv, ok := ctx.buffered[k]; ok {
+				v = bv
+			}
+		}
+		owner := rt.Owners[k]
+		byOwner[owner] = append(byOwner[owner], network.Record{Key: k, Value: v})
+	}
+	for owner, recs := range byOwner {
+		_ = n.cluster.tr.Send(network.Message{
+			From: n.id, To: owner, Type: network.MsgWriteBack,
+			Txn: req.ID, Records: recs,
+		})
+	}
+
+	// Outbound migrations from the master (return-home moves that must
+	// carry post-execution values). The push happens even when the
+	// record is absent (nil payload): the destination's arrival role is
+	// blocked on this message and would otherwise hold its exclusive
+	// lock forever.
+	for _, m := range role.outMigrations {
+		t0 := time.Now()
+		v, ok := n.store.Read(m.Key)
+		n.sleepStorage()
+		storageTime += time.Since(t0)
+		if ok {
+			n.store.Delete(m.Key)
+		} else {
+			v = nil
+		}
+		_ = n.cluster.tr.Send(network.Message{
+			From: n.id, To: m.To, Type: network.MsgRecordPush,
+			Txn: req.ID, Records: []network.Record{{Key: m.Key, Value: v}},
+		})
+	}
+	return storageTime, ctx.aborted
+}
+
+// runWriter executes the transaction logic at one of Calvin's
+// multi-master writers: it has all read values (local + broadcast) and
+// applies only the writes it owns.
+func (n *Node) runWriter(rt *router.Route, remote map[tx.Key][]byte) (time.Duration, bool) {
+	var storageTime time.Duration
+	req := rt.Txn
+	vals := make(map[tx.Key][]byte)
+	localAfter := map[tx.Key]bool{}
+	for _, k := range req.AccessSet() {
+		if rt.Owners[k] == n.id {
+			t0 := time.Now()
+			v, _ := n.store.Read(k)
+			n.sleepStorage()
+			storageTime += time.Since(t0)
+			vals[k] = v
+			localAfter[k] = true
+		} else if v, ok := remote[k]; ok {
+			vals[k] = v
+		}
+	}
+	undo := storage.NewUndoLog(n.store)
+	ctx := &execCtx{
+		node: n, vals: vals, localAfter: localAfter,
+		undo: undo, buffered: map[tx.Key][]byte{},
+	}
+	execStart := time.Now()
+	req.Proc.Execute(ctx)
+	if d := n.cluster.cfg.ExecCost; d > 0 {
+		time.Sleep(d)
+	}
+	n.cluster.collector.AddBusy(int(n.id), time.Since(execStart))
+	storageTime += ctx.storageTime
+	if ctx.aborted {
+		undo.Rollback()
+		if n.isCommitter(rt) {
+			n.cluster.collector.RecordAbort()
+		}
+	} else {
+		undo.Discard()
+	}
+	return storageTime, ctx.aborted
+}
+
+// execCtx implements tx.ExecCtx for an executing role. Reads come from
+// the assembled value view; writes go through the undo log when the key
+// is (or becomes) local, and into the write-back buffer otherwise.
+type execCtx struct {
+	node        *Node
+	vals        map[tx.Key][]byte
+	localAfter  map[tx.Key]bool
+	undo        *storage.UndoLog
+	buffered    map[tx.Key][]byte
+	aborted     bool
+	storageTime time.Duration
+}
+
+// Read implements tx.ExecCtx.
+func (c *execCtx) Read(k tx.Key) []byte { return c.vals[k] }
+
+// Write implements tx.ExecCtx.
+func (c *execCtx) Write(k tx.Key, v []byte) {
+	if c.aborted {
+		return
+	}
+	c.vals[k] = v
+	if c.localAfter[k] {
+		t0 := time.Now()
+		c.undo.Write(k, v)
+		c.node.sleepStorage()
+		c.storageTime += time.Since(t0)
+	} else {
+		c.buffered[k] = v
+	}
+}
+
+// Abort implements tx.ExecCtx.
+func (c *execCtx) Abort(string) { c.aborted = true }
+
+// Aborted implements tx.ExecCtx.
+func (c *execCtx) Aborted() bool { return c.aborted }

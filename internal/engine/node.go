@@ -1,0 +1,457 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hermes/internal/lock"
+	"hermes/internal/network"
+	"hermes/internal/router"
+	"hermes/internal/sequencer"
+	"hermes/internal/storage"
+	"hermes/internal/tx"
+)
+
+// Node is one emulated machine: storage shard, deterministic lock
+// manager, routing-policy replica, command log, and the scheduler /
+// executor goroutines.
+type Node struct {
+	id      tx.NodeID
+	cluster *Cluster
+	store   *storage.Store
+	locks   *lock.Manager
+	policy  router.Policy
+	cmdlog  *storage.CommandLog
+
+	batches chan *tx.Batch
+	// execSem bounds concurrent transaction execution (nil = unbounded).
+	execSem chan struct{}
+	// scheduled is 1 + the sequence of the last batch fully handed to
+	// the lock manager; quiescence checks compare it with the log.
+	scheduled atomic.Uint64
+
+	mailMu sync.Mutex
+	mail   map[tx.TxnID]*mailbox
+
+	quit chan struct{}
+	wg   sync.WaitGroup
+}
+
+func newNode(id tx.NodeID, c *Cluster, policy router.Policy) *Node {
+	n := &Node{
+		id:      id,
+		cluster: c,
+		store:   storage.NewStore(),
+		locks:   lock.NewManager(),
+		policy:  policy,
+		cmdlog:  storage.NewCommandLog(),
+		batches: make(chan *tx.Batch, 1024),
+		mail:    make(map[tx.TxnID]*mailbox),
+		quit:    make(chan struct{}),
+	}
+	executors := c.cfg.Executors
+	if executors == 0 {
+		executors = 4
+	}
+	if executors > 0 {
+		n.execSem = make(chan struct{}, executors)
+	}
+	return n
+}
+
+// execSlot claims an executor slot (no-op when unbounded); release by
+// reading from the returned channel's counterpart via execDone.
+func (n *Node) execSlot() {
+	if n.execSem != nil {
+		n.execSem <- struct{}{}
+	}
+}
+
+func (n *Node) execDone() {
+	if n.execSem != nil {
+		<-n.execSem
+	}
+}
+
+// Store exposes the node's storage (tests, recovery, examples).
+func (n *Node) Store() *storage.Store { return n.store }
+
+// Policy exposes the node's routing replica (tests, stats).
+func (n *Node) Policy() router.Policy { return n.policy }
+
+// CommandLog exposes the node's input log (recovery drills).
+func (n *Node) CommandLog() *storage.CommandLog { return n.cmdlog }
+
+func (n *Node) start() {
+	n.wg.Add(2)
+	go n.recvLoop()
+	go n.schedLoop()
+}
+
+func (n *Node) stop() {
+	select {
+	case <-n.quit:
+	default:
+		close(n.quit)
+	}
+}
+
+func (n *Node) wait() { n.wg.Wait() }
+
+// recvLoop dispatches transport messages: totally ordered batches go to
+// the scheduler queue (and the command log); per-transaction record
+// traffic goes to mailboxes.
+func (n *Node) recvLoop() {
+	defer n.wg.Done()
+	inbox := n.cluster.tr.Recv(n.id)
+	for {
+		select {
+		case <-n.quit:
+			return
+		case m, ok := <-inbox:
+			if !ok {
+				return
+			}
+			switch m.Type {
+			case network.MsgSeqDeliver:
+				if m.Batch == nil {
+					continue
+				}
+				// Out-of-order delivery would mean a broken total-order
+				// layer; the error is surfaced by refusing the batch.
+				if err := n.cmdlog.Append(m.Batch); err != nil {
+					continue
+				}
+				sequencer.Ack(n.id, LeaderNode, n.cluster.tr, m.Seq)
+				select {
+				case n.batches <- m.Batch:
+				case <-n.quit:
+					return
+				}
+			case network.MsgRecordPush, network.MsgReadBroadcast, network.MsgWriteBack, network.MsgMigrationChunk:
+				n.mailboxFor(m.Txn).put(m.Records)
+			}
+		}
+	}
+}
+
+// schedLoop is the deterministic scheduler (Fig. 4(b)): it routes each
+// batch with the node's policy replica, acquires locks for every route in
+// total order (conservative ordered locking), and hands role jobs to
+// executor goroutines.
+func (n *Node) schedLoop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.quit:
+			return
+		case b, ok := <-n.batches:
+			if !ok {
+				return
+			}
+			arrival := time.Now()
+			plan := router.BuildPlan(n.policy, b)
+			for _, rt := range plan.Routes {
+				n.schedule(rt, arrival)
+			}
+			n.scheduled.Store(b.Seq + 1)
+		}
+	}
+}
+
+// schedule computes this node's role in the route, acquires the locks the
+// role needs (in total order), and spawns the role job.
+func (n *Node) schedule(rt *router.Route, arrival time.Time) {
+	// Completion tracking: the same registration runs on every node and
+	// is idempotent; the committing role closes the client channel.
+	n.cluster.registerAssigned(rt.Txn)
+
+	if rt.Mode == router.Provision {
+		// The membership change itself took effect inside BuildPlan on
+		// every replica; acknowledge the client here. Any attached
+		// eviction migrations still execute below under locks.
+		if n.isCommitter(rt) {
+			n.cluster.complete(rt.Txn.ID)
+		}
+		if len(rt.Migrations) == 0 {
+			return
+		}
+	}
+
+	role := n.roleFor(rt)
+	if !role.involved() {
+		return
+	}
+	grant := n.locks.Acquire(rt.Txn.ID, role.shared, role.excl)
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		n.run(rt, role, grant, arrival)
+	}()
+}
+
+// isCommitter reports whether this node is the one that reports
+// completion to the client: the master for single-master routes, the
+// lowest writer for multi-master, the first active node for provisioning.
+func (n *Node) isCommitter(rt *router.Route) bool {
+	switch rt.Mode {
+	case router.SingleMaster:
+		return rt.Master == n.id
+	case router.MultiMaster:
+		return len(rt.Writers) > 0 && rt.Writers[0] == n.id
+	case router.Provision:
+		a := n.policy.Placement().Active()
+		return len(a) > 0 && a[0] == n.id
+	}
+	return false
+}
+
+// role captures everything a node must do for one route.
+type role struct {
+	// lock sets on this node.
+	shared, excl []tx.Key
+
+	// master / writer duties.
+	isMaster bool // single-master execution site
+	isWriter bool // multi-master executor
+	// expectRecords is how many records must arrive before execution or
+	// completion (pushes at the master/writer, write-backs and eviction
+	// arrivals at owners).
+	expectRecords int
+
+	// pushTo maps destination node -> keys this node must push there
+	// (remote reads and outbound migrations).
+	pushTo map[tx.NodeID][]tx.Key
+	// deleteAfterPush lists keys leaving this node (migration sources).
+	deleteAfterPush []tx.Key
+	// insertArrivals lists keys arriving into this node's storage
+	// (migration destinations), excluding those handled by the master
+	// execution path.
+	insertArrivals []tx.Key
+	// writeBackApply lists written keys this node owns that the master
+	// will send back after execution.
+	writeBackApply []tx.Key
+	// outMigrations lists migrations whose source is this node and whose
+	// record must carry post-execution values (master-side outbound
+	// moves, e.g. T-Part's return-home of a key it just wrote).
+	outMigrations []router.Migration
+}
+
+func (r *role) involved() bool {
+	return len(r.shared)+len(r.excl) > 0 || r.isMaster || r.isWriter ||
+		len(r.pushTo) > 0 || len(r.insertArrivals) > 0
+}
+
+// roleFor derives this node's role from a route. Every node derives roles
+// from the identical plan, so the role sets agree globally.
+func (n *Node) roleFor(rt *router.Route) *role {
+	r := &role{pushTo: map[tx.NodeID][]tx.Key{}}
+	req := rt.Txn
+	writes := req.WriteSet()
+	access := req.AccessSet()
+
+	writeBack := map[tx.Key]bool{}
+	for _, k := range rt.WriteBack {
+		writeBack[k] = true
+	}
+
+	switch rt.Mode {
+	case router.MultiMaster:
+		for _, w := range rt.Writers {
+			if w == n.id {
+				r.isWriter = true
+			}
+		}
+		for _, k := range access {
+			owner := rt.Owners[k]
+			isWrite := tx.ContainsKey(writes, k)
+			if owner == n.id {
+				if isWrite {
+					r.excl = append(r.excl, k)
+				} else {
+					r.shared = append(r.shared, k)
+				}
+				// Owners broadcast their read-set fragments to writers.
+				if tx.ContainsKey(req.ReadSet(), k) {
+					for _, w := range rt.Writers {
+						if w != n.id {
+							r.pushTo[w] = append(r.pushTo[w], k)
+						}
+					}
+				}
+			}
+			if r.isWriter && owner != n.id && tx.ContainsKey(req.ReadSet(), k) {
+				r.expectRecords++
+			}
+		}
+
+	case router.SingleMaster, router.Provision:
+		master := rt.Master
+		r.isMaster = master == n.id && rt.Mode == router.SingleMaster
+		// A key may appear in more than one migration of the same route
+		// (e.g. T-Part moves a record in for execution and back home at
+		// batch end). Classify per migration, from this node's viewpoint.
+		outOfHere := map[tx.Key]bool{} // pre-exec departures from this node
+		for _, m := range rt.Migrations {
+			if m.From == m.To {
+				continue
+			}
+			inAccess := tx.ContainsKey(access, m.Key)
+			if m.From == n.id {
+				if n.id == master {
+					// Outbound from the execution site: pushed after
+					// execution so it carries post-execution values.
+					r.excl = appendKeyOnce(r.excl, m.Key)
+					r.outMigrations = append(r.outMigrations, m)
+				} else {
+					outOfHere[m.Key] = true
+					r.excl = appendKeyOnce(r.excl, m.Key)
+					r.pushTo[m.To] = append(r.pushTo[m.To], m.Key)
+					r.deleteAfterPush = append(r.deleteAfterPush, m.Key)
+					// The master still needs the value if the key is part
+					// of the transaction and the move itself isn't toward
+					// the master.
+					if inAccess && m.To != master {
+						r.pushTo[master] = append(r.pushTo[master], m.Key)
+					}
+				}
+			}
+			if m.To == n.id && m.From != n.id {
+				if n.id == master && inAccess {
+					// Inbound data-fusion migration at the execution
+					// site: the access loop below counts the expected
+					// record and runMaster inserts it.
+					r.excl = appendKeyOnce(r.excl, m.Key)
+				} else {
+					// Arrival outside the execution path (eviction home,
+					// cold-chunk destination, return-home target).
+					r.excl = appendKeyOnce(r.excl, m.Key)
+					r.insertArrivals = append(r.insertArrivals, m.Key)
+					r.expectRecords++
+				}
+			}
+		}
+		// Access-set keys. Keys absent from Owners take no part in the
+		// route (e.g. chunk keys a cold migration skipped because they
+		// are fusion-tracked, §3.3).
+		for _, k := range access {
+			owner, part := rt.Owners[k]
+			if !part {
+				continue
+			}
+			isWrite := tx.ContainsKey(writes, k)
+			switch {
+			case owner == n.id:
+				if outOfHere[k] {
+					break // push/delete already arranged above
+				}
+				if isWrite {
+					r.excl = appendKeyOnce(r.excl, k)
+					if n.id != master && writeBack[k] {
+						// Send current value to the master, then apply
+						// the write-back it returns.
+						r.pushTo[master] = append(r.pushTo[master], k)
+						r.writeBackApply = append(r.writeBackApply, k)
+						r.expectRecords++
+					}
+				} else {
+					r.shared = append(r.shared, k)
+					if n.id != master {
+						r.pushTo[master] = append(r.pushTo[master], k)
+					}
+				}
+			case n.id == master:
+				// The record arrives from its owner (directly or via an
+				// inbound migration push).
+				r.expectRecords++
+			}
+		}
+	}
+	r.shared = tx.NormalizeKeys(r.shared)
+	r.excl = tx.NormalizeKeys(r.excl)
+	// A key needed both shared and exclusive collapses to exclusive
+	// inside the lock manager; remove duplicates from shared here so the
+	// accounting in expectRecords stays exact.
+	r.shared = subtractKeys(r.shared, r.excl)
+	return r
+}
+
+func appendKeyOnce(ks []tx.Key, k tx.Key) []tx.Key {
+	for _, e := range ks {
+		if e == k {
+			return ks
+		}
+	}
+	return append(ks, k)
+}
+
+func subtractKeys(a, b []tx.Key) []tx.Key {
+	out := a[:0]
+	for _, k := range a {
+		if !tx.ContainsKey(b, k) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// mailboxFor returns (creating on demand) the mailbox for a transaction.
+func (n *Node) mailboxFor(id tx.TxnID) *mailbox {
+	n.mailMu.Lock()
+	defer n.mailMu.Unlock()
+	mb, ok := n.mail[id]
+	if !ok {
+		mb = newMailbox()
+		n.mail[id] = mb
+	}
+	return mb
+}
+
+func (n *Node) dropMailbox(id tx.TxnID) {
+	n.mailMu.Lock()
+	delete(n.mail, id)
+	n.mailMu.Unlock()
+}
+
+// mailbox accumulates records pushed to this node for one transaction.
+type mailbox struct {
+	mu     sync.Mutex
+	recs   map[tx.Key][]byte
+	notify chan struct{}
+}
+
+func newMailbox() *mailbox {
+	return &mailbox{recs: map[tx.Key][]byte{}, notify: make(chan struct{}, 1)}
+}
+
+func (m *mailbox) put(records []network.Record) {
+	m.mu.Lock()
+	for _, r := range records {
+		m.recs[r.Key] = r.Value
+	}
+	m.mu.Unlock()
+	select {
+	case m.notify <- struct{}{}:
+	default:
+	}
+}
+
+// waitFor blocks until at least want records have arrived (or quit
+// closes) and returns the record map.
+func (m *mailbox) waitFor(want int, quit <-chan struct{}) map[tx.Key][]byte {
+	for {
+		m.mu.Lock()
+		if len(m.recs) >= want {
+			out := m.recs
+			m.mu.Unlock()
+			return out
+		}
+		m.mu.Unlock()
+		select {
+		case <-m.notify:
+		case <-quit:
+			return nil
+		}
+	}
+}

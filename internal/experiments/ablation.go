@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"hermes/internal/core"
+	"hermes/internal/fusion"
+	"hermes/internal/partition"
+	"hermes/internal/router"
+	"hermes/internal/tx"
+)
+
+// Ablation isolates the three ingredients of Algorithm 1 on the Google
+// workload: reordering (step 1), rebalancing (step 3), and data fusion
+// itself. It is this repository's addition to the paper's evaluation —
+// the design-choice justification DESIGN.md calls for.
+func Ablation(sc Scale) (*Result, error) {
+	base := partition.NewUniformRange(0, sc.Rows, sc.Nodes)
+	cfg := core.Config{
+		Alpha:          0.25,
+		FusionCapacity: int(float64(sc.Rows) * sc.FusionFrac),
+		FusionPolicy:   fusion.LRU,
+	}
+	variants := []struct {
+		name string
+		abl  core.Ablation
+	}{
+		{"Hermes (full)", core.Ablation{}},
+		{"no-reorder", core.Ablation{NoReorder: true}},
+		{"no-rebalance", core.Ablation{NoRebalance: true}},
+		{"no-fusion", core.Ablation{NoFusion: true}},
+	}
+	res := &Result{
+		Name: "ablation", Title: "Algorithm 1 ablation (Google workload, throughput over time)",
+		XLabel: "time (s)", YLabel: "txns/window",
+	}
+	for _, v := range variants {
+		abl := v.abl
+		sys := system{
+			name: v.name,
+			policy: func(a []tx.NodeID) router.Policy {
+				return core.NewAblated(base, a, cfg, abl)
+			},
+		}
+		out, err := runGoogle(sc, sys, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		res.Series = append(res.Series, Series{
+			Label: v.name,
+			X:     windowsX(len(out.Throughput), sc.Window),
+			Y:     out.Throughput,
+		})
+	}
+	return res, nil
+}
+
+// AblationFusionCapacity sweeps the fusion-table bound (as a fraction of
+// the database) on the Google workload — the §4.1 size/benefit trade-off.
+func AblationFusionCapacity(sc Scale) (*Result, error) {
+	base := partition.NewUniformRange(0, sc.Rows, sc.Nodes)
+	fracs := []float64{0.005, 0.025, 0.10, 0.25}
+	res := &Result{
+		Name: "ablation-fusion", Title: "Fusion-table capacity sweep (fraction of database)",
+		XLabel: "capacity frac", YLabel: "txns committed",
+	}
+	for _, policy := range []fusion.Policy{fusion.LRU, fusion.FIFO} {
+		label := "LRU"
+		if policy == fusion.FIFO {
+			label = "FIFO"
+		}
+		s := Series{Label: label}
+		for _, f := range fracs {
+			cfg := core.Config{Alpha: 0.25, FusionCapacity: int(float64(sc.Rows) * f), FusionPolicy: policy}
+			sys := system{
+				name: label,
+				policy: func(a []tx.NodeID) router.Policy {
+					return core.New(base, a, cfg)
+				},
+			}
+			out, err := runGoogle(sc, sys, 0, 0)
+			if err != nil {
+				return nil, err
+			}
+			s.X = append(s.X, f)
+			s.Y = append(s.Y, float64(out.Committed))
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+// AblationAlpha sweeps the load-imbalance tolerance α of θ = ⌈b/n·(1+α)⌉.
+func AblationAlpha(sc Scale) (*Result, error) {
+	base := partition.NewUniformRange(0, sc.Rows, sc.Nodes)
+	alphas := []float64{0, 0.25, 0.5, 1, 4}
+	res := &Result{
+		Name: "ablation-alpha", Title: "Load-imbalance tolerance α sweep (Google workload)",
+		XLabel: "alpha", YLabel: "txns committed",
+	}
+	s := Series{Label: "Hermes"}
+	for _, a := range alphas {
+		cfg := core.Config{Alpha: a, FusionCapacity: int(float64(sc.Rows) * sc.FusionFrac), FusionPolicy: fusion.LRU}
+		sys := system{
+			name: "Hermes",
+			policy: func(ids []tx.NodeID) router.Policy {
+				return core.New(base, ids, cfg)
+			},
+		}
+		out, err := runGoogle(sc, sys, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		s.X = append(s.X, a)
+		s.Y = append(s.Y, float64(out.Committed))
+	}
+	res.Series = append(res.Series, s)
+	return res, nil
+}

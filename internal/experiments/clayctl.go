@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"sync"
+	"time"
+
+	"hermes/internal/engine"
+	"hermes/internal/migration"
+	"hermes/internal/partition"
+	"hermes/internal/router"
+	"hermes/internal/tx"
+)
+
+// clayCtl is the Clay baseline's external control loop (§5.2.1): it
+// observes committed transactions through the engine's commit hook,
+// accumulates heat and co-access statistics at range granularity, and —
+// when a node is overloaded — generates a clump-based migration plan that
+// it executes with Squall-style chunked migration transactions. It keeps
+// its own placement view (base layout + the moves it has applied), like
+// the real external planner would.
+type clayCtl struct {
+	clay   *migration.Clay
+	squall *migration.Squall
+	period time.Duration
+	rows   uint64
+
+	mu       sync.Mutex
+	override map[tx.Key]tx.NodeID
+	base     partition.Partitioner
+
+	obs  chan obsEvent
+	quit chan struct{}
+	done sync.WaitGroup
+}
+
+type obsEvent struct {
+	master tx.NodeID
+	keys   []tx.Key
+}
+
+func newClayController(sc Scale, base partition.Partitioner) *clayCtl {
+	rangeSize := sc.ClayRange
+	if rangeSize == 0 {
+		rangeSize = sc.Rows / uint64(sc.Nodes*32)
+	}
+	if rangeSize == 0 {
+		rangeSize = 1
+	}
+	return &clayCtl{
+		clay:     migration.NewClay(rangeSize, 0.3, 16),
+		squall:   migration.NewSquall(int(rangeSize)),
+		period:   2 * sc.Window, // Clay "monitors the workload" before planning
+		rows:     sc.Rows,
+		override: map[tx.Key]tx.NodeID{},
+		base:     base,
+		obs:      make(chan obsEvent, 4096),
+		quit:     make(chan struct{}),
+	}
+}
+
+// Hook implements controller; it must never block the commit path.
+func (c *clayCtl) Hook(rt *router.Route) {
+	select {
+	case c.obs <- obsEvent{master: rt.Master, keys: rt.Txn.AccessSet()}:
+	default: // sampling under pressure is fine for a planner
+	}
+}
+
+func (c *clayCtl) home(k tx.Key) tx.NodeID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n, ok := c.override[k]; ok {
+		return n
+	}
+	return c.base.Home(k)
+}
+
+// Start implements controller.
+func (c *clayCtl) Start(cluster *engine.Cluster) {
+	c.done.Add(1)
+	go func() {
+		defer c.done.Done()
+		ticker := time.NewTicker(c.period)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-c.quit:
+				return
+			case ev := <-c.obs:
+				c.clay.Observe(ev.master, ev.keys, c.home)
+			case <-ticker.C:
+				active := cluster.Active()
+				moves := c.clay.Plan(active)
+				for _, m := range moves {
+					// Whole ranges move; keys with no record migrate as
+					// empty payloads (the chunk transaction locks them
+					// briefly, which is part of Squall's cost).
+					keys := m.Keys(c.clay.RangeSize)
+					for _, chunk := range c.squall.Chunks(keys, m.To) {
+						if _, err := cluster.Submit(active[0], chunk); err != nil {
+							return
+						}
+					}
+					c.mu.Lock()
+					for _, k := range keys {
+						c.override[k] = m.To
+					}
+					c.mu.Unlock()
+				}
+				if len(moves) > 0 {
+					c.clay.Reset()
+				}
+			}
+		}
+	}()
+}
+
+// Stop implements controller.
+func (c *clayCtl) Stop() {
+	close(c.quit)
+	c.done.Wait()
+}

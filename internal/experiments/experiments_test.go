@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// tiny returns a scale small enough for unit tests (well under a second
+// per system run).
+func tiny() Scale {
+	sc := Small()
+	sc.Nodes = 2
+	sc.Rows = 1000
+	sc.Clients = 8
+	sc.Phase = 300 * time.Millisecond
+	sc.Window = 100 * time.Millisecond
+	sc.BatchSize = 16
+	sc.NetLatency = 50 * time.Microsecond
+	return sc
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig1", "fig2", "fig6a", "fig6b", "fig7", "fig8", "fig8b", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "ablation", "ablation-fusion", "ablation-alpha"}
+	for _, name := range want {
+		if Registry[name] == nil {
+			t.Errorf("experiment %s missing from registry", name)
+		}
+	}
+	if got := Names(); len(got) != len(want) {
+		t.Errorf("Names() = %v", got)
+	}
+}
+
+func TestFig1(t *testing.T) {
+	res, err := Fig1(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) == 0 || len(res.Series[0].Y) == 0 {
+		t.Fatal("empty trace series")
+	}
+	if !strings.Contains(res.Render(), "fig1") {
+		t.Fatal("render missing name")
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	res, err := Fig2(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 3 {
+		t.Fatalf("series = %d, want 3 (Range, Clay, LEAP)", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if AvgY(s) <= 0 {
+			t.Fatalf("series %s has zero throughput", s.Label)
+		}
+	}
+}
+
+func TestFig6bRunsAllOnlineSystems(t *testing.T) {
+	res, err := Fig6b(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 5 {
+		t.Fatalf("series = %d, want 5", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if AvgY(s) <= 0 {
+			t.Fatalf("series %s has zero throughput", s.Label)
+		}
+	}
+}
+
+func TestFig7BreakdownNonEmpty(t *testing.T) {
+	sc := tiny()
+	sc.Phase = 200 * time.Millisecond
+	res, err := Fig7(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Series {
+		total := 0.0
+		for _, v := range s.Y {
+			total += v
+		}
+		if total <= 0 {
+			t.Fatalf("series %s: empty breakdown", s.Label)
+		}
+	}
+}
+
+func TestFig10BatchSweep(t *testing.T) {
+	sc := tiny()
+	sc.Phase = 200 * time.Millisecond
+	res, err := Fig10(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 1 || len(res.Series[0].X) != 5 {
+		t.Fatalf("unexpected shape: %+v", res.Series)
+	}
+}
+
+func TestFig11TPCC(t *testing.T) {
+	sc := tiny()
+	sc.Phase = 200 * time.Millisecond
+	res, err := Fig11(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 6 {
+		t.Fatalf("series = %d, want 6 systems", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if len(s.Y) != 4 {
+			t.Fatalf("series %s has %d concentrations, want 4", s.Label, len(s.Y))
+		}
+	}
+}
+
+func TestFig12MultiTenant(t *testing.T) {
+	sc := tiny()
+	sc.Phase = 300 * time.Millisecond
+	res, err := Fig12(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 6 {
+		t.Fatalf("series = %d", len(res.Series))
+	}
+}
+
+func TestFig14ScaleOut(t *testing.T) {
+	sc := tiny()
+	sc.Phase = 400 * time.Millisecond
+	res, err := Fig14(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 5 {
+		t.Fatalf("series = %d, want 5 strategies", len(res.Series))
+	}
+	labels := map[string]bool{}
+	for _, s := range res.Series {
+		labels[s.Label] = true
+	}
+	for _, want := range []string{"Squall", "Clay+Squall", "Hermes with cold (5%)"} {
+		if !labels[want] {
+			t.Fatalf("missing strategy %q in %v", want, labels)
+		}
+	}
+}
+
+func TestAblationRunsAllVariants(t *testing.T) {
+	sc := tiny()
+	sc.Phase = 200 * time.Millisecond
+	res, err := Ablation(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 4 {
+		t.Fatalf("series = %d, want 4 variants", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if AvgY(s) <= 0 {
+			t.Fatalf("variant %s produced no throughput", s.Label)
+		}
+	}
+}
+
+func TestAblationAlphaSweep(t *testing.T) {
+	sc := tiny()
+	sc.Phase = 150 * time.Millisecond
+	res, err := AblationAlpha(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 1 || len(res.Series[0].X) != 5 {
+		t.Fatalf("unexpected shape: %+v", res.Series)
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	r := &Result{
+		Name: "x", Title: "t", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Label: "a", X: []float64{1, 2}, Y: []float64{10, 20}},
+			{Label: "b", X: []float64{1, 2}, Y: []float64{30, 40}},
+		},
+		Notes: []string{"hello"},
+	}
+	out := r.Render()
+	for _, want := range []string{"a", "b", "10.00", "40.00", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAvgY(t *testing.T) {
+	if AvgY(Series{}) != 0 {
+		t.Fatal("empty series avg != 0")
+	}
+	if got := AvgY(Series{Y: []float64{2, 4}}); got != 3 {
+		t.Fatalf("AvgY = %f", got)
+	}
+}

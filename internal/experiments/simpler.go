@@ -1,0 +1,270 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"hermes/internal/engine"
+	"hermes/internal/partition"
+	"hermes/internal/tx"
+	"hermes/internal/workload"
+)
+
+// Fig11 runs the TPC-C benchmark (New-Order + Payment) with increasing
+// hot-spot concentration and reports average throughput per system.
+func Fig11(sc Scale) (*Result, error) {
+	concentrations := []float64{0, 0.5, 0.8, 0.9}
+	warehousesPerNode := 4
+	res := &Result{
+		Name: "fig11", Title: "TPC-C throughput vs hot-spot concentration",
+		XLabel: "conc #", YLabel: "txns committed",
+		Notes: []string{"x: 1=Normal 2=50% 3=80% 4=90% concentration on node 0"},
+	}
+	// One template generator defines the schema/partitioning; fresh
+	// generators per run keep streams independent.
+	mkGen := func(conc float64) *workload.TPCC {
+		cfg := workload.DefaultTPCCConfig(sc.Nodes, warehousesPerNode)
+		cfg.HotSpotProb = conc
+		cfg.Seed = sc.Seed
+		return workload.NewTPCC(cfg)
+	}
+	base := mkGen(0).Partitioner()
+	scT := sc
+	scT.Rows = uint64(sc.Nodes*warehousesPerNode) * 2048 // ≈ records loaded
+	// TPC-C's written working set (hot districts, customers, stocks) is a
+	// large fraction of the database at this scale; size the fusion table
+	// to cover it and give Clay warehouse-compatible clump granularity.
+	scT.FusionFrac = 0.25
+	scT.ClayRange = 64
+	systems := standardSystems(scT, base)
+	series := map[string]*Series{}
+	for _, sys := range systems {
+		series[sys.name] = &Series{Label: sys.name}
+	}
+	for ci, conc := range concentrations {
+		for _, sys := range systems {
+			gen := mkGen(conc)
+			loader := func(c *engine.Cluster) {
+				gen.ForEachRecord(func(k tx.Key, v []byte) { c.LoadRecord(k, v) })
+			}
+			ids := nodeIDs(sc.Nodes)
+			out, err := runLoad(scT, sys, gen, loader, ids, ids, nil, nil)
+			if err != nil {
+				return nil, err
+			}
+			s := series[sys.name]
+			s.X = append(s.X, float64(ci+1))
+			s.Y = append(s.Y, float64(out.Committed))
+		}
+	}
+	for _, sys := range systems {
+		res.Series = append(res.Series, *series[sys.name])
+	}
+	return res, nil
+}
+
+// Fig12 runs the multi-tenant workload whose 90% hot spot rotates across
+// nodes, reporting throughput over time per system.
+func Fig12(sc Scale) (*Result, error) {
+	res := &Result{
+		Name: "fig12", Title: "Multi-tenant workload with a rotating hot spot",
+		XLabel: "time (s)", YLabel: "txns/window",
+	}
+	mkGen := func() *workload.MultiTenant {
+		cfg := workload.DefaultMultiTenantConfig(sc.Nodes)
+		cfg.RotationPeriod = sc.Phase / 3 // three hot-spot changes per run
+		cfg.RowsPerTenant = sc.Rows / uint64(sc.Nodes*cfg.TenantsPerNode)
+		cfg.Seed = sc.Seed
+		return workload.NewMultiTenant(cfg)
+	}
+	template := mkGen()
+	base := template.Partitioner()
+	scM := sc
+	scM.Rows = template.Rows()
+	for _, sys := range standardSystems(scM, base) {
+		gen := mkGen()
+		ids := nodeIDs(sc.Nodes)
+		out, err := runLoad(scM, sys, gen, loadUniform(scM), ids, ids, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		res.Series = append(res.Series, Series{
+			Label: sys.name,
+			X:     windowsX(len(out.Throughput), sc.Window),
+			Y:     out.Throughput,
+		})
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("hot spot rotates every %.1fs", (sc.Phase/3).Seconds()))
+	return res, nil
+}
+
+// Fig13 evaluates robustness to the initial partitioning: perfect range,
+// hash-based, and skewed range (≈43% of tenants on one node).
+func Fig13(sc Scale) (*Result, error) {
+	res := &Result{
+		Name: "fig13", Title: "Impact of initial partitioning (avg txns committed)",
+		XLabel: "layout #", YLabel: "txns committed",
+		Notes: []string{"x: 1=perfect 2=hash-based 3=skewed"},
+	}
+	mkGen := func() *workload.MultiTenant {
+		cfg := workload.DefaultMultiTenantConfig(sc.Nodes)
+		cfg.RotationPeriod = sc.Phase / 3
+		cfg.RowsPerTenant = sc.Rows / uint64(sc.Nodes*cfg.TenantsPerNode)
+		cfg.Seed = sc.Seed
+		return workload.NewMultiTenant(cfg)
+	}
+	template := mkGen()
+	scM := sc
+	scM.Rows = template.Rows()
+	// ~43% of tenants on a single node, as in §5.3.3.
+	totalTenants := sc.Nodes * 4 // DefaultMultiTenantConfig's TenantsPerNode
+	skewed, err := template.SkewedPartitioner(totalTenants * 43 / 100)
+	if err != nil {
+		return nil, err
+	}
+	layouts := []struct {
+		name string
+		base partition.Partitioner
+	}{
+		{"perfect", template.Partitioner()},
+		{"hash", partition.NewHash(sc.Nodes)},
+		{"skewed", skewed},
+	}
+	series := map[string]*Series{}
+	var sysNames []string
+	for li, layout := range layouts {
+		for _, sys := range standardSystems(scM, layout.base) {
+			if series[sys.name] == nil {
+				series[sys.name] = &Series{Label: sys.name}
+				sysNames = append(sysNames, sys.name)
+			}
+			gen := mkGen()
+			ids := nodeIDs(sc.Nodes)
+			out, err := runLoad(scM, sys, gen, loadUniform(scM), ids, ids, nil, nil)
+			if err != nil {
+				return nil, err
+			}
+			s := series[sys.name]
+			s.X = append(s.X, float64(li+1))
+			s.Y = append(s.Y, float64(out.Committed))
+		}
+	}
+	for _, name := range sysNames {
+		res.Series = append(res.Series, *series[name])
+	}
+	return res, nil
+}
+
+// Fig14 is the scale-out scenario: a 25% hot spot on node 0's first
+// tenant, a new node added mid-run, and five migration strategies
+// compared — Squall, Clay+Squall, and Hermes without cold migration
+// (fusion table at 5% and 10% of the database) and with cold migration
+// (5%).
+func Fig14(sc Scale) (*Result, error) {
+	nodes := 3
+	// Tenants need enough rows that the Zipfian working set is a small
+	// fraction of the tenant (as in the paper's 2.5M-row tenants);
+	// otherwise every transaction pair-collides and placement churns.
+	rows := sc.Rows * 3
+	mkGen := func() *workload.MultiTenant {
+		cfg := workload.DefaultMultiTenantConfig(nodes)
+		cfg.RotationPeriod = 0 // static hot spot on node 0
+		cfg.HotNode = 0
+		cfg.Concentration = 0.25
+		cfg.RowsPerTenant = rows / uint64(nodes*cfg.TenantsPerNode)
+		cfg.Seed = sc.Seed
+		return workload.NewMultiTenant(cfg)
+	}
+	template := mkGen()
+	base := template.Partitioner() // homes over the 3 original nodes
+	scM := sc
+	scM.Rows = template.Rows()
+	// Push the 3-node cluster into saturation so the added capacity (and
+	// the migration's interference) is visible, as in §5.4.
+	scM.Clients = sc.Clients * 2
+	newNode := tx.NodeID(nodes)
+	all := append(nodeIDs(nodes), newNode)
+	active := nodeIDs(nodes)
+
+	// The migration plan: the hot tenant (first quarter of node 0's key
+	// range) moves to the new node, in 1000-record chunks per §5.4
+	// (scaled to the table size).
+	hotLo, hotHi := template.TenantRange(0)
+	chunk := int(scM.Rows / 64)
+	if chunk < 1 {
+		chunk = 1
+	}
+	addNodeAt := sc.Phase / 4
+
+	// events provisions the new node and (optionally) submits the cold
+	// migration chunks.
+	mkEvents := func(withCold bool) func(c *engine.Cluster, start time.Time) {
+		return func(c *engine.Cluster, start time.Time) {
+			go func() {
+				time.Sleep(addNodeAt)
+				if _, err := c.Provision([]tx.NodeID{newNode}, nil); err != nil {
+					return
+				}
+				if !withCold {
+					return
+				}
+				// Chunks are paced across the run like Squall's
+				// background migration; each chunk is a totally ordered
+				// transaction that locks its keys, so chunks containing
+				// hot records block user transactions — unless the
+				// router skips fusion-tracked keys (Hermes).
+				pace := sc.Phase / 2 / time.Duration((int(hotHi-hotLo)+chunk-1)/chunk)
+				for lo := hotLo; lo < hotHi; lo += tx.Key(chunk) {
+					hi := lo + tx.Key(chunk)
+					if hi > hotHi {
+						hi = hotHi
+					}
+					keys := make([]tx.Key, 0, chunk)
+					for k := lo; k < hi; k++ {
+						keys = append(keys, k)
+					}
+					done, err := c.Submit(0, &tx.MigrationProc{Keys: keys, To: newNode})
+					if err != nil {
+						return
+					}
+					<-done
+					time.Sleep(pace)
+				}
+			}()
+		}
+	}
+
+	fusion5 := int(float64(scM.Rows) * 0.05)
+	fusion10 := int(float64(scM.Rows) * 0.10)
+	runs := []struct {
+		name     string
+		sys      system
+		withCold bool
+	}{
+		{"Squall", system{name: "Squall", policy: standardSystems(scM, base)[0].policy}, true},
+		{"Clay+Squall", standardSystems(scM, base)[1], true},
+		{"Hermes w/o cold (5%)", system{name: "h5", policy: hermesPolicy(base, fusion5)}, false},
+		{"Hermes w/o cold (10%)", system{name: "h10", policy: hermesPolicy(base, fusion10)}, false},
+		{"Hermes with cold (5%)", system{name: "h5c", policy: hermesPolicy(base, fusion5)}, true},
+	}
+
+	res := &Result{
+		Name: "fig14", Title: "Scale-out: throughput while adding a node",
+		XLabel: "time (s)", YLabel: "txns/window",
+		Notes: []string{fmt.Sprintf("new node added at t=%.1fs; hot tenant = 25%% of load", addNodeAt.Seconds())},
+	}
+	for _, r := range runs {
+		gen := mkGen()
+		out, err := runLoad(scM, r.sys, gen, loadUniform(scM), all, active, nil, mkEvents(r.withCold))
+		if err != nil {
+			return nil, err
+		}
+		res.Series = append(res.Series, Series{
+			Label: r.name,
+			X:     windowsX(len(out.Throughput), sc.Window),
+			Y:     out.Throughput,
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,176 @@
+// Package fusion implements the fusion table (§3.1, §4.1): a bounded map
+// from hot record keys to their current owner partition. Every scheduler
+// holds a replica; because the prescient routing that mutates it is a
+// deterministic function of the totally ordered input, the replicas stay
+// identical with zero communication. When the table exceeds its capacity
+// it evicts entries under a deterministic replacement policy (LRU or
+// FIFO); evicted records must be migrated back to their home partitions,
+// which the engine does by extending the write-set of the transaction
+// being routed, exactly as §4.1 describes.
+package fusion
+
+import (
+	"container/list"
+	"hash/fnv"
+
+	"hermes/internal/tx"
+)
+
+// Policy selects the deterministic replacement strategy.
+type Policy uint8
+
+const (
+	// LRU evicts the least recently used entry (uses = Touch and Put).
+	LRU Policy = iota
+	// FIFO evicts the oldest inserted entry regardless of use.
+	FIFO
+)
+
+// Entry is a (key, owner) pair, as returned by eviction.
+type Entry struct {
+	Key   tx.Key
+	Owner tx.NodeID
+}
+
+type node struct {
+	entry Entry
+	elem  *list.Element
+}
+
+// Table is one replica of the fusion table. It is not safe for concurrent
+// use: each scheduler mutates only its own replica, single-threaded, in
+// total order.
+type Table struct {
+	capacity int
+	policy   Policy
+	m        map[tx.Key]*node
+	order    *list.List // front = most recent, back = eviction candidate
+}
+
+// New returns a table bounded to capacity entries (capacity ≤ 0 means
+// unbounded, used by LEAP's ownership tracking which the paper notes has
+// no size control).
+func New(capacity int, policy Policy) *Table {
+	return &Table{
+		capacity: capacity,
+		policy:   policy,
+		m:        make(map[tx.Key]*node),
+		order:    list.New(),
+	}
+}
+
+// Capacity returns the configured bound (≤ 0 = unbounded).
+func (t *Table) Capacity() int { return t.capacity }
+
+// Len returns the number of tracked keys.
+func (t *Table) Len() int { return len(t.m) }
+
+// Get returns the tracked owner of k without affecting replacement order.
+func (t *Table) Get(k tx.Key) (tx.NodeID, bool) {
+	n, ok := t.m[k]
+	if !ok {
+		return tx.NoNode, false
+	}
+	return n.entry.Owner, true
+}
+
+// Touch returns the tracked owner of k, refreshing its recency under LRU.
+// The router uses Touch when consulting placement so hot keys stay
+// resident.
+func (t *Table) Touch(k tx.Key) (tx.NodeID, bool) {
+	n, ok := t.m[k]
+	if !ok {
+		return tx.NoNode, false
+	}
+	if t.policy == LRU {
+		t.order.MoveToFront(n.elem)
+	}
+	return n.entry.Owner, true
+}
+
+// Put records that k is now owned by owner and returns any entries evicted
+// to honor the capacity bound. Updating an existing key refreshes recency
+// under LRU but keeps insertion order under FIFO.
+func (t *Table) Put(k tx.Key, owner tx.NodeID) []Entry {
+	if n, ok := t.m[k]; ok {
+		n.entry.Owner = owner
+		if t.policy == LRU {
+			t.order.MoveToFront(n.elem)
+		}
+		return nil
+	}
+	n := &node{entry: Entry{Key: k, Owner: owner}}
+	n.elem = t.order.PushFront(n)
+	t.m[k] = n
+	var evicted []Entry
+	for t.capacity > 0 && len(t.m) > t.capacity {
+		back := t.order.Back()
+		victim := back.Value.(*node)
+		t.order.Remove(back)
+		delete(t.m, victim.entry.Key)
+		evicted = append(evicted, victim.entry)
+	}
+	return evicted
+}
+
+// Delete removes k from the table (e.g. the record was migrated back to
+// its home partition by an eviction write).
+func (t *Table) Delete(k tx.Key) {
+	if n, ok := t.m[k]; ok {
+		t.order.Remove(n.elem)
+		delete(t.m, k)
+	}
+}
+
+// KeysOn returns all tracked keys currently owned by owner, in eviction
+// order (oldest first). Dynamic provisioning uses this to re-home entries
+// when a node is removed.
+func (t *Table) KeysOn(owner tx.NodeID) []tx.Key {
+	var out []tx.Key
+	for e := t.order.Back(); e != nil; e = e.Prev() {
+		n := e.Value.(*node)
+		if n.entry.Owner == owner {
+			out = append(out, n.entry.Key)
+		}
+	}
+	return out
+}
+
+// Fingerprint returns an order-independent hash of the table contents
+// (key → owner pairs). Replica-consistency tests compare fingerprints
+// across nodes; recency order is deliberately excluded because only the
+// mapping affects execution.
+func (t *Table) Fingerprint() uint64 {
+	var acc uint64
+	for k, n := range t.m {
+		h := fnv.New64a()
+		var buf [16]byte
+		for b := 0; b < 8; b++ {
+			buf[b] = byte(uint64(k) >> (8 * b))
+			buf[8+b] = byte(uint64(n.entry.Owner) >> (8 * b))
+		}
+		h.Write(buf[:])
+		acc ^= h.Sum64()
+	}
+	return acc
+}
+
+// Snapshot returns the full mapping; used by checkpoints and tests.
+func (t *Table) Snapshot() map[tx.Key]tx.NodeID {
+	out := make(map[tx.Key]tx.NodeID, len(t.m))
+	for k, n := range t.m {
+		out[k] = n.entry.Owner
+	}
+	return out
+}
+
+// Clone deep-copies the table including replacement order. Recovery
+// restores a checkpointed fusion table before replaying the command log.
+func (t *Table) Clone() *Table {
+	c := New(t.capacity, t.policy)
+	for e := t.order.Back(); e != nil; e = e.Prev() {
+		n := e.Value.(*node)
+		c.Put(n.entry.Key, n.entry.Owner)
+	}
+	return c
+}

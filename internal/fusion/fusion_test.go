@@ -1,0 +1,248 @@
+package fusion
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hermes/internal/tx"
+)
+
+func TestGetPut(t *testing.T) {
+	f := New(10, LRU)
+	if _, ok := f.Get(1); ok {
+		t.Fatal("empty table reported a key")
+	}
+	if ev := f.Put(1, 3); ev != nil {
+		t.Fatalf("unexpected eviction: %v", ev)
+	}
+	if n, ok := f.Get(1); !ok || n != 3 {
+		t.Fatalf("Get = %d,%v", n, ok)
+	}
+	f.Put(1, 4) // update
+	if n, _ := f.Get(1); n != 4 {
+		t.Fatalf("update lost: %d", n)
+	}
+	if f.Len() != 1 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+}
+
+func TestCapacityBoundLRU(t *testing.T) {
+	f := New(3, LRU)
+	f.Put(1, 0)
+	f.Put(2, 0)
+	f.Put(3, 0)
+	f.Touch(1) // make 2 the least recently used
+	ev := f.Put(4, 0)
+	if len(ev) != 1 || ev[0].Key != 2 {
+		t.Fatalf("evicted %v, want key 2", ev)
+	}
+	if f.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", f.Len())
+	}
+	if _, ok := f.Get(1); !ok {
+		t.Fatal("touched key evicted")
+	}
+}
+
+func TestCapacityBoundFIFO(t *testing.T) {
+	f := New(3, FIFO)
+	f.Put(1, 0)
+	f.Put(2, 0)
+	f.Put(3, 0)
+	f.Touch(1)  // FIFO ignores touches
+	f.Put(1, 5) // update must not refresh insertion order
+	ev := f.Put(4, 0)
+	if len(ev) != 1 || ev[0].Key != 1 || ev[0].Owner != 5 {
+		t.Fatalf("evicted %v, want key 1 owner 5", ev)
+	}
+}
+
+func TestUnboundedNeverEvicts(t *testing.T) {
+	f := New(0, LRU)
+	for i := 0; i < 10000; i++ {
+		if ev := f.Put(tx.Key(i), 0); ev != nil {
+			t.Fatalf("unbounded table evicted %v", ev)
+		}
+	}
+	if f.Len() != 10000 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	f := New(2, LRU)
+	f.Put(1, 0)
+	f.Delete(1)
+	f.Delete(99) // deleting a missing key is a no-op
+	if f.Len() != 0 {
+		t.Fatalf("Len = %d after delete", f.Len())
+	}
+	// Deleted slot frees capacity.
+	f.Put(2, 0)
+	f.Put(3, 0)
+	if ev := f.Put(4, 0); len(ev) != 1 {
+		t.Fatalf("expected one eviction, got %v", ev)
+	}
+}
+
+func TestTouchReportsOwner(t *testing.T) {
+	f := New(5, LRU)
+	f.Put(7, 2)
+	if n, ok := f.Touch(7); !ok || n != 2 {
+		t.Fatalf("Touch = %d,%v", n, ok)
+	}
+	if _, ok := f.Touch(8); ok {
+		t.Fatal("Touch of missing key reported present")
+	}
+}
+
+func TestKeysOn(t *testing.T) {
+	f := New(10, FIFO)
+	f.Put(1, 0)
+	f.Put(2, 1)
+	f.Put(3, 0)
+	got := f.KeysOn(0)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("KeysOn(0) = %v, want [1 3] oldest-first", got)
+	}
+	if got := f.KeysOn(9); len(got) != 0 {
+		t.Fatalf("KeysOn(9) = %v, want empty", got)
+	}
+}
+
+func TestDeterministicReplicas(t *testing.T) {
+	// Two replicas fed the same operation stream must stay identical —
+	// the property the paper's replicated fusion table relies on.
+	ops := func(f *Table, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 5000; i++ {
+			k := tx.Key(rng.Intn(500))
+			switch rng.Intn(3) {
+			case 0:
+				f.Put(k, tx.NodeID(rng.Intn(4)))
+			case 1:
+				f.Touch(k)
+			case 2:
+				f.Delete(k)
+			}
+		}
+	}
+	for _, policy := range []Policy{LRU, FIFO} {
+		a, b := New(100, policy), New(100, policy)
+		ops(a, 42)
+		ops(b, 42)
+		if a.Fingerprint() != b.Fingerprint() {
+			t.Fatalf("policy %d: replicas diverged", policy)
+		}
+		if a.Len() != b.Len() {
+			t.Fatalf("policy %d: lengths diverged", policy)
+		}
+	}
+}
+
+func TestSizeBoundProperty(t *testing.T) {
+	f := func(capRaw uint8, ops []uint16) bool {
+		capacity := int(capRaw%20) + 1
+		tab := New(capacity, LRU)
+		for _, op := range ops {
+			tab.Put(tx.Key(op&0xff), tx.NodeID(op>>8&3))
+			if tab.Len() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvictionReturnsEverythingRemovedProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		tab := New(5, FIFO)
+		inserted := map[tx.Key]bool{}
+		evicted := map[tx.Key]bool{}
+		for _, op := range ops {
+			k := tx.Key(op)
+			inserted[k] = true
+			for _, e := range tab.Put(k, 0) {
+				evicted[e.Key] = true
+			}
+		}
+		// Every inserted key is either still present or was reported
+		// evicted (possibly both if reinserted after eviction).
+		for k := range inserted {
+			if _, ok := tab.Get(k); !ok && !evicted[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFingerprintDetectsOwnerChange(t *testing.T) {
+	a, b := New(10, LRU), New(10, LRU)
+	a.Put(1, 0)
+	b.Put(1, 1)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("different owners fingerprint equal")
+	}
+	b.Put(1, 0)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical tables fingerprint differently")
+	}
+}
+
+func TestSnapshotAndClone(t *testing.T) {
+	f := New(3, LRU)
+	f.Put(1, 0)
+	f.Put(2, 1)
+	snap := f.Snapshot()
+	if len(snap) != 2 || snap[1] != 0 || snap[2] != 1 {
+		t.Fatalf("Snapshot = %v", snap)
+	}
+	c := f.Clone()
+	if c.Fingerprint() != f.Fingerprint() {
+		t.Fatal("clone fingerprint differs")
+	}
+	// Clone must preserve eviction order: key 1 is oldest in both.
+	evF := f.Put(3, 0)
+	evC := c.Put(3, 0)
+	if len(evF) != 0 || len(evC) != 0 {
+		t.Fatal("premature eviction")
+	}
+	evF = f.Put(4, 0)
+	evC = c.Put(4, 0)
+	if len(evF) != 1 || len(evC) != 1 || evF[0].Key != evC[0].Key {
+		t.Fatalf("clone diverged on eviction: %v vs %v", evF, evC)
+	}
+	// Mutating the clone must not affect the original.
+	c.Put(5, 3)
+	if _, ok := f.Get(5); ok {
+		t.Fatal("clone mutation leaked into original")
+	}
+}
+
+func BenchmarkPutTouchHot(b *testing.B) {
+	f := New(1<<16, LRU)
+	for i := 0; i < 1<<16; i++ {
+		f.Put(tx.Key(i), 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Touch(tx.Key(i & (1<<16 - 1)))
+	}
+}
+
+func BenchmarkPutEvicting(b *testing.B) {
+	f := New(1024, LRU)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Put(tx.Key(i), 0)
+	}
+}

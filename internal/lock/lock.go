@@ -1,0 +1,184 @@
+// Package lock implements the deterministic lock manager used by Calvin
+// and Hermes ("conservative ordered locking", §2.1): every transaction
+// requests all of its locks at once, in total-order position, before it
+// runs. Because requests are enqueued in the serial order and never time
+// out or abort, the protocol is deadlock-free and the set of granted
+// transactions at any point is a pure function of the input order — the
+// property the whole deterministic stack rests on.
+//
+// The scheduler must call Acquire for transactions in ascending total
+// order; Release may be called concurrently from executor goroutines.
+package lock
+
+import (
+	"sync"
+
+	"hermes/internal/tx"
+)
+
+// Mode is a lock mode.
+type Mode uint8
+
+const (
+	// Shared allows concurrent holders (read locks).
+	Shared Mode = iota
+	// Exclusive allows one holder (write / migration locks).
+	Exclusive
+)
+
+type waiter struct {
+	id      tx.TxnID
+	mode    Mode
+	granted bool
+}
+
+type keyQueue struct {
+	// FIFO in total order. Head entries are granted; a shared prefix may
+	// be granted together.
+	q []waiter
+}
+
+// Grant tracks a single transaction's lock acquisition. Done is closed
+// once every requested lock is held.
+type Grant struct {
+	id        tx.TxnID
+	done      chan struct{}
+	remaining int
+}
+
+// Done returns a channel closed when all locks are held. A transaction
+// that requested no locks has an already-closed channel.
+func (g *Grant) Done() <-chan struct{} { return g.done }
+
+// ID returns the transaction the grant belongs to.
+func (g *Grant) ID() tx.TxnID { return g.id }
+
+// Manager is one node's lock table.
+type Manager struct {
+	mu     sync.Mutex
+	queues map[tx.Key]*keyQueue
+	grants map[tx.TxnID]*Grant
+	held   map[tx.TxnID][]tx.Key
+}
+
+// NewManager returns an empty lock table.
+func NewManager() *Manager {
+	return &Manager{
+		queues: make(map[tx.Key]*keyQueue),
+		grants: make(map[tx.TxnID]*Grant),
+		held:   make(map[tx.TxnID][]tx.Key),
+	}
+}
+
+// Acquire enqueues lock requests for transaction id: shared locks on
+// shared, exclusive locks on excl. A key appearing in both sets is locked
+// exclusively. Acquire must be called in ascending id order (the total
+// order); it returns immediately with a Grant the caller can wait on.
+// Calling Acquire twice for the same id panics.
+func (m *Manager) Acquire(id tx.TxnID, shared, excl []tx.Key) *Grant {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.grants[id]; dup {
+		panic("lock: duplicate Acquire for transaction")
+	}
+	// Hold a self-reference while enqueuing so a promote inside the loop
+	// cannot close done before all requests are registered.
+	g := &Grant{id: id, done: make(chan struct{}), remaining: 1}
+	m.grants[id] = g
+
+	enqueue := func(k tx.Key, mode Mode) {
+		q := m.queues[k]
+		if q == nil {
+			q = &keyQueue{}
+			m.queues[k] = q
+		}
+		q.q = append(q.q, waiter{id: id, mode: mode})
+		m.held[id] = append(m.held[id], k)
+		g.remaining++
+		m.promote(k, q)
+	}
+	for _, k := range excl {
+		enqueue(k, Exclusive)
+	}
+	for _, k := range shared {
+		if tx.ContainsKey(excl, k) {
+			continue
+		}
+		enqueue(k, Shared)
+	}
+	g.remaining--
+	if g.remaining == 0 {
+		close(g.done)
+	}
+	return g
+}
+
+// promote grants the head of the queue (and a contiguous shared prefix)
+// and decrements the owners' remaining counts. Caller holds m.mu.
+func (m *Manager) promote(k tx.Key, q *keyQueue) {
+	for i := range q.q {
+		w := &q.q[i]
+		if w.granted {
+			continue
+		}
+		if i > 0 && (w.mode == Exclusive || q.q[i-1].mode == Exclusive) {
+			break // blocked behind an incompatible holder/waiter
+		}
+		w.granted = true
+		g := m.grants[w.id]
+		g.remaining--
+		if g.remaining == 0 {
+			close(g.done)
+		}
+		if w.mode == Exclusive {
+			break
+		}
+	}
+}
+
+// Release frees all locks held or awaited by transaction id and grants any
+// newly unblocked waiters. Releasing an unknown id is a no-op.
+func (m *Manager) Release(id tx.TxnID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	keys := m.held[id]
+	if keys == nil {
+		return
+	}
+	delete(m.held, id)
+	delete(m.grants, id)
+	for _, k := range keys {
+		q := m.queues[k]
+		if q == nil {
+			continue
+		}
+		for i := range q.q {
+			if q.q[i].id == id {
+				q.q = append(q.q[:i], q.q[i+1:]...)
+				break
+			}
+		}
+		if len(q.q) == 0 {
+			delete(m.queues, k)
+			continue
+		}
+		m.promote(k, q)
+	}
+}
+
+// QueuedKeys reports the number of keys with a non-empty queue; used by
+// tests and stats.
+func (m *Manager) QueuedKeys() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queues)
+}
+
+// Holding reports whether transaction id currently has an outstanding
+// grant (granted or waiting).
+func (m *Manager) Holding(id tx.TxnID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.grants[id]
+	return ok
+}

@@ -1,0 +1,293 @@
+package lock
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hermes/internal/tx"
+)
+
+func granted(g *Grant) bool {
+	select {
+	case <-g.Done():
+		return true
+	default:
+		return false
+	}
+}
+
+func TestNoLocksGrantsImmediately(t *testing.T) {
+	m := NewManager()
+	g := m.Acquire(1, nil, nil)
+	if !granted(g) {
+		t.Fatal("empty lock set not granted immediately")
+	}
+}
+
+func TestExclusiveBlocksExclusive(t *testing.T) {
+	m := NewManager()
+	g1 := m.Acquire(1, nil, []tx.Key{10})
+	g2 := m.Acquire(2, nil, []tx.Key{10})
+	if !granted(g1) {
+		t.Fatal("first exclusive not granted")
+	}
+	if granted(g2) {
+		t.Fatal("second exclusive granted while first held")
+	}
+	m.Release(1)
+	if !granted(g2) {
+		t.Fatal("second exclusive not granted after release")
+	}
+}
+
+func TestSharedCompatible(t *testing.T) {
+	m := NewManager()
+	g1 := m.Acquire(1, []tx.Key{10}, nil)
+	g2 := m.Acquire(2, []tx.Key{10}, nil)
+	g3 := m.Acquire(3, []tx.Key{10}, nil)
+	for i, g := range []*Grant{g1, g2, g3} {
+		if !granted(g) {
+			t.Fatalf("shared reader %d blocked", i+1)
+		}
+	}
+}
+
+func TestSharedBlocksExclusiveThenFIFO(t *testing.T) {
+	m := NewManager()
+	g1 := m.Acquire(1, []tx.Key{10}, nil)
+	g2 := m.Acquire(2, nil, []tx.Key{10})
+	g3 := m.Acquire(3, []tx.Key{10}, nil) // must NOT jump the writer
+	if !granted(g1) || granted(g2) || granted(g3) {
+		t.Fatal("grant states wrong after enqueue")
+	}
+	m.Release(1)
+	if !granted(g2) {
+		t.Fatal("writer not granted after readers released")
+	}
+	if granted(g3) {
+		t.Fatal("later reader granted alongside writer (starvation/order bug)")
+	}
+	m.Release(2)
+	if !granted(g3) {
+		t.Fatal("reader not granted after writer released")
+	}
+}
+
+func TestSharedPrefixGrantedAfterWriterReleases(t *testing.T) {
+	m := NewManager()
+	m.Acquire(1, nil, []tx.Key{5})
+	g2 := m.Acquire(2, []tx.Key{5}, nil)
+	g3 := m.Acquire(3, []tx.Key{5}, nil)
+	g4 := m.Acquire(4, nil, []tx.Key{5})
+	m.Release(1)
+	if !granted(g2) || !granted(g3) {
+		t.Fatal("shared prefix not granted together")
+	}
+	if granted(g4) {
+		t.Fatal("writer granted alongside readers")
+	}
+}
+
+func TestKeyInBothSetsIsExclusive(t *testing.T) {
+	m := NewManager()
+	m.Acquire(1, []tx.Key{7}, []tx.Key{7})
+	g2 := m.Acquire(2, []tx.Key{7}, nil)
+	if granted(g2) {
+		t.Fatal("reader granted while read-write key held exclusively")
+	}
+	m.Release(1)
+	if !granted(g2) {
+		t.Fatal("reader blocked after release")
+	}
+}
+
+func TestMultiKeyGrantWaitsForAll(t *testing.T) {
+	m := NewManager()
+	m.Acquire(1, nil, []tx.Key{1})
+	m.Acquire(2, nil, []tx.Key{2})
+	g3 := m.Acquire(3, nil, []tx.Key{1, 2})
+	m.Release(1)
+	if granted(g3) {
+		t.Fatal("granted with only one of two locks")
+	}
+	m.Release(2)
+	if !granted(g3) {
+		t.Fatal("not granted after both locks freed")
+	}
+}
+
+func TestDuplicateAcquirePanics(t *testing.T) {
+	m := NewManager()
+	m.Acquire(1, nil, []tx.Key{1})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on duplicate Acquire")
+		}
+	}()
+	m.Acquire(1, nil, []tx.Key{2})
+}
+
+func TestReleaseUnknownIsNoop(t *testing.T) {
+	m := NewManager()
+	m.Release(42) // must not panic
+	if m.QueuedKeys() != 0 {
+		t.Fatal("phantom queue after releasing unknown txn")
+	}
+}
+
+func TestQueueCleanup(t *testing.T) {
+	m := NewManager()
+	m.Acquire(1, []tx.Key{1, 2}, []tx.Key{3})
+	m.Acquire(2, nil, []tx.Key{3})
+	if m.QueuedKeys() != 3 {
+		t.Fatalf("QueuedKeys = %d, want 3", m.QueuedKeys())
+	}
+	m.Release(1)
+	m.Release(2)
+	if m.QueuedKeys() != 0 {
+		t.Fatalf("QueuedKeys after all releases = %d, want 0", m.QueuedKeys())
+	}
+}
+
+func TestTotalOrderSerializesConflicts(t *testing.T) {
+	// Three txns all writing key 9 must be granted in total order even if
+	// releases interleave with later acquires.
+	m := NewManager()
+	g1 := m.Acquire(1, nil, []tx.Key{9})
+	g2 := m.Acquire(2, nil, []tx.Key{9})
+	m.Release(1)
+	g3 := m.Acquire(3, nil, []tx.Key{9})
+	if !granted(g1) && false {
+		t.Fatal("unreachable")
+	}
+	if !granted(g2) {
+		t.Fatal("txn 2 not granted after txn 1 released")
+	}
+	if granted(g3) {
+		t.Fatal("txn 3 granted out of order")
+	}
+	m.Release(2)
+	if !granted(g3) {
+		t.Fatal("txn 3 not granted")
+	}
+}
+
+// TestNoLostGrantsUnderConcurrency drives a randomized workload: a single
+// goroutine acquires in total order while executor goroutines wait for
+// grants and release. Every transaction must eventually be granted
+// (deadlock freedom) and conflicting grants must not overlap.
+func TestNoLostGrantsUnderConcurrency(t *testing.T) {
+	m := NewManager()
+	rng := rand.New(rand.NewSource(7))
+	const txns = 500
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	holders := map[tx.Key]int{} // exclusive holders per key
+	violation := false
+
+	for i := 1; i <= txns; i++ {
+		nKeys := 1 + rng.Intn(4)
+		var excl []tx.Key
+		for k := 0; k < nKeys; k++ {
+			excl = append(excl, tx.Key(rng.Intn(20)))
+		}
+		excl = tx.NormalizeKeys(excl)
+		g := m.Acquire(tx.TxnID(i), nil, excl)
+		holdFor := time.Duration(rng.Int63n(100)) * time.Microsecond
+		wg.Add(1)
+		go func(g *Grant, keys []tx.Key) {
+			defer wg.Done()
+			<-g.Done()
+			mu.Lock()
+			for _, k := range keys {
+				holders[k]++
+				if holders[k] > 1 {
+					violation = true
+				}
+			}
+			mu.Unlock()
+			time.Sleep(holdFor)
+			mu.Lock()
+			for _, k := range keys {
+				holders[k]--
+			}
+			mu.Unlock()
+			m.Release(g.ID())
+		}(g, excl)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("deadlock: not all transactions granted")
+	}
+	if violation {
+		t.Fatal("two exclusive holders overlapped on a key")
+	}
+	if m.QueuedKeys() != 0 {
+		t.Fatalf("QueuedKeys = %d after all releases", m.QueuedKeys())
+	}
+}
+
+// TestGrantOrderMatchesTotalOrderProperty: for any conflict pattern, the
+// order in which conflicting exclusive transactions are granted equals
+// ascending TxnID order.
+func TestGrantOrderMatchesTotalOrderProperty(t *testing.T) {
+	f := func(keyChoices []uint8) bool {
+		if len(keyChoices) == 0 || len(keyChoices) > 40 {
+			return true
+		}
+		m := NewManager()
+		grants := make([]*Grant, len(keyChoices))
+		for i, kc := range keyChoices {
+			grants[i] = m.Acquire(tx.TxnID(i+1), nil, []tx.Key{tx.Key(kc % 4)})
+		}
+		var order []int
+		remaining := map[int]bool{}
+		for i := range grants {
+			remaining[i] = true
+		}
+		for len(remaining) > 0 {
+			prog := false
+			for i := 0; i < len(grants); i++ {
+				if remaining[i] && granted(grants[i]) {
+					order = append(order, i)
+					delete(remaining, i)
+					m.Release(grants[i].ID())
+					prog = true
+				}
+			}
+			if !prog {
+				return false // deadlock
+			}
+		}
+		// Per key, granted order must be ascending txn id.
+		lastPerKey := map[uint8]int{}
+		for _, i := range order {
+			k := keyChoices[i] % 4
+			if last, ok := lastPerKey[k]; ok && i < last {
+				return false
+			}
+			lastPerKey[k] = i
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAcquireRelease(b *testing.B) {
+	m := NewManager()
+	keys := []tx.Key{1, 2, 3, 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := m.Acquire(tx.TxnID(i+1), keys[:2], keys[2:])
+		<-g.Done()
+		m.Release(g.ID())
+	}
+}

@@ -1,0 +1,54 @@
+package metrics
+
+import (
+	"math/bits"
+	"time"
+)
+
+// Histogram is a log₂-bucketed latency histogram: bucket i holds
+// observations in [2^i, 2^(i+1)) nanoseconds. It is coarse (≤ 2× error)
+// but allocation-free and cheap enough for the commit path. Histogram is
+// not safe for concurrent use; Collector guards it with its mutex.
+type Histogram struct {
+	buckets [64]int64
+	count   int64
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 1 {
+		d = 1
+	}
+	h.buckets[bits.Len64(uint64(d))-1]++
+	h.count++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Quantile returns an approximation of the q-quantile (0 ≤ q ≤ 1) as the
+// upper bound of the bucket containing it. Returns 0 for an empty
+// histogram.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q * float64(h.count))
+	if target >= h.count {
+		target = h.count - 1
+	}
+	var seen int64
+	for i, n := range h.buckets {
+		seen += n
+		if seen > target {
+			return time.Duration(uint64(1) << uint(i+1)) // bucket upper bound
+		}
+	}
+	return time.Duration(1<<63 - 1) // unreachable: counts always cover target
+}

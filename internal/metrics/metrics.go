@@ -1,0 +1,187 @@
+// Package metrics collects the measurements the paper's evaluation
+// reports: committed-transaction throughput over time windows (Figs. 2, 6,
+// 12, 14), per-transaction latency broken down by phase (Fig. 7), CPU busy
+// time per node and network bytes per transaction (Fig. 8), and latency
+// percentiles via a log-bucketed histogram.
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Breakdown is the per-transaction latency decomposition of Fig. 7.
+type Breakdown struct {
+	Scheduling time.Duration // batch analysis + routing + dispatch
+	LockWait   time.Duration // conservative-ordered-lock queueing
+	Storage    time.Duration // local record reads/writes
+	RemoteWait time.Duration // blocking on records from other nodes
+	Other      time.Duration // everything else (queuing, commit, client)
+}
+
+// Total returns the sum of all components.
+func (b Breakdown) Total() time.Duration {
+	return b.Scheduling + b.LockWait + b.Storage + b.RemoteWait + b.Other
+}
+
+// Add returns the component-wise sum of b and o.
+func (b Breakdown) Add(o Breakdown) Breakdown {
+	return Breakdown{
+		Scheduling: b.Scheduling + o.Scheduling,
+		LockWait:   b.LockWait + o.LockWait,
+		Storage:    b.Storage + o.Storage,
+		RemoteWait: b.RemoteWait + o.RemoteWait,
+		Other:      b.Other + o.Other,
+	}
+}
+
+// Scale returns b with every component divided by n (n ≤ 0 returns b).
+func (b Breakdown) Scale(n int64) Breakdown {
+	if n <= 0 {
+		return b
+	}
+	return Breakdown{
+		Scheduling: b.Scheduling / time.Duration(n),
+		LockWait:   b.LockWait / time.Duration(n),
+		Storage:    b.Storage / time.Duration(n),
+		RemoteWait: b.RemoteWait / time.Duration(n),
+		Other:      b.Other / time.Duration(n),
+	}
+}
+
+// Collector aggregates run-wide statistics. All methods are safe for
+// concurrent use.
+type Collector struct {
+	start  time.Time
+	window time.Duration
+
+	committed atomic.Int64
+	aborted   atomic.Int64
+
+	mu          sync.Mutex
+	perWindow   []int64
+	sum         Breakdown
+	hist        Histogram
+	busy        map[int]*atomic.Int64 // node -> busy nanos
+	migrations  atomic.Int64
+	remoteReads atomic.Int64
+}
+
+// NewCollector returns a collector with throughput windows of the given
+// duration, starting at start.
+func NewCollector(start time.Time, window time.Duration) *Collector {
+	return &Collector{
+		start:  start,
+		window: window,
+		busy:   make(map[int]*atomic.Int64),
+	}
+}
+
+// RecordCommit records a committed transaction finishing at now with the
+// given latency breakdown.
+func (c *Collector) RecordCommit(now time.Time, b Breakdown) {
+	c.committed.Add(1)
+	idx := 0
+	if c.window > 0 {
+		idx = int(now.Sub(c.start) / c.window)
+		if idx < 0 {
+			idx = 0
+		}
+	}
+	c.mu.Lock()
+	for len(c.perWindow) <= idx {
+		c.perWindow = append(c.perWindow, 0)
+	}
+	c.perWindow[idx]++
+	c.sum = c.sum.Add(b)
+	c.hist.Observe(b.Total())
+	c.mu.Unlock()
+}
+
+// RecordAbort records a logic abort (the transaction still consumed
+// resources but does not count toward throughput).
+func (c *Collector) RecordAbort() { c.aborted.Add(1) }
+
+// RecordMigration counts records migrated between nodes (fusion moves,
+// write-backs, and cold chunks all count).
+func (c *Collector) RecordMigration(records int) { c.migrations.Add(int64(records)) }
+
+// RecordRemoteReads counts records read across the network.
+func (c *Collector) RecordRemoteReads(n int) { c.remoteReads.Add(int64(n)) }
+
+// AddBusy accrues execution busy-time for a node; BusyFraction divides by
+// wall time to report CPU usage as in Fig. 8.
+func (c *Collector) AddBusy(nodeID int, d time.Duration) {
+	c.mu.Lock()
+	a, ok := c.busy[nodeID]
+	if !ok {
+		a = &atomic.Int64{}
+		c.busy[nodeID] = a
+	}
+	c.mu.Unlock()
+	a.Add(int64(d))
+}
+
+// BusyTotal reports the cumulative busy-time accrued by a node; samplers
+// diff successive snapshots to get per-window CPU usage (Fig. 8).
+func (c *Collector) BusyTotal(nodeID int) time.Duration {
+	c.mu.Lock()
+	a, ok := c.busy[nodeID]
+	c.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return time.Duration(a.Load())
+}
+
+// BusyFraction reports node busy-time divided by elapsed wall time.
+func (c *Collector) BusyFraction(nodeID int, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	a, ok := c.busy[nodeID]
+	c.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return float64(a.Load()) / float64(elapsed)
+}
+
+// Committed and Aborted return cumulative counts.
+func (c *Collector) Committed() int64 { return c.committed.Load() }
+
+// Aborted returns the cumulative count of logic aborts.
+func (c *Collector) Aborted() int64 { return c.aborted.Load() }
+
+// Migrations returns the cumulative count of migrated records.
+func (c *Collector) Migrations() int64 { return c.migrations.Load() }
+
+// RemoteReads returns the cumulative count of records read remotely.
+func (c *Collector) RemoteReads() int64 { return c.remoteReads.Load() }
+
+// Throughput returns committed transactions per window, oldest first. The
+// returned slice is a copy.
+func (c *Collector) Throughput() []int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]int64, len(c.perWindow))
+	copy(out, c.perWindow)
+	return out
+}
+
+// AvgBreakdown returns the mean latency breakdown over all commits.
+func (c *Collector) AvgBreakdown() Breakdown {
+	n := c.committed.Load()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sum.Scale(n)
+}
+
+// LatencyQuantile returns an approximate latency quantile (0 ≤ q ≤ 1).
+func (c *Collector) LatencyQuantile(q float64) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hist.Quantile(q)
+}

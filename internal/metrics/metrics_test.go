@@ -1,0 +1,204 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBreakdownTotalAddScale(t *testing.T) {
+	b := Breakdown{Scheduling: 1, LockWait: 2, Storage: 3, RemoteWait: 4, Other: 5}
+	if b.Total() != 15 {
+		t.Errorf("Total = %d, want 15", b.Total())
+	}
+	sum := b.Add(b)
+	if sum.Total() != 30 || sum.LockWait != 4 {
+		t.Errorf("Add = %+v", sum)
+	}
+	half := sum.Scale(2)
+	if half != b {
+		t.Errorf("Scale(2) = %+v, want %+v", half, b)
+	}
+	if got := b.Scale(0); got != b {
+		t.Errorf("Scale(0) changed value: %+v", got)
+	}
+}
+
+func TestCollectorThroughputWindows(t *testing.T) {
+	start := time.Unix(0, 0)
+	c := NewCollector(start, time.Second)
+	c.RecordCommit(start.Add(100*time.Millisecond), Breakdown{})
+	c.RecordCommit(start.Add(900*time.Millisecond), Breakdown{})
+	c.RecordCommit(start.Add(1500*time.Millisecond), Breakdown{})
+	c.RecordCommit(start.Add(3100*time.Millisecond), Breakdown{})
+	got := c.Throughput()
+	want := []int64{2, 1, 0, 1}
+	if len(got) != len(want) {
+		t.Fatalf("Throughput = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Throughput = %v, want %v", got, want)
+		}
+	}
+	if c.Committed() != 4 {
+		t.Errorf("Committed = %d", c.Committed())
+	}
+}
+
+func TestCollectorCommitBeforeStartClamps(t *testing.T) {
+	start := time.Unix(100, 0)
+	c := NewCollector(start, time.Second)
+	c.RecordCommit(start.Add(-5*time.Second), Breakdown{})
+	got := c.Throughput()
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Throughput = %v, want [1]", got)
+	}
+}
+
+func TestCollectorAvgBreakdown(t *testing.T) {
+	c := NewCollector(time.Unix(0, 0), time.Second)
+	now := time.Unix(1, 0)
+	c.RecordCommit(now, Breakdown{LockWait: 10 * time.Millisecond})
+	c.RecordCommit(now, Breakdown{LockWait: 30 * time.Millisecond, RemoteWait: 4 * time.Millisecond})
+	avg := c.AvgBreakdown()
+	if avg.LockWait != 20*time.Millisecond {
+		t.Errorf("avg LockWait = %v, want 20ms", avg.LockWait)
+	}
+	if avg.RemoteWait != 2*time.Millisecond {
+		t.Errorf("avg RemoteWait = %v, want 2ms", avg.RemoteWait)
+	}
+}
+
+func TestCollectorCounters(t *testing.T) {
+	c := NewCollector(time.Unix(0, 0), time.Second)
+	c.RecordAbort()
+	c.RecordMigration(5)
+	c.RecordMigration(3)
+	c.RecordRemoteReads(7)
+	if c.Aborted() != 1 || c.Migrations() != 8 || c.RemoteReads() != 7 {
+		t.Errorf("counters = %d,%d,%d", c.Aborted(), c.Migrations(), c.RemoteReads())
+	}
+}
+
+func TestCollectorBusyFraction(t *testing.T) {
+	c := NewCollector(time.Unix(0, 0), time.Second)
+	c.AddBusy(3, 250*time.Millisecond)
+	c.AddBusy(3, 250*time.Millisecond)
+	if got := c.BusyFraction(3, time.Second); got != 0.5 {
+		t.Errorf("BusyFraction = %f, want 0.5", got)
+	}
+	if got := c.BusyFraction(9, time.Second); got != 0 {
+		t.Errorf("unknown node BusyFraction = %f, want 0", got)
+	}
+	if got := c.BusyFraction(3, 0); got != 0 {
+		t.Errorf("zero elapsed BusyFraction = %f, want 0", got)
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	c := NewCollector(time.Unix(0, 0), 100*time.Millisecond)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			now := time.Unix(0, 0).Add(time.Duration(g) * 50 * time.Millisecond)
+			for i := 0; i < 1000; i++ {
+				c.RecordCommit(now, Breakdown{Other: time.Microsecond})
+				c.AddBusy(g, time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Committed() != 8000 {
+		t.Fatalf("Committed = %d, want 8000", c.Committed())
+	}
+	var total int64
+	for _, v := range c.Throughput() {
+		total += v
+	}
+	if total != 8000 {
+		t.Fatalf("window sum = %d, want 8000", total)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile != 0")
+	}
+	for i := 0; i < 900; i++ {
+		h.Observe(time.Microsecond) // ~1µs
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Second) // rare slow tail
+	}
+	p50 := h.Quantile(0.5)
+	p99 := h.Quantile(0.995)
+	if p50 > 10*time.Microsecond {
+		t.Errorf("p50 = %v, want ~1µs bucket", p50)
+	}
+	if p99 < 500*time.Millisecond {
+		t.Errorf("p99.5 = %v, want ~1s bucket", p99)
+	}
+	if h.Count() != 1000 {
+		t.Errorf("Count = %d", h.Count())
+	}
+}
+
+func TestHistogramQuantileMonotonicProperty(t *testing.T) {
+	f := func(samples []uint32) bool {
+		var h Histogram
+		for _, s := range samples {
+			h.Observe(time.Duration(s))
+		}
+		last := time.Duration(0)
+		for _, q := range []float64{-0.5, 0, 0.25, 0.5, 0.75, 0.99, 1, 1.5} {
+			v := h.Quantile(q)
+			if v < last {
+				return false
+			}
+			last = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramBucketBoundsProperty(t *testing.T) {
+	// Quantile(1) must be ≥ the maximum observed sample (bucket upper
+	// bound property) and ≤ 2x the maximum.
+	f := func(samples []uint32) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		var h Histogram
+		max := time.Duration(0)
+		for _, s := range samples {
+			d := time.Duration(s) + 1
+			if d > max {
+				max = d
+			}
+			h.Observe(d)
+		}
+		top := h.Quantile(1)
+		return top >= max && top <= 2*max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkRecordCommit(b *testing.B) {
+	c := NewCollector(time.Unix(0, 0), time.Second)
+	now := time.Unix(5, 0)
+	bd := Breakdown{LockWait: time.Millisecond}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.RecordCommit(now, bd)
+	}
+}

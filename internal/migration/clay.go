@@ -1,0 +1,202 @@
+// Package migration implements the look-back re-partitioning machinery
+// the paper compares against: the Clay clump-based migration planner
+// (Serafini et al., VLDB'16), the Schism offline co-access graph
+// partitioner (Curino et al., VLDB'10) with a self-contained multilevel
+// greedy/KL-style partitioner standing in for Metis, and the Squall-style
+// chunked live-migration executor (Elmore et al., SIGMOD'15) that turns a
+// migration plan into dedicated, totally ordered migration transactions.
+package migration
+
+import (
+	"sort"
+
+	"hermes/internal/tx"
+)
+
+// RangeID identifies a contiguous block of RangeSize keys; Clay plans at
+// range granularity, as the paper's own Clay implementation does ("we
+// generate a clump by using data ranges instead of keys", §5.2.1 fn.4).
+type RangeID uint64
+
+// Clay is the look-back migration planner. It observes the executed
+// workload (which partitions transactions were routed to and which key
+// ranges they touched together), and when a partition's load exceeds the
+// average by more than Threshold it emits a plan that moves hot "clumps"
+// — a hot range plus the ranges most co-accessed with it — to the least
+// loaded node, exactly the E-Store/Clay recipe.
+//
+// Clay is not a router: the system keeps executing under Calvin routing
+// while Clay's plans are applied by the Squall executor as migration
+// transactions.
+type Clay struct {
+	// RangeSize is the clump granularity in keys.
+	RangeSize uint64
+	// Threshold is the tolerated relative overload (e.g. 0.15 = 15% above
+	// the mean) before a plan is generated.
+	Threshold float64
+	// MaxClumps bounds how many clumps one plan moves.
+	MaxClumps int
+
+	load     map[tx.NodeID]int
+	heat     map[RangeID]int
+	homeOf   map[RangeID]tx.NodeID
+	coaccess map[RangeID]map[RangeID]int
+}
+
+// NewClay returns a planner with the given clump granularity and overload
+// threshold.
+func NewClay(rangeSize uint64, threshold float64, maxClumps int) *Clay {
+	c := &Clay{RangeSize: rangeSize, Threshold: threshold, MaxClumps: maxClumps}
+	c.Reset()
+	return c
+}
+
+// Reset clears the observation window (called after each plan).
+func (c *Clay) Reset() {
+	c.load = make(map[tx.NodeID]int)
+	c.heat = make(map[RangeID]int)
+	c.homeOf = make(map[RangeID]tx.NodeID)
+	c.coaccess = make(map[RangeID]map[RangeID]int)
+}
+
+// rangeOf maps a key to its range.
+func (c *Clay) rangeOf(k tx.Key) RangeID { return RangeID(uint64(k) / c.RangeSize) }
+
+// Observe records one executed transaction: the node it loaded and the
+// key ranges it co-accessed, with the owner of each range.
+func (c *Clay) Observe(master tx.NodeID, keys []tx.Key, ownerOf func(tx.Key) tx.NodeID) {
+	c.load[master]++
+	var rs []RangeID
+	seen := map[RangeID]bool{}
+	for _, k := range keys {
+		r := c.rangeOf(k)
+		if !seen[r] {
+			seen[r] = true
+			rs = append(rs, r)
+			c.heat[r]++
+			c.homeOf[r] = ownerOf(k)
+		}
+	}
+	for i := 0; i < len(rs); i++ {
+		for j := i + 1; j < len(rs); j++ {
+			a, b := rs[i], rs[j]
+			if c.coaccess[a] == nil {
+				c.coaccess[a] = map[RangeID]int{}
+			}
+			if c.coaccess[b] == nil {
+				c.coaccess[b] = map[RangeID]int{}
+			}
+			c.coaccess[a][b]++
+			c.coaccess[b][a]++
+		}
+	}
+}
+
+// Move is one planned range move.
+type Move struct {
+	Range RangeID
+	To    tx.NodeID
+}
+
+// Keys expands the move into its concrete key list for table t.
+func (m Move) Keys(rangeSize uint64) []tx.Key {
+	out := make([]tx.Key, 0, rangeSize)
+	start := uint64(m.Range) * rangeSize
+	for i := uint64(0); i < rangeSize; i++ {
+		out = append(out, tx.Key(start+i))
+	}
+	return out
+}
+
+// Plan inspects the observation window over the given active nodes and
+// returns range moves (nil when load is balanced enough). It does not
+// reset the window; callers reset after applying a plan.
+func (c *Clay) Plan(active []tx.NodeID) []Move {
+	if len(active) < 2 {
+		return nil
+	}
+	total := 0
+	for _, n := range active {
+		total += c.load[n]
+	}
+	if total == 0 {
+		return nil
+	}
+	avg := float64(total) / float64(len(active))
+	// Most loaded and least loaded active nodes, ties toward lower id
+	// (active is sorted).
+	hot, cold := active[0], active[0]
+	for _, n := range active[1:] {
+		if c.load[n] > c.load[hot] {
+			hot = n
+		}
+		if c.load[n] < c.load[cold] {
+			cold = n
+		}
+	}
+	if float64(c.load[hot]) <= avg*(1+c.Threshold) {
+		return nil
+	}
+
+	// Hot ranges on the overloaded node, hottest first (deterministic
+	// tie-break by range id).
+	var hotRanges []RangeID
+	for r, home := range c.homeOf {
+		if home == hot && c.heat[r] > 0 {
+			hotRanges = append(hotRanges, r)
+		}
+	}
+	sort.Slice(hotRanges, func(i, j int) bool {
+		if c.heat[hotRanges[i]] != c.heat[hotRanges[j]] {
+			return c.heat[hotRanges[i]] > c.heat[hotRanges[j]]
+		}
+		return hotRanges[i] < hotRanges[j]
+	})
+	if len(hotRanges) == 0 {
+		return nil
+	}
+
+	// Build one clump: the hottest range plus the ranges (on the same
+	// node) most co-accessed with the clump so far.
+	needed := float64(c.load[hot]) - avg // heat to shed
+	inClump := map[RangeID]bool{hotRanges[0]: true}
+	clump := []RangeID{hotRanges[0]}
+	shed := float64(c.heat[hotRanges[0]])
+	for len(clump) < c.MaxClumps && shed < needed {
+		best, bestScore := RangeID(0), -1
+		for r := range inClump {
+			for nb, w := range c.coaccess[r] {
+				if inClump[nb] || c.homeOf[nb] != hot {
+					continue
+				}
+				if w > bestScore || (w == bestScore && nb < best) {
+					best, bestScore = nb, w
+				}
+			}
+		}
+		if bestScore < 0 {
+			// No co-accessed neighbor left: extend with the next hottest.
+			ext := RangeID(0)
+			found := false
+			for _, r := range hotRanges {
+				if !inClump[r] {
+					ext, found = r, true
+					break
+				}
+			}
+			if !found {
+				break
+			}
+			best = ext
+		}
+		inClump[best] = true
+		clump = append(clump, best)
+		shed += float64(c.heat[best])
+	}
+
+	moves := make([]Move, 0, len(clump))
+	for _, r := range clump {
+		moves = append(moves, Move{Range: r, To: cold})
+	}
+	return moves
+}

@@ -1,0 +1,167 @@
+package migration
+
+import (
+	"sort"
+
+	"hermes/internal/tx"
+)
+
+// Schism computes an offline "optimal" partitioning from a workload trace
+// (§5.2.1): it models keys as graph vertices weighted by access frequency,
+// with edge weights equal to co-access frequency, and partitions the graph
+// to minimize cut edges subject to balanced vertex weight. The paper runs
+// Metis; this reproduction ships a self-contained equivalent: a greedy
+// seeded-growth initial partitioning followed by Kernighan–Lin-style
+// refinement passes (best single-vertex moves that reduce the cut without
+// breaking balance).
+type Schism struct {
+	weight map[tx.Key]int
+	edges  map[tx.Key]map[tx.Key]int
+}
+
+// NewSchism returns an empty trace accumulator.
+func NewSchism() *Schism {
+	return &Schism{
+		weight: make(map[tx.Key]int),
+		edges:  make(map[tx.Key]map[tx.Key]int),
+	}
+}
+
+// Observe adds one transaction's key set to the trace.
+func (s *Schism) Observe(keys []tx.Key) {
+	ks := tx.NormalizeKeys(append([]tx.Key(nil), keys...))
+	for _, k := range ks {
+		s.weight[k]++
+	}
+	for i := 0; i < len(ks); i++ {
+		for j := i + 1; j < len(ks); j++ {
+			a, b := ks[i], ks[j]
+			if s.edges[a] == nil {
+				s.edges[a] = map[tx.Key]int{}
+			}
+			if s.edges[b] == nil {
+				s.edges[b] = map[tx.Key]int{}
+			}
+			s.edges[a][b]++
+			s.edges[b][a]++
+		}
+	}
+}
+
+// Partition computes an n-way partitioning of every observed key,
+// returning the lookup table. balanceSlack is the tolerated relative
+// weight imbalance (e.g. 0.1); refinePasses bounds the KL refinement
+// rounds.
+func (s *Schism) Partition(n int, balanceSlack float64, refinePasses int) map[tx.Key]tx.NodeID {
+	if n <= 0 {
+		panic("schism: partitions must be positive")
+	}
+	keys := make([]tx.Key, 0, len(s.weight))
+	totalW := 0
+	for k, w := range s.weight {
+		keys = append(keys, k)
+		totalW += w
+	}
+	if len(keys) == 0 {
+		return map[tx.Key]tx.NodeID{}
+	}
+	// Heaviest-first deterministic order.
+	sort.Slice(keys, func(i, j int) bool {
+		if s.weight[keys[i]] != s.weight[keys[j]] {
+			return s.weight[keys[i]] > s.weight[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	maxLoad := float64(totalW) / float64(n) * (1 + balanceSlack)
+
+	assign := make(map[tx.Key]tx.NodeID, len(keys))
+	loads := make([]float64, n)
+
+	// Greedy growth: place each key on the partition with the highest
+	// connectivity to already-placed neighbors, subject to balance; break
+	// ties toward the lightest partition.
+	for _, k := range keys {
+		gain := make([]int, n)
+		for nb, w := range s.edges[k] {
+			if p, ok := assign[nb]; ok {
+				gain[p] += w
+			}
+		}
+		best := -1
+		for p := 0; p < n; p++ {
+			if loads[p]+float64(s.weight[k]) > maxLoad {
+				continue
+			}
+			if best == -1 || gain[p] > gain[best] ||
+				(gain[p] == gain[best] && loads[p] < loads[best]) {
+				best = p
+			}
+		}
+		if best == -1 { // all partitions "full": pick the lightest
+			best = 0
+			for p := 1; p < n; p++ {
+				if loads[p] < loads[best] {
+					best = p
+				}
+			}
+		}
+		assign[k] = tx.NodeID(best)
+		loads[best] += float64(s.weight[k])
+	}
+
+	// KL-style refinement: repeatedly apply the best single-key move that
+	// strictly reduces the cut and respects balance.
+	for pass := 0; pass < refinePasses; pass++ {
+		improved := false
+		for _, k := range keys {
+			cur := assign[k]
+			gain := make([]int, n)
+			for nb, w := range s.edges[k] {
+				gain[assign[nb]] += w
+			}
+			best := cur
+			for p := 0; p < n; p++ {
+				if tx.NodeID(p) == cur {
+					continue
+				}
+				if loads[p]+float64(s.weight[k]) > maxLoad {
+					continue
+				}
+				if gain[p] > gain[best] {
+					best = tx.NodeID(p)
+				}
+			}
+			if best != cur {
+				loads[cur] -= float64(s.weight[k])
+				loads[best] += float64(s.weight[k])
+				assign[k] = best
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return assign
+}
+
+// CutCost returns the total weight of co-access edges crossing partitions
+// under assign (unassigned keys resolved by fallback); used by tests and
+// by experiment reporting.
+func (s *Schism) CutCost(assign map[tx.Key]tx.NodeID, fallback func(tx.Key) tx.NodeID) int {
+	part := func(k tx.Key) tx.NodeID {
+		if p, ok := assign[k]; ok {
+			return p
+		}
+		return fallback(k)
+	}
+	cut := 0
+	for a, nbs := range s.edges {
+		for b, w := range nbs {
+			if a < b && part(a) != part(b) {
+				cut += w
+			}
+		}
+	}
+	return cut
+}

@@ -1,0 +1,214 @@
+package network
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"hermes/internal/tx"
+)
+
+// TCPTransport is a real-socket implementation of Transport for a single
+// node: it listens on its own address and lazily dials peers, framing
+// messages with encoding/gob. A cluster deployment runs one TCPTransport
+// per process; the in-process experiments use ChanTransport instead, but
+// integration tests run the engine over TCP to show nothing depends on the
+// loopback shortcut.
+type TCPTransport struct {
+	self  tx.NodeID
+	addrs map[tx.NodeID]string
+
+	ln    net.Listener
+	inbox chan Message
+	quit  chan struct{}
+	stats Stats
+
+	mu       sync.Mutex
+	conns    map[tx.NodeID]*tcpConn
+	accepted []net.Conn
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+type tcpConn struct {
+	mu  sync.Mutex
+	c   net.Conn
+	enc *gob.Encoder
+}
+
+// NewTCPTransport starts a transport for node self, listening on
+// addrs[self]. addrs must contain every node that will ever be dialed.
+func NewTCPTransport(self tx.NodeID, addrs map[tx.NodeID]string) (*TCPTransport, error) {
+	addr, ok := addrs[self]
+	if !ok {
+		return nil, fmt.Errorf("network: no address for self node %d", self)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("network: listen %s: %w", addr, err)
+	}
+	t := &TCPTransport{
+		self:  self,
+		addrs: addrs,
+		ln:    ln,
+		inbox: make(chan Message, 4096),
+		quit:  make(chan struct{}),
+		conns: make(map[tx.NodeID]*tcpConn),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the address the transport is listening on (useful when the
+// configured address used port 0).
+func (t *TCPTransport) Addr() string { return t.ln.Addr().String() }
+
+func (t *TCPTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			c.Close()
+			return
+		}
+		t.accepted = append(t.accepted, c)
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(c)
+	}
+}
+
+func (t *TCPTransport) readLoop(c net.Conn) {
+	defer t.wg.Done()
+	defer c.Close()
+	dec := gob.NewDecoder(c)
+	for {
+		var m Message
+		if err := dec.Decode(&m); err != nil {
+			return
+		}
+		select {
+		case t.inbox <- m:
+		case <-t.quit:
+			return
+		}
+	}
+}
+
+// Send implements Transport.
+func (t *TCPTransport) Send(m Message) error {
+	if m.To == t.self {
+		t.mu.Lock()
+		closed := t.closed
+		t.mu.Unlock()
+		if closed {
+			return fmt.Errorf("network: transport closed")
+		}
+		t.inbox <- m
+		return nil
+	}
+	conn, err := t.dial(m.To)
+	if err != nil {
+		return err
+	}
+	t.stats.Count(m.WireSize())
+	conn.mu.Lock()
+	defer conn.mu.Unlock()
+	if err := conn.enc.Encode(&m); err != nil {
+		// Drop the broken connection so a later Send re-dials.
+		t.mu.Lock()
+		if t.conns[m.To] == conn {
+			delete(t.conns, m.To)
+		}
+		t.mu.Unlock()
+		conn.c.Close()
+		return fmt.Errorf("network: send to node %d: %w", m.To, err)
+	}
+	return nil
+}
+
+func (t *TCPTransport) dial(node tx.NodeID) (*tcpConn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("network: transport closed")
+	}
+	if c, ok := t.conns[node]; ok {
+		t.mu.Unlock()
+		return c, nil
+	}
+	addr, ok := t.addrs[node]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("network: unknown node %d", node)
+	}
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("network: dial node %d at %s: %w", node, addr, err)
+	}
+	conn := &tcpConn{c: raw, enc: gob.NewEncoder(raw)}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		raw.Close()
+		return nil, fmt.Errorf("network: transport closed")
+	}
+	if existing, ok := t.conns[node]; ok {
+		raw.Close() // lost the dial race; reuse the winner
+		return existing, nil
+	}
+	t.conns[node] = conn
+	return conn, nil
+}
+
+// SetAddr registers (or updates) a peer address; used when nodes are added
+// dynamically.
+func (t *TCPTransport) SetAddr(node tx.NodeID, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.addrs[node] = addr
+}
+
+// Stats returns the transport's accounting.
+func (t *TCPTransport) Stats() *Stats { return &t.stats }
+
+// Recv implements Transport. Only the transport's own node has an inbox.
+func (t *TCPTransport) Recv(node tx.NodeID) <-chan Message {
+	if node != t.self {
+		return nil
+	}
+	return t.inbox
+}
+
+// Close implements Transport.
+func (t *TCPTransport) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	conns := t.conns
+	t.conns = map[tx.NodeID]*tcpConn{}
+	accepted := t.accepted
+	t.accepted = nil
+	t.mu.Unlock()
+
+	close(t.quit)
+	t.ln.Close()
+	for _, c := range conns {
+		c.c.Close()
+	}
+	for _, c := range accepted {
+		c.Close()
+	}
+	t.wg.Wait()
+	close(t.inbox)
+}

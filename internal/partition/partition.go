@@ -1,0 +1,143 @@
+// Package partition implements the static data-partitioning schemes the
+// paper evaluates as initial layouts (§5.3.3): range partitioning (uniform
+// and explicitly skewed), hash partitioning, arbitrary function-based
+// partitioning (e.g. TPC-C's by-warehouse layout), and lookup-table
+// partitioning (the output format of Schism).
+//
+// A Partitioner gives each key its *home* partition — where the record was
+// loaded initially and where cold data lives. The current owner of a hot
+// record may differ; that dynamic overlay is the fusion table (package
+// fusion), which falls back to the home partitioner for keys it does not
+// track.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"hermes/internal/tx"
+)
+
+// Partitioner maps keys to home partitions. Implementations must be pure:
+// the same key always maps to the same partition, because every node
+// evaluates the mapping independently.
+type Partitioner interface {
+	// Home returns the home partition of k.
+	Home(k tx.Key) tx.NodeID
+	// Nodes returns the number of partitions.
+	Nodes() int
+}
+
+// Range partitions a contiguous key space by boundaries: partition i owns
+// keys in [bounds[i], bounds[i+1]).
+type Range struct {
+	bounds []tx.Key // len = nodes+1
+}
+
+// NewUniformRange splits rows of table evenly across nodes, the paper's
+// "naive static range partitioning". It panics on zero nodes or rows.
+func NewUniformRange(table uint8, rows uint64, nodes int) *Range {
+	if nodes <= 0 || rows == 0 {
+		panic("partition: nodes and rows must be positive")
+	}
+	bounds := make([]tx.Key, nodes+1)
+	for i := 0; i <= nodes; i++ {
+		bounds[i] = tx.MakeKey(table, rows*uint64(i)/uint64(nodes))
+	}
+	return &Range{bounds: bounds}
+}
+
+// NewRangeBoundaries builds a range partitioner from explicit boundaries;
+// len(bounds) must be nodes+1 and strictly increasing. Used for skewed
+// initial layouts.
+func NewRangeBoundaries(bounds []tx.Key) (*Range, error) {
+	if len(bounds) < 2 {
+		return nil, fmt.Errorf("partition: need at least 2 boundaries, got %d", len(bounds))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return nil, fmt.Errorf("partition: boundaries not strictly increasing at %d", i)
+		}
+	}
+	return &Range{bounds: append([]tx.Key(nil), bounds...)}, nil
+}
+
+// Home implements Partitioner. Keys below the first boundary map to
+// partition 0 and keys at or above the last to the last partition, so the
+// mapping is total even for out-of-range keys.
+func (r *Range) Home(k tx.Key) tx.NodeID {
+	// First i with bounds[i+1] > k.
+	i := sort.Search(len(r.bounds)-2, func(i int) bool { return r.bounds[i+1] > k })
+	return tx.NodeID(i)
+}
+
+// Nodes implements Partitioner.
+func (r *Range) Nodes() int { return len(r.bounds) - 1 }
+
+// Hash partitions keys by a multiplicative hash. It creates distributed
+// transactions for any co-accessed key group, which is exactly why the
+// paper uses it as an adversarial initial layout.
+type Hash struct {
+	n int
+}
+
+// NewHash returns a hash partitioner over n nodes; panics if n ≤ 0.
+func NewHash(n int) *Hash {
+	if n <= 0 {
+		panic("partition: nodes must be positive")
+	}
+	return &Hash{n: n}
+}
+
+// Home implements Partitioner.
+func (h *Hash) Home(k tx.Key) tx.NodeID {
+	v := uint64(k) * 0x9E3779B97F4A7C15
+	v ^= v >> 32
+	return tx.NodeID(v % uint64(h.n))
+}
+
+// Nodes implements Partitioner.
+func (h *Hash) Nodes() int { return h.n }
+
+// Func adapts an arbitrary pure function to the Partitioner interface.
+type Func struct {
+	N int
+	F func(k tx.Key) tx.NodeID
+}
+
+// Home implements Partitioner.
+func (f *Func) Home(k tx.Key) tx.NodeID { return f.F(k) }
+
+// Nodes implements Partitioner.
+func (f *Func) Nodes() int { return f.N }
+
+// Lookup is a fine-grained lookup-table partitioner with a fallback for
+// untracked keys — the representation Schism plans are loaded into, and
+// also how re-partitioning output (Clay plans) is applied as a new "home".
+type Lookup struct {
+	table    map[tx.Key]tx.NodeID
+	fallback Partitioner
+}
+
+// NewLookup returns a lookup partitioner that consults table first and
+// falls back to base for unmapped keys.
+func NewLookup(table map[tx.Key]tx.NodeID, base Partitioner) *Lookup {
+	if table == nil {
+		table = make(map[tx.Key]tx.NodeID)
+	}
+	return &Lookup{table: table, fallback: base}
+}
+
+// Home implements Partitioner.
+func (l *Lookup) Home(k tx.Key) tx.NodeID {
+	if n, ok := l.table[k]; ok {
+		return n
+	}
+	return l.fallback.Home(k)
+}
+
+// Nodes implements Partitioner.
+func (l *Lookup) Nodes() int { return l.fallback.Nodes() }
+
+// Mapped reports the number of explicitly mapped keys.
+func (l *Lookup) Mapped() int { return len(l.table) }

@@ -1,0 +1,176 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hermes/internal/tx"
+)
+
+func TestUniformRangeEvenSplit(t *testing.T) {
+	r := NewUniformRange(0, 100, 4)
+	counts := make([]int, 4)
+	for i := uint64(0); i < 100; i++ {
+		n := r.Home(tx.MakeKey(0, i))
+		if n < 0 || int(n) >= 4 {
+			t.Fatalf("Home out of range: %d", n)
+		}
+		counts[n]++
+	}
+	for i, c := range counts {
+		if c != 25 {
+			t.Errorf("partition %d got %d keys, want 25", i, c)
+		}
+	}
+	// Contiguity: key 0 on node 0, key 99 on node 3.
+	if r.Home(tx.MakeKey(0, 0)) != 0 || r.Home(tx.MakeKey(0, 99)) != 3 {
+		t.Error("range ends on wrong partitions")
+	}
+}
+
+func TestUniformRangeTotalProperty(t *testing.T) {
+	f := func(row uint64, nRaw uint8) bool {
+		n := int(nRaw%20) + 1
+		r := NewUniformRange(3, 1000, n)
+		home := r.Home(tx.MakeKey(3, row%2000)) // includes out-of-range rows
+		return home >= 0 && int(home) < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUniformRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for 0 nodes")
+		}
+	}()
+	NewUniformRange(0, 100, 0)
+}
+
+func TestRangeBoundaries(t *testing.T) {
+	r, err := NewRangeBoundaries([]tx.Key{0, 10, 100, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Nodes() != 3 {
+		t.Fatalf("Nodes = %d, want 3", r.Nodes())
+	}
+	cases := []struct {
+		k    tx.Key
+		want tx.NodeID
+	}{
+		{0, 0}, {9, 0}, {10, 1}, {99, 1}, {100, 2}, {999, 2},
+		{5000, 2}, // past the end clamps to last
+	}
+	for _, c := range cases {
+		if got := r.Home(c.k); got != c.want {
+			t.Errorf("Home(%d) = %d, want %d", c.k, got, c.want)
+		}
+	}
+}
+
+func TestRangeBoundariesErrors(t *testing.T) {
+	if _, err := NewRangeBoundaries([]tx.Key{5}); err == nil {
+		t.Error("single boundary accepted")
+	}
+	if _, err := NewRangeBoundaries([]tx.Key{5, 5}); err == nil {
+		t.Error("non-increasing boundaries accepted")
+	}
+	if _, err := NewRangeBoundaries([]tx.Key{5, 4}); err == nil {
+		t.Error("decreasing boundaries accepted")
+	}
+}
+
+func TestHashSpread(t *testing.T) {
+	h := NewHash(8)
+	counts := make([]int, 8)
+	for i := uint64(0); i < 8000; i++ {
+		n := h.Home(tx.MakeKey(0, i))
+		if n < 0 || int(n) >= 8 {
+			t.Fatalf("Home out of range: %d", n)
+		}
+		counts[n]++
+	}
+	for i, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Errorf("hash partition %d got %d of 8000; poor spread", i, c)
+		}
+	}
+}
+
+func TestHashSeparatesSequentialKeys(t *testing.T) {
+	// Hash partitioning must scatter adjacent keys (that's its role in
+	// the Fig. 13 experiment); check a decent fraction of consecutive
+	// pairs land on different partitions.
+	h := NewHash(4)
+	diff := 0
+	for i := uint64(0); i < 1000; i++ {
+		if h.Home(tx.MakeKey(0, i)) != h.Home(tx.MakeKey(0, i+1)) {
+			diff++
+		}
+	}
+	if diff < 500 {
+		t.Errorf("only %d/1000 consecutive pairs split across partitions", diff)
+	}
+}
+
+func TestHashDeterministic(t *testing.T) {
+	f := func(k uint64, nRaw uint8) bool {
+		n := int(nRaw%16) + 1
+		a, b := NewHash(n), NewHash(n)
+		return a.Home(tx.Key(k)) == b.Home(tx.Key(k))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFuncPartitioner(t *testing.T) {
+	// TPC-C style: partition by "warehouse" = row/100.
+	p := &Func{N: 5, F: func(k tx.Key) tx.NodeID { return tx.NodeID(k.Row() / 100 % 5) }}
+	if p.Nodes() != 5 {
+		t.Fatalf("Nodes = %d", p.Nodes())
+	}
+	if p.Home(tx.MakeKey(0, 250)) != 2 {
+		t.Errorf("Home(row 250) = %d, want 2", p.Home(tx.MakeKey(0, 250)))
+	}
+}
+
+func TestLookupOverridesAndFallsBack(t *testing.T) {
+	base := NewUniformRange(0, 100, 2) // rows 0-49 on node 0, 50-99 on node 1
+	l := NewLookup(map[tx.Key]tx.NodeID{tx.MakeKey(0, 10): 1}, base)
+	if got := l.Home(tx.MakeKey(0, 10)); got != 1 {
+		t.Errorf("override ignored: Home = %d", got)
+	}
+	if got := l.Home(tx.MakeKey(0, 11)); got != 0 {
+		t.Errorf("fallback wrong: Home = %d", got)
+	}
+	if l.Nodes() != 2 || l.Mapped() != 1 {
+		t.Errorf("Nodes=%d Mapped=%d", l.Nodes(), l.Mapped())
+	}
+}
+
+func TestLookupNilTable(t *testing.T) {
+	l := NewLookup(nil, NewHash(3))
+	if got := l.Home(42); got < 0 || int(got) >= 3 {
+		t.Errorf("Home = %d out of range", got)
+	}
+}
+
+func BenchmarkRangeHome(b *testing.B) {
+	r := NewUniformRange(0, 1<<20, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Home(tx.Key(i & (1<<20 - 1)))
+	}
+}
+
+func BenchmarkHashHome(b *testing.B) {
+	h := NewHash(20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Home(tx.Key(i))
+	}
+}

@@ -1,0 +1,242 @@
+// Package sequencer implements the input layer of the deterministic stack
+// (§2.1): node front-ends forward client requests to a dedicated leader —
+// the role the paper gives to one machine running the Zab total-ordering
+// protocol — which compiles them into batches, assigns the global total
+// order (batch sequence numbers and dense transaction IDs), and delivers
+// the identical batch stream to every node over the transport.
+//
+// The paper's cluster dedicates a full machine to the Zab leader; this
+// reproduction does the same by giving the leader its own transport node.
+// Quorum acknowledgement is tracked (followers ack every delivered batch)
+// but delivery is not gated on it: with deterministic execution the input
+// log, not the ack round, is what recovery relies on (§4.3).
+package sequencer
+
+import (
+	"sync"
+	"time"
+
+	"hermes/internal/clock"
+	"hermes/internal/network"
+	"hermes/internal/tx"
+)
+
+// Config controls batching.
+type Config struct {
+	// BatchSize flushes a batch once this many requests are pending.
+	BatchSize int
+	// Interval flushes a non-empty batch after this long even if it is
+	// not full, bounding latency at low load.
+	Interval time.Duration
+}
+
+// DefaultConfig mirrors the paper's setting of interest: large batches
+// (hundreds to a thousand requests) flushed every few tens of
+// milliseconds.
+func DefaultConfig() Config {
+	return Config{BatchSize: 100, Interval: 10 * time.Millisecond}
+}
+
+// Leader is the total-order service. Create with NewLeader, start with
+// Start, stop with Stop.
+type Leader struct {
+	id    tx.NodeID
+	tr    network.Transport
+	cfg   Config
+	clk   clock.Clock
+	stats *network.Stats
+
+	mu      sync.Mutex
+	members []tx.NodeID
+	pending []*tx.Request
+	nextSeq uint64
+	nextTxn tx.TxnID
+	acks    map[uint64]int
+	stopped bool
+
+	quit chan struct{}
+	done sync.WaitGroup
+}
+
+// NewLeader creates a leader bound to transport node id, delivering to
+// members. The member list is copied.
+func NewLeader(id tx.NodeID, tr network.Transport, members []tx.NodeID, cfg Config, clk clock.Clock) *Leader {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 1
+	}
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	return &Leader{
+		id:      id,
+		tr:      tr,
+		cfg:     cfg,
+		clk:     clk,
+		members: append([]tx.NodeID(nil), members...),
+		nextTxn: 1,
+		acks:    make(map[uint64]int),
+		quit:    make(chan struct{}),
+	}
+}
+
+// Start launches the leader's receive and flush loops.
+func (l *Leader) Start() {
+	l.done.Add(2)
+	go l.recvLoop()
+	go l.flushLoop()
+}
+
+// Stop flushes nothing further and waits for the loops to exit.
+func (l *Leader) Stop() {
+	l.mu.Lock()
+	if l.stopped {
+		l.mu.Unlock()
+		return
+	}
+	l.stopped = true
+	l.mu.Unlock()
+	close(l.quit)
+	l.done.Wait()
+}
+
+func (l *Leader) recvLoop() {
+	defer l.done.Done()
+	inbox := l.tr.Recv(l.id)
+	for {
+		select {
+		case <-l.quit:
+			return
+		case m, ok := <-inbox:
+			if !ok {
+				return
+			}
+			switch m.Type {
+			case network.MsgSeqForward:
+				if m.Batch == nil {
+					continue
+				}
+				l.mu.Lock()
+				l.pending = append(l.pending, m.Batch.Txns...)
+				full := len(l.pending) >= l.cfg.BatchSize
+				l.mu.Unlock()
+				if full {
+					l.Flush()
+				}
+			case network.MsgSeqAck:
+				l.mu.Lock()
+				l.acks[m.Seq]++
+				l.mu.Unlock()
+			}
+		}
+	}
+}
+
+func (l *Leader) flushLoop() {
+	defer l.done.Done()
+	for {
+		// Sleep on a side goroutine so Stop is never blocked behind a
+		// long flush interval; at most one sleeper outlives the leader.
+		wake := make(chan struct{})
+		go func() {
+			l.clk.Sleep(l.cfg.Interval)
+			close(wake)
+		}()
+		select {
+		case <-l.quit:
+			return
+		case <-wake:
+			l.Flush()
+		}
+	}
+}
+
+// Flush seals the pending requests into a batch (if any) and delivers it
+// to every member. It is also called internally on size and interval
+// triggers; exposing it lets tests and closed-loop drivers force progress.
+func (l *Leader) Flush() {
+	l.mu.Lock()
+	if len(l.pending) == 0 {
+		l.mu.Unlock()
+		return
+	}
+	reqs := l.pending
+	l.pending = nil
+	// Assign the total order: dense transaction IDs in batch order.
+	for _, r := range reqs {
+		r.ID = l.nextTxn
+		l.nextTxn++
+	}
+	batch := &tx.Batch{Seq: l.nextSeq, Txns: reqs}
+	l.nextSeq++
+	members := append([]tx.NodeID(nil), l.members...)
+	l.mu.Unlock()
+
+	for _, n := range members {
+		// Delivery failures mean the transport is closed mid-shutdown;
+		// nothing useful can be done with the error here.
+		_ = l.tr.Send(network.Message{
+			From: l.id, To: n, Type: network.MsgSeqDeliver,
+			Seq: batch.Seq, Batch: batch,
+		})
+	}
+}
+
+// SetNext positions the total order: the next flushed batch gets sequence
+// seq and its first transaction gets id next. Recovery uses this to
+// resume the order after replaying a command log.
+func (l *Leader) SetNext(seq uint64, next tx.TxnID) {
+	l.mu.Lock()
+	l.nextSeq = seq
+	l.nextTxn = next
+	l.mu.Unlock()
+}
+
+// SetMembers atomically replaces the delivery membership. The engine calls
+// this when provisioning changes take effect; the change applies to the
+// next flushed batch.
+func (l *Leader) SetMembers(members []tx.NodeID) {
+	l.mu.Lock()
+	l.members = append([]tx.NodeID(nil), members...)
+	l.mu.Unlock()
+}
+
+// Members returns a copy of the current membership.
+func (l *Leader) Members() []tx.NodeID {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]tx.NodeID(nil), l.members...)
+}
+
+// Acks reports how many members have acknowledged batch seq.
+func (l *Leader) Acks(seq uint64) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.acks[seq]
+}
+
+// Frontend is a node-local sequencer front-end: it forwards client
+// requests to the leader, paying one network hop as in Calvin.
+type Frontend struct {
+	node   tx.NodeID
+	leader tx.NodeID
+	tr     network.Transport
+}
+
+// NewFrontend returns a front-end for node forwarding to leader.
+func NewFrontend(node, leader tx.NodeID, tr network.Transport) *Frontend {
+	return &Frontend{node: node, leader: leader, tr: tr}
+}
+
+// Submit forwards a client request to the leader. The returned error is
+// non-nil only if the transport is closed.
+func (f *Frontend) Submit(req *tx.Request) error {
+	return f.tr.Send(network.Message{
+		From: f.node, To: f.leader, Type: network.MsgSeqForward,
+		Batch: &tx.Batch{Txns: []*tx.Request{req}},
+	})
+}
+
+// Ack sends a batch acknowledgement from node to the leader.
+func Ack(node, leader tx.NodeID, tr network.Transport, seq uint64) {
+	_ = tr.Send(network.Message{From: node, To: leader, Type: network.MsgSeqAck, Seq: seq})
+}

@@ -1,0 +1,183 @@
+package sequencer
+
+import (
+	"testing"
+	"time"
+
+	"hermes/internal/network"
+	"hermes/internal/tx"
+)
+
+const leaderID = tx.NodeID(100)
+
+func newCluster(t *testing.T, nodes int, cfg Config) (*network.ChanTransport, *Leader, []tx.NodeID) {
+	t.Helper()
+	ids := make([]tx.NodeID, nodes)
+	for i := range ids {
+		ids[i] = tx.NodeID(i)
+	}
+	tr := NewTransportWithLeader(ids, leaderID)
+	l := NewLeader(leaderID, tr, ids, cfg, nil)
+	l.Start()
+	t.Cleanup(func() { l.Stop(); tr.Close() })
+	return tr, l, ids
+}
+
+// NewTransportWithLeader builds a ChanTransport whose node set includes the
+// dedicated leader machine.
+func NewTransportWithLeader(nodes []tx.NodeID, leader tx.NodeID) *network.ChanTransport {
+	all := append(append([]tx.NodeID(nil), nodes...), leader)
+	return network.NewChanTransport(all, nil)
+}
+
+func req() *tx.Request {
+	return tx.NewRequest(0, &tx.OpProc{Reads: []tx.Key{1}, Writes: []tx.Key{1}})
+}
+
+func recvBatch(t *testing.T, tr network.Transport, node tx.NodeID) *tx.Batch {
+	t.Helper()
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case m := <-tr.Recv(node):
+			if m.Type == network.MsgSeqDeliver {
+				return m.Batch
+			}
+		case <-deadline:
+			t.Fatal("no batch delivered")
+			return nil
+		}
+	}
+}
+
+func TestBatchDeliveredToAllNodes(t *testing.T) {
+	tr, _, ids := newCluster(t, 3, Config{BatchSize: 2, Interval: time.Hour})
+	fe := NewFrontend(ids[1], leaderID, tr)
+	fe.Submit(req())
+	fe.Submit(req()) // second request fills the batch
+	for _, n := range ids {
+		b := recvBatch(t, tr, n)
+		if b.Seq != 0 || len(b.Txns) != 2 {
+			t.Fatalf("node %d got batch seq=%d len=%d", n, b.Seq, len(b.Txns))
+		}
+	}
+}
+
+func TestTxnIDsAreDenseAndOrdered(t *testing.T) {
+	tr, _, ids := newCluster(t, 2, Config{BatchSize: 5, Interval: time.Hour})
+	fe := NewFrontend(ids[0], leaderID, tr)
+	for i := 0; i < 10; i++ {
+		fe.Submit(req())
+	}
+	want := tx.TxnID(1)
+	for b := 0; b < 2; b++ {
+		batch := recvBatch(t, tr, ids[0])
+		if batch.Seq != uint64(b) {
+			t.Fatalf("batch seq = %d, want %d", batch.Seq, b)
+		}
+		for _, r := range batch.Txns {
+			if r.ID != want {
+				t.Fatalf("txn id = %d, want %d", r.ID, want)
+			}
+			want++
+		}
+	}
+}
+
+func TestIntervalFlush(t *testing.T) {
+	tr, _, ids := newCluster(t, 1, Config{BatchSize: 1000, Interval: 5 * time.Millisecond})
+	fe := NewFrontend(ids[0], leaderID, tr)
+	fe.Submit(req())
+	b := recvBatch(t, tr, ids[0]) // must arrive despite batch not full
+	if len(b.Txns) != 1 {
+		t.Fatalf("batch len = %d", len(b.Txns))
+	}
+}
+
+func TestIdenticalBatchStreamAcrossNodes(t *testing.T) {
+	tr, _, ids := newCluster(t, 4, Config{BatchSize: 3, Interval: 2 * time.Millisecond})
+	fe0 := NewFrontend(ids[0], leaderID, tr)
+	fe1 := NewFrontend(ids[1], leaderID, tr)
+	const total = 30
+	for i := 0; i < total; i++ {
+		if i%2 == 0 {
+			fe0.Submit(req())
+		} else {
+			fe1.Submit(req())
+		}
+	}
+	// Collect the full stream per node and compare.
+	streams := make([][]tx.TxnID, len(ids))
+	for ni, n := range ids {
+		got := 0
+		for got < total {
+			b := recvBatch(t, tr, n)
+			for _, r := range b.Txns {
+				streams[ni] = append(streams[ni], r.ID)
+				got++
+			}
+		}
+	}
+	for ni := 1; ni < len(streams); ni++ {
+		if len(streams[ni]) != len(streams[0]) {
+			t.Fatalf("node %d saw %d txns, node 0 saw %d", ni, len(streams[ni]), len(streams[0]))
+		}
+		for i := range streams[0] {
+			if streams[ni][i] != streams[0][i] {
+				t.Fatalf("node %d diverges at position %d", ni, i)
+			}
+		}
+	}
+}
+
+func TestSetMembersAffectsDelivery(t *testing.T) {
+	tr, l, ids := newCluster(t, 2, Config{BatchSize: 1, Interval: time.Hour})
+	tr.AddNode(7)
+	l.SetMembers(append(ids, 7))
+	if len(l.Members()) != 3 {
+		t.Fatalf("Members = %v", l.Members())
+	}
+	fe := NewFrontend(ids[0], leaderID, tr)
+	fe.Submit(req())
+	b := recvBatch(t, tr, 7)
+	if len(b.Txns) != 1 {
+		t.Fatal("added node did not receive batch")
+	}
+}
+
+func TestAcks(t *testing.T) {
+	tr, l, ids := newCluster(t, 2, Config{BatchSize: 1, Interval: time.Hour})
+	fe := NewFrontend(ids[0], leaderID, tr)
+	fe.Submit(req())
+	for _, n := range ids {
+		b := recvBatch(t, tr, n)
+		Ack(n, leaderID, tr, b.Seq)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for l.Acks(0) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("acks = %d, want 2", l.Acks(0))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestStopIsIdempotentAndHalts(t *testing.T) {
+	ids := []tx.NodeID{0}
+	tr := NewTransportWithLeader(ids, leaderID)
+	defer tr.Close()
+	l := NewLeader(leaderID, tr, ids, Config{BatchSize: 1, Interval: time.Millisecond}, nil)
+	l.Start()
+	l.Stop()
+	l.Stop() // second stop must not panic or deadlock
+}
+
+func TestEmptyFlushProducesNothing(t *testing.T) {
+	tr, l, ids := newCluster(t, 1, Config{BatchSize: 10, Interval: time.Hour})
+	l.Flush()
+	select {
+	case m := <-tr.Recv(ids[0]):
+		t.Fatalf("unexpected delivery: %+v", m)
+	case <-time.After(50 * time.Millisecond):
+	}
+}

@@ -1,0 +1,315 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"hermes/internal/tx"
+)
+
+func TestReadWriteDelete(t *testing.T) {
+	s := NewStore()
+	if _, ok := s.Read(1); ok {
+		t.Fatal("read of missing key reported present")
+	}
+	s.Write(1, []byte("a"))
+	if v, ok := s.Read(1); !ok || string(v) != "a" {
+		t.Fatalf("Read(1) = %q,%v", v, ok)
+	}
+	s.Write(1, []byte("b"))
+	if v, _ := s.Read(1); string(v) != "b" {
+		t.Fatalf("overwrite failed: %q", v)
+	}
+	if v, ok := s.Delete(1); !ok || string(v) != "b" {
+		t.Fatalf("Delete = %q,%v", v, ok)
+	}
+	if _, ok := s.Read(1); ok {
+		t.Fatal("key present after delete")
+	}
+	if _, ok := s.Delete(1); ok {
+		t.Fatal("double delete reported present")
+	}
+}
+
+func TestLenAndKeys(t *testing.T) {
+	s := NewStore()
+	for i := 10; i > 0; i-- {
+		s.Write(tx.Key(i), []byte{byte(i)})
+	}
+	if s.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", s.Len())
+	}
+	keys := s.Keys()
+	for i, k := range keys {
+		if k != tx.Key(i+1) {
+			t.Fatalf("Keys()[%d] = %v, want %d (sorted)", i, k, i+1)
+		}
+	}
+}
+
+func TestKeysInRange(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 100; i++ {
+		s.Write(tx.Key(i), nil)
+	}
+	got := s.KeysInRange(10, 20)
+	if len(got) != 10 || got[0] != 10 || got[9] != 19 {
+		t.Fatalf("KeysInRange(10,20) = %v", got)
+	}
+	if got := s.KeysInRange(200, 300); len(got) != 0 {
+		t.Fatalf("empty range returned %v", got)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				k := tx.Key(g*1000 + i)
+				s.Write(k, []byte{byte(i)})
+				if v, ok := s.Read(k); !ok || v[0] != byte(i) {
+					t.Errorf("goroutine %d: lost write at %v", g, k)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 8000 {
+		t.Fatalf("Len = %d, want 8000", s.Len())
+	}
+}
+
+func TestCounters(t *testing.T) {
+	s := NewStore()
+	s.Write(1, nil)
+	s.Read(1)
+	s.Read(2)
+	r, w := s.Counters()
+	if r != 2 || w != 1 {
+		t.Fatalf("Counters = %d,%d, want 2,1", r, w)
+	}
+}
+
+func TestFingerprintDetectsDifferences(t *testing.T) {
+	a, b := NewStore(), NewStore()
+	for i := 0; i < 100; i++ {
+		a.Write(tx.Key(i), []byte{byte(i)})
+	}
+	// Same content inserted in reverse order must fingerprint identically.
+	for i := 99; i >= 0; i-- {
+		b.Write(tx.Key(i), []byte{byte(i)})
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical contents produced different fingerprints")
+	}
+	b.Write(50, []byte{200})
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("differing contents produced identical fingerprints")
+	}
+}
+
+func TestFingerprintProperty(t *testing.T) {
+	f := func(keys []uint16, vals []byte) bool {
+		a, b := NewStore(), NewStore()
+		n := len(keys)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		for i := 0; i < n; i++ {
+			a.Write(tx.Key(keys[i]), []byte{vals[i]})
+		}
+		for i := n - 1; i >= 0; i-- {
+			// Re-apply in reverse; later writes win in a, earlier in b, so
+			// only compare when keys are unique.
+			b.Write(tx.Key(keys[i]), []byte{vals[i]})
+		}
+		uniq := map[uint16]bool{}
+		for _, k := range keys[:n] {
+			if uniq[k] {
+				return true // duplicate keys: order matters, skip
+			}
+			uniq[k] = true
+		}
+		return a.Fingerprint() == b.Fingerprint()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckpointRestore(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 50; i++ {
+		s.Write(tx.Key(i), []byte(fmt.Sprintf("v%d", i)))
+	}
+	cp := s.Checkpoint()
+	fp := s.Fingerprint()
+	// Mutate heavily.
+	for i := 0; i < 50; i++ {
+		s.Write(tx.Key(i), []byte("dirty"))
+	}
+	s.Delete(3)
+	s.Write(999, []byte("extra"))
+	s.Restore(cp)
+	if s.Fingerprint() != fp {
+		t.Fatal("restore did not reproduce checkpointed state")
+	}
+	if s.Len() != 50 {
+		t.Fatalf("Len after restore = %d, want 50", s.Len())
+	}
+}
+
+func TestCheckpointIsDeepCopy(t *testing.T) {
+	s := NewStore()
+	s.Write(1, []byte{1, 2, 3})
+	cp := s.Checkpoint()
+	cp[1][0] = 99
+	if v, _ := s.Read(1); v[0] != 1 {
+		t.Fatal("mutating checkpoint leaked into store")
+	}
+}
+
+func TestUndoRollbackIsIdentity(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 20; i++ {
+		s.Write(tx.Key(i), []byte{byte(i)})
+	}
+	fp := s.Fingerprint()
+	u := NewUndoLog(s)
+	u.Write(5, []byte("x"))
+	u.Write(5, []byte("y")) // double write: first before-image wins
+	u.Write(100, []byte("new"))
+	u.Delete(7)
+	u.Rollback()
+	if s.Fingerprint() != fp {
+		t.Fatal("rollback did not restore original state")
+	}
+	if u.Len() != 0 {
+		t.Fatalf("undo log not cleared after rollback: %d", u.Len())
+	}
+}
+
+func TestUndoDiscardKeepsWrites(t *testing.T) {
+	s := NewStore()
+	u := NewUndoLog(s)
+	u.Write(1, []byte("a"))
+	u.Discard()
+	if v, ok := s.Read(1); !ok || string(v) != "a" {
+		t.Fatal("discard dropped committed write")
+	}
+	if u.Len() != 0 {
+		t.Fatal("undo log not cleared after discard")
+	}
+}
+
+func TestUndoRollbackProperty(t *testing.T) {
+	f := func(initKeys []uint8, ops []uint16) bool {
+		s := NewStore()
+		for _, k := range initKeys {
+			s.Write(tx.Key(k), []byte{k})
+		}
+		fp := s.Fingerprint()
+		u := NewUndoLog(s)
+		for _, op := range ops {
+			k := tx.Key(op & 0xff)
+			if op&0x100 != 0 {
+				u.Delete(k)
+			} else {
+				u.Write(k, []byte{byte(op >> 9)})
+			}
+		}
+		u.Rollback()
+		return s.Fingerprint() == fp
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCommandLogAppendOrder(t *testing.T) {
+	l := NewCommandLog()
+	if err := l.Append(&tx.Batch{Seq: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(&tx.Batch{Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(&tx.Batch{Seq: 3}); err == nil {
+		t.Fatal("gap in sequence accepted")
+	}
+	if err := l.Append(&tx.Batch{Seq: 1}); err == nil {
+		t.Fatal("duplicate sequence accepted")
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", l.Len())
+	}
+}
+
+func TestCommandLogSince(t *testing.T) {
+	l := NewCommandLog()
+	for i := uint64(0); i < 10; i++ {
+		if err := l.Append(&tx.Batch{Seq: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := l.Since(7)
+	if len(got) != 3 || got[0].Seq != 7 || got[2].Seq != 9 {
+		t.Fatalf("Since(7) = %v entries starting %d", len(got), got[0].Seq)
+	}
+	if got := l.Since(100); got != nil {
+		t.Fatalf("Since past end = %v, want nil", got)
+	}
+	if got := l.Since(0); len(got) != 10 {
+		t.Fatalf("Since(0) = %d entries, want 10", len(got))
+	}
+}
+
+func TestCommandLogTruncate(t *testing.T) {
+	l := NewCommandLog()
+	for i := uint64(0); i < 10; i++ {
+		l.Append(&tx.Batch{Seq: i})
+	}
+	l.Truncate(5)
+	if l.Len() != 5 {
+		t.Fatalf("Len after truncate = %d, want 5", l.Len())
+	}
+	got := l.Since(0)
+	if got[0].Seq != 5 {
+		t.Fatalf("first retained seq = %d, want 5", got[0].Seq)
+	}
+	// Appending continues from the retained tail.
+	if err := l.Append(&tx.Batch{Seq: 10}); err != nil {
+		t.Fatal(err)
+	}
+	l.Truncate(100)
+	if l.Len() != 0 {
+		t.Fatalf("Len after over-truncate = %d, want 0", l.Len())
+	}
+}
+
+func BenchmarkStoreRead(b *testing.B) {
+	s := NewStore()
+	for i := 0; i < 1<<16; i++ {
+		s.Write(tx.Key(i), []byte{1})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Read(tx.Key(i & (1<<16 - 1)))
+	}
+}
+
+func BenchmarkStoreWrite(b *testing.B) {
+	s := NewStore()
+	v := make([]byte, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Write(tx.Key(i&(1<<16-1)), v)
+	}
+}

@@ -1,0 +1,70 @@
+package storage
+
+import "hermes/internal/tx"
+
+// UndoLog records the before-images of a single transaction's writes so a
+// logic abort can roll them back (paper §4.2). It is not safe for
+// concurrent use; each executing transaction owns one.
+type UndoLog struct {
+	store   *Store
+	entries []undoEntry
+}
+
+type undoEntry struct {
+	key     tx.Key
+	prev    []byte
+	existed bool
+}
+
+// NewUndoLog returns an undo log bound to store.
+func NewUndoLog(store *Store) *UndoLog {
+	return &UndoLog{store: store}
+}
+
+// Write performs a store write, first capturing the before-image. Multiple
+// writes to the same key keep only the first (oldest) before-image, which
+// is sufficient for rollback.
+func (u *UndoLog) Write(k tx.Key, v []byte) {
+	if !u.seen(k) {
+		prev, existed := u.store.Read(k)
+		u.entries = append(u.entries, undoEntry{key: k, prev: prev, existed: existed})
+	}
+	u.store.Write(k, v)
+}
+
+// Delete removes k from the store, capturing the before-image.
+func (u *UndoLog) Delete(k tx.Key) {
+	if !u.seen(k) {
+		prev, existed := u.store.Read(k)
+		u.entries = append(u.entries, undoEntry{key: k, prev: prev, existed: existed})
+	}
+	u.store.Delete(k)
+}
+
+func (u *UndoLog) seen(k tx.Key) bool {
+	for _, e := range u.entries {
+		if e.key == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Rollback restores every written key to its before-image, newest first.
+func (u *UndoLog) Rollback() {
+	for i := len(u.entries) - 1; i >= 0; i-- {
+		e := u.entries[i]
+		if e.existed {
+			u.store.Write(e.key, e.prev)
+		} else {
+			u.store.Delete(e.key)
+		}
+	}
+	u.entries = u.entries[:0]
+}
+
+// Discard forgets the captured before-images (commit path).
+func (u *UndoLog) Discard() { u.entries = u.entries[:0] }
+
+// Len reports the number of captured before-images.
+func (u *UndoLog) Len() int { return len(u.entries) }

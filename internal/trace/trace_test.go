@@ -1,0 +1,195 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateShape(t *testing.T) {
+	c := Generate(DefaultConfig(20, 100, 1))
+	if c.Machines() != 20 {
+		t.Errorf("Machines = %d, want 20", c.Machines())
+	}
+	if c.Windows() != 100 {
+		t.Errorf("Windows = %d, want 100", c.Windows())
+	}
+}
+
+func TestGenerateNonNegativeBounded(t *testing.T) {
+	f := func(seed int64, m, w uint8) bool {
+		cfg := DefaultConfig(int(m%10)+1, int(w%50)+1, seed)
+		c := Generate(cfg)
+		for _, row := range c.Load {
+			for _, v := range row {
+				if v < 0 || v > 4 || math.IsNaN(v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(DefaultConfig(5, 50, 42))
+	b := Generate(DefaultConfig(5, 50, 42))
+	for m := range a.Load {
+		for w := range a.Load[m] {
+			if a.Load[m][w] != b.Load[m][w] {
+				t.Fatalf("traces diverge at machine %d window %d", m, w)
+			}
+		}
+	}
+}
+
+func TestGenerateMachineIndependence(t *testing.T) {
+	// Adding machines must not change existing machines' traces.
+	small := Generate(DefaultConfig(3, 50, 7))
+	big := Generate(DefaultConfig(6, 50, 7))
+	for m := 0; m < 3; m++ {
+		for w := 0; w < 50; w++ {
+			if small.Load[m][w] != big.Load[m][w] {
+				t.Fatalf("machine %d trace changed when cluster grew", m)
+			}
+		}
+	}
+}
+
+func TestGenerateHasVariation(t *testing.T) {
+	c := Generate(DefaultConfig(1, 500, 3))
+	row := c.Load[0]
+	min, max := row[0], row[0]
+	for _, v := range row {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if max-min < 0.05 {
+		t.Errorf("trace is nearly flat (min=%f max=%f); expected fluctuation", min, max)
+	}
+}
+
+func TestGenerateSpikesAppear(t *testing.T) {
+	cfg := DefaultConfig(1, 2000, 9)
+	cfg.SpikeRate = 0.05
+	cfg.SpikeMag = 2.0
+	c := Generate(cfg)
+	row := c.Load[0]
+	mean := 0.0
+	for _, v := range row {
+		mean += v
+	}
+	mean /= float64(len(row))
+	spikes := 0
+	for _, v := range row {
+		if v > 2*mean {
+			spikes++
+		}
+	}
+	if spikes == 0 {
+		t.Error("no spikes above 2x mean in 2000 windows with SpikeRate=0.05")
+	}
+}
+
+func TestGenerateOutages(t *testing.T) {
+	cfg := DefaultConfig(1, 5000, 11)
+	cfg.OutageRate = 0.01
+	c := Generate(cfg)
+	zeros := 0
+	for _, v := range c.Load[0] {
+		if v == 0 {
+			zeros++
+		}
+	}
+	if zeros == 0 {
+		t.Error("no provisioning outages in 5000 windows with OutageRate=0.01")
+	}
+}
+
+func TestGeneratePanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for zero machines")
+		}
+	}()
+	Generate(Config{Machines: 0, Windows: 10})
+}
+
+func TestSharesSumToOne(t *testing.T) {
+	c := Generate(DefaultConfig(8, 30, 5))
+	for w := 0; w < c.Windows(); w++ {
+		s := c.Shares(w)
+		sum := 0.0
+		for _, v := range s {
+			if v < 0 {
+				t.Fatalf("negative share in window %d", w)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("window %d shares sum to %f", w, sum)
+		}
+	}
+}
+
+func TestSharesUniformWhenIdle(t *testing.T) {
+	c := &Cluster{Load: [][]float64{{0}, {0}, {0}, {0}}}
+	s := c.Shares(0)
+	for _, v := range s {
+		if math.Abs(v-0.25) > 1e-12 {
+			t.Fatalf("idle cluster share = %v, want uniform 0.25", s)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	c := Generate(DefaultConfig(4, 25, 99))
+	got, err := ParseCSV(c.MarshalCSV())
+	if err != nil {
+		t.Fatalf("ParseCSV: %v", err)
+	}
+	if got.Machines() != 4 || got.Windows() != 25 {
+		t.Fatalf("round trip shape = %dx%d", got.Machines(), got.Windows())
+	}
+	for m := range c.Load {
+		for w := range c.Load[m] {
+			if math.Abs(got.Load[m][w]-c.Load[m][w]) > 1e-3 {
+				t.Fatalf("round trip value mismatch at %d,%d: %f vs %f", m, w, got.Load[m][w], c.Load[m][w])
+			}
+		}
+	}
+}
+
+func TestParseCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"garbage", "a,b,c"},
+		{"ragged", "1,2,3\n1,2"},
+		{"negative", "1,-2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseCSV(tc.in); err == nil {
+				t.Errorf("ParseCSV(%q) succeeded, want error", tc.in)
+			}
+		})
+	}
+}
+
+func BenchmarkGenerate20x2000(b *testing.B) {
+	cfg := DefaultConfig(20, 2000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Generate(cfg)
+	}
+}

@@ -1,0 +1,25 @@
+package tx
+
+// MigrationProc is the dedicated migration transaction used for moving
+// cold data in chunks (Squall-style asynchronous migration, §3.3/§5.4).
+// The chunk keys form the write-set so the ordinary conservative-ordered
+// locking path serializes the move against user transactions; the actual
+// record movement is carried out by the engine from the routing plan, so
+// Execute is a no-op.
+type MigrationProc struct {
+	// Keys is the chunk being moved.
+	Keys []Key
+	// To is the destination partition. The source of each key is whatever
+	// its current owner is at the transaction's position in the total
+	// order.
+	To NodeID
+}
+
+// ReadSet implements Procedure.
+func (p *MigrationProc) ReadSet() []Key { return nil }
+
+// WriteSet implements Procedure.
+func (p *MigrationProc) WriteSet() []Key { return p.Keys }
+
+// Execute implements Procedure.
+func (p *MigrationProc) Execute(ExecCtx) {}

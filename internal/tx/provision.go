@@ -1,0 +1,23 @@
+package tx
+
+// ProvisionProc is the special totally ordered transaction Hermes issues
+// when machine provisioning changes (§3.3): because it flows through the
+// same sequencer as user transactions, every scheduler includes the added
+// node or excludes the removed node at exactly the same point in the
+// serial order, keeping the replicated routing state consistent.
+//
+// It carries no data accesses; schedulers intercept it before routing.
+type ProvisionProc struct {
+	Add    []NodeID
+	Remove []NodeID
+}
+
+// ReadSet implements Procedure.
+func (p *ProvisionProc) ReadSet() []Key { return nil }
+
+// WriteSet implements Procedure.
+func (p *ProvisionProc) WriteSet() []Key { return nil }
+
+// Execute implements Procedure. Provisioning transactions have no record
+// effects; all their work happens in the scheduler.
+func (p *ProvisionProc) Execute(ExecCtx) {}

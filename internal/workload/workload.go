@@ -1,0 +1,117 @@
+// Package workload implements the three workloads of the paper's
+// evaluation: the YCSB-based "Google workload" whose per-machine demand
+// follows (synthetic) Google cluster traces and whose global hot spot
+// sweeps the key space (§5.2.2), the TPC-C New-Order/Payment mix with
+// configurable hot-spot concentration (§5.3.1), and the multi-tenant
+// workload with a rotating hot node (§5.3.2). It also provides the
+// closed-loop client driver used by all experiments (the paper drives the
+// system with thousands of closed-loop clients).
+package workload
+
+import (
+	"encoding/binary"
+	"sync"
+	"time"
+
+	"hermes/internal/tx"
+)
+
+// Generator produces the next transaction to submit, given the elapsed
+// experiment time (generators use it for trace windows and hot-spot
+// rotation). Generators are safe for concurrent use.
+type Generator interface {
+	// Next returns a procedure and the node whose sequencer front-end the
+	// client submits through.
+	Next(elapsed time.Duration) (tx.Procedure, tx.NodeID)
+}
+
+// Submitter abstracts the cluster for the driver (engine.Cluster satisfies
+// it via a thin adapter in the public API; tests use fakes).
+type Submitter interface {
+	Submit(via tx.NodeID, proc tx.Procedure) (<-chan struct{}, error)
+}
+
+// Driver runs closed-loop clients against a Submitter: each client
+// submits, waits for completion, and immediately submits again — the
+// paper's client model (§5.1, §5.3.1).
+type Driver struct {
+	Gen     Generator
+	Clients int
+
+	wg   sync.WaitGroup
+	quit chan struct{}
+	once sync.Once
+}
+
+// Run starts the clients against sub, with elapsed time measured from
+// start. It returns immediately; call Stop to end the run.
+func (d *Driver) Run(sub Submitter, start time.Time) {
+	d.quit = make(chan struct{})
+	for i := 0; i < d.Clients; i++ {
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			for {
+				select {
+				case <-d.quit:
+					return
+				default:
+				}
+				proc, via := d.Gen.Next(time.Since(start))
+				done, err := sub.Submit(via, proc)
+				if err != nil {
+					return // cluster stopped
+				}
+				select {
+				case <-done:
+				case <-d.quit:
+					return
+				}
+			}
+		}()
+	}
+}
+
+// Stop terminates the clients and waits for them to exit.
+func (d *Driver) Stop() {
+	d.once.Do(func() { close(d.quit) })
+	d.wg.Wait()
+}
+
+// Value builds a deterministic record payload of the given size whose
+// first 8 bytes carry a counter — workload procedures increment it, which
+// gives integration tests an invariant to check.
+func Value(size int, counter uint64) []byte {
+	if size < 8 {
+		size = 8
+	}
+	v := make([]byte, size)
+	binary.LittleEndian.PutUint64(v, counter)
+	return v
+}
+
+// Counter reads the counter from a payload built by Value.
+func Counter(v []byte) uint64 {
+	if len(v) < 8 {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(v)
+}
+
+// IncrementProc returns the standard read-modify-write transaction used
+// by the YCSB-style workloads: read all keys, increment each written
+// key's counter.
+func IncrementProc(reads, writes []tx.Key, payload int) tx.Procedure {
+	return &tx.OpProc{
+		Reads:  reads,
+		Writes: writes,
+		Mutate: func(_ tx.Key, cur []byte) []byte {
+			return Value(payload, Counter(cur)+1)
+		},
+	}
+}
+
+// ReadProc returns a read-only transaction over keys.
+func ReadProc(keys []tx.Key) tx.Procedure {
+	return &tx.OpProc{Reads: keys}
+}

@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestYCSBMixRatios(t *testing.T) {
+	cases := []struct {
+		mix            YCSBMix
+		wantLo, wantHi float64 // acceptable write fraction band
+	}{
+		{YCSBA, 0.4, 0.6},
+		{YCSBB, 0.01, 0.12},
+		{YCSBC, 0, 0},
+		{YCSBF, 1, 1},
+	}
+	for _, c := range cases {
+		gen := NewYCSB(YCSBConfig{Rows: 1000, Nodes: 2, Mix: c.mix, Seed: 5})
+		writes := 0
+		const samples = 2000
+		for i := 0; i < samples; i++ {
+			proc, via := gen.Next(0)
+			if via < 0 || via >= 2 {
+				t.Fatalf("via = %d", via)
+			}
+			if len(proc.WriteSet()) > 0 {
+				writes++
+			}
+		}
+		frac := float64(writes) / samples
+		if frac < c.wantLo || frac > c.wantHi {
+			t.Errorf("mix %d write fraction = %.3f, want [%.2f, %.2f]", c.mix, frac, c.wantLo, c.wantHi)
+		}
+	}
+}
+
+func TestYCSBKeysInRangeProperty(t *testing.T) {
+	f := func(seed int64, scramble bool) bool {
+		gen := NewYCSB(YCSBConfig{Rows: 500, Nodes: 3, Mix: YCSBA, Scramble: scramble, Seed: seed})
+		for i := 0; i < 100; i++ {
+			proc, _ := gen.Next(0)
+			for _, k := range proc.ReadSet() {
+				if k.Row() >= 500 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestYCSBRoundRobinFrontends(t *testing.T) {
+	gen := NewYCSB(YCSBConfig{Rows: 100, Nodes: 4, Mix: YCSBC, Seed: 1})
+	seen := map[int]int{}
+	for i := 0; i < 40; i++ {
+		_, via := gen.Next(0)
+		seen[int(via)]++
+	}
+	for n := 0; n < 4; n++ {
+		if seen[n] != 10 {
+			t.Fatalf("front-end %d used %d times, want 10", n, seen[n])
+		}
+	}
+}
+
+func TestYCSBDefaultsAndPanics(t *testing.T) {
+	gen := NewYCSB(YCSBConfig{Rows: 10, Nodes: 1})
+	proc, _ := gen.Next(0)
+	if len(proc.ReadSet()) == 0 {
+		t.Fatal("default KeysPerTxn produced empty read set")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for zero rows")
+		}
+	}()
+	NewYCSB(YCSBConfig{Nodes: 1})
+}

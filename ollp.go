@@ -1,0 +1,84 @@
+package hermes
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"hermes/internal/tx"
+)
+
+// OLLP implements Calvin's Optimistic Lock Location Prediction (§2.1 of
+// the paper): transactions whose read/write-sets depend on data they have
+// not read yet (e.g. a secondary-index lookup) first run a cheap,
+// non-transactional reconnaissance pass to *predict* their access sets,
+// then submit the full transaction with the predicted sets. The submitted
+// procedure revalidates the prediction during deterministic execution; if
+// the data moved in between, it aborts deterministically and the client
+// retries with fresh reconnaissance.
+
+// Planner builds a transaction from reconnaissance reads. The read
+// function performs dirty (non-transactional) reads of current values —
+// exactly what Calvin's reconnaissance queries are. The returned Validate
+// function re-checks, *inside* the transaction with its real read values,
+// that the prediction still holds.
+type Planner func(read func(Key) []byte) (proc Procedure, validate func(ctx ExecCtx) bool, err error)
+
+// ErrOLLPRetriesExhausted is returned when reconnaissance keeps going
+// stale; the workload is mutating the navigation data faster than the
+// transaction can chase it.
+var ErrOLLPRetriesExhausted = fmt.Errorf("hermes: OLLP reconnaissance retries exhausted")
+
+// ExecOLLP runs planner's transaction with reconnaissance-and-validate
+// retries (at most maxRetries; ≤ 0 means 5). It blocks until the
+// transaction commits with a valid prediction or retries are exhausted.
+func (db *DB) ExecOLLP(via NodeID, planner Planner, maxRetries int) error {
+	if maxRetries <= 0 {
+		maxRetries = 5
+	}
+	read := func(k Key) []byte {
+		v, _ := db.Read(k)
+		return v
+	}
+	for attempt := 0; attempt < maxRetries; attempt++ {
+		proc, validate, err := planner(read)
+		if err != nil {
+			return err
+		}
+		wrapped := &ollpProc{inner: proc, validate: validate}
+		if err := db.ExecWait(via, wrapped); err != nil {
+			return err
+		}
+		if !wrapped.stale.Load() {
+			return nil
+		}
+		// Prediction went stale between reconnaissance and execution:
+		// the deterministic abort already rolled everything back; retry.
+	}
+	return ErrOLLPRetriesExhausted
+}
+
+// ollpProc wraps the planned procedure with the validation step. The
+// stale flag reports the deterministic validation abort back to the
+// submitting client (in a multi-process deployment this rides the commit
+// acknowledgement; in the emulation a shared flag is equivalent).
+type ollpProc struct {
+	inner    tx.Procedure
+	validate func(ctx tx.ExecCtx) bool
+	stale    atomic.Bool
+}
+
+// ReadSet implements Procedure.
+func (p *ollpProc) ReadSet() []Key { return p.inner.ReadSet() }
+
+// WriteSet implements Procedure.
+func (p *ollpProc) WriteSet() []Key { return p.inner.WriteSet() }
+
+// Execute implements Procedure.
+func (p *ollpProc) Execute(ctx tx.ExecCtx) {
+	if p.validate != nil && !p.validate(ctx) {
+		p.stale.Store(true)
+		ctx.Abort("ollp: stale reconnaissance")
+		return
+	}
+	p.inner.Execute(ctx)
+}
