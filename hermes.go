@@ -311,6 +311,19 @@ func (db *DB) Stats() Stats {
 // identical inputs always produce identical fingerprints.
 func (db *DB) Fingerprint() uint64 { return db.cluster.Fingerprint() }
 
+// NodeFingerprints returns a per-node state digest (storage contents
+// combined with the node's fusion-table fingerprint). Determinism
+// tooling compares these across runs: unlike the cluster-wide
+// Fingerprint, they pin down *which* node diverged, and they catch
+// compensating per-node differences the aggregate could mask.
+func (db *DB) NodeFingerprints() map[NodeID]uint64 {
+	out := make(map[NodeID]uint64)
+	for _, d := range db.cluster.NodeDigests() {
+		out[d.Node] = d.Store ^ d.Fusion*0x9E3779B97F4A7C15
+	}
+	return out
+}
+
 // Cluster exposes the underlying engine cluster for advanced integration
 // (experiment harnesses, workload drivers).
 func (db *DB) Cluster() *engine.Cluster { return db.cluster }

@@ -1,0 +1,252 @@
+// Package chaos provides deterministic adversarial-timing tooling for the
+// engine: a seeded fault-injecting network.Transport wrapper and an
+// equivalence harness (harness.go) that runs the same totally ordered
+// workload under many fault schedules and asserts byte-identical final
+// state. The whole value proposition of a deterministic database is that
+// message timing must not matter (PAPER.md, Algorithm 1); this package is
+// the tooling that lets refactors of the hot paths prove they kept that
+// property.
+//
+// Every fault the wrapper injects preserves the Transport contract: links
+// stay FIFO per (from, to) pair, and no message is ever dropped or
+// duplicated — delays, spikes, partitions, and throttling only stretch
+// time. A schedule is fully determined by its seed: each link draws its
+// fault sequence from its own PRNG (seeded from the schedule seed and the
+// link endpoints) in message order, so a logged seed reproduces the exact
+// per-link fault pattern regardless of goroutine interleaving.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hermes/internal/clock"
+	"hermes/internal/network"
+	"hermes/internal/tx"
+)
+
+// Schedule describes one deterministic fault schedule. The zero value
+// injects no faults (a pass-through wrapper).
+type Schedule struct {
+	// Name labels the schedule in harness failure reports.
+	Name string
+	// Seed determines every random draw; identical seeds reproduce the
+	// identical per-link fault pattern.
+	Seed int64
+
+	// Jitter adds a uniform per-message latency in [0, Jitter).
+	Jitter time.Duration
+	// SpikeProb is the per-message probability of a bounded delay spike
+	// of uniform magnitude in [0, SpikeDelay).
+	SpikeProb  float64
+	SpikeDelay time.Duration
+	// PartitionProb is the per-message probability that the link drops
+	// into a transient partition for a uniform duration in
+	// [0, PartitionDur). Messages sent meanwhile queue behind the outage
+	// and redeliver in order once it heals (head-of-line blocking, as on
+	// a real reconnecting link).
+	PartitionProb float64
+	PartitionDur  time.Duration
+	// BytesPerSecond throttles each link's bandwidth; a message of n
+	// wire bytes occupies the link for n/BytesPerSecond (0 = unlimited).
+	BytesPerSecond float64
+}
+
+// String summarizes the schedule for failure reports.
+func (s Schedule) String() string {
+	return fmt.Sprintf("%s(seed=%d)", s.Name, s.Seed)
+}
+
+// faulty reports whether the schedule injects anything at all.
+func (s Schedule) faulty() bool {
+	return s.Jitter > 0 || s.SpikeProb > 0 || s.PartitionProb > 0 || s.BytesPerSecond > 0
+}
+
+// Schedules returns the standard matrix of distinct fault schedules used
+// by the equivalence suite, all derived from seed: a fault-free baseline,
+// pure jitter, delay spikes, transient partitions, and a mixed schedule
+// with bandwidth throttling. The magnitudes are scaled for unit tests
+// (microseconds to a few milliseconds) so a full matrix stays fast.
+func Schedules(seed int64) []Schedule {
+	return []Schedule{
+		{Name: "baseline", Seed: seed},
+		{Name: "jitter", Seed: seed + 1, Jitter: 2 * time.Millisecond},
+		{Name: "spikes", Seed: seed + 2, Jitter: 200 * time.Microsecond,
+			SpikeProb: 0.05, SpikeDelay: 8 * time.Millisecond},
+		{Name: "partitions", Seed: seed + 3, Jitter: 100 * time.Microsecond,
+			PartitionProb: 0.02, PartitionDur: 20 * time.Millisecond},
+		{Name: "mixed", Seed: seed + 4, Jitter: time.Millisecond,
+			SpikeProb: 0.03, SpikeDelay: 5 * time.Millisecond,
+			PartitionProb: 0.01, PartitionDur: 10 * time.Millisecond,
+			BytesPerSecond: 4 << 20},
+	}
+}
+
+// Transport wraps an inner transport with seeded fault injection. It is
+// safe for concurrent Send and preserves per-link FIFO order: every
+// cross-node message funnels through its link's single delivery
+// goroutine, which applies the link's fault sequence in message order.
+type Transport struct {
+	inner network.Transport
+	sched Schedule
+	clk   clock.Clock
+
+	mu     sync.Mutex
+	links  map[[2]tx.NodeID]*faultLink
+	closed bool
+
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	faults  atomic.Int64 // messages that received a non-zero delay
+	delayed atomic.Int64 // total injected delay, ns
+}
+
+type faultLink struct {
+	ch chan network.Message
+}
+
+// Wrap builds a fault-injecting wrapper around inner. clk may be nil for
+// the wall clock. Local sends (From == To) and fault-free schedules pass
+// straight through.
+func Wrap(inner network.Transport, sched Schedule, clk clock.Clock) *Transport {
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	return &Transport{
+		inner: inner,
+		sched: sched,
+		clk:   clk,
+		links: make(map[[2]tx.NodeID]*faultLink),
+		quit:  make(chan struct{}),
+	}
+}
+
+// Schedule returns the wrapper's fault schedule.
+func (t *Transport) Schedule() Schedule { return t.sched }
+
+// Faults reports how many messages received an injected delay and the
+// total injected delay so far — harness sanity checks use it to prove a
+// schedule actually exercised the system.
+func (t *Transport) Faults() (messages int64, totalDelay time.Duration) {
+	return t.faults.Load(), time.Duration(t.delayed.Load())
+}
+
+// Send implements network.Transport.
+func (t *Transport) Send(m network.Message) error {
+	if m.From == m.To || !t.sched.faulty() {
+		return t.inner.Send(m)
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return fmt.Errorf("chaos: transport closed")
+	}
+	lk := t.links[[2]tx.NodeID{m.From, m.To}]
+	if lk == nil {
+		lk = &faultLink{ch: make(chan network.Message, 8192)}
+		t.links[[2]tx.NodeID{m.From, m.To}] = lk
+		t.wg.Add(1)
+		go t.deliverLoop(lk, linkRand(t.sched.Seed, m.From, m.To))
+	}
+	t.mu.Unlock()
+	select {
+	case lk.ch <- m:
+		return nil
+	case <-t.quit:
+		return fmt.Errorf("chaos: transport closed")
+	}
+}
+
+// deliverLoop applies the link's fault sequence in message order. The
+// PRNG is owned by this goroutine and consumed strictly in per-link
+// message order, so the fault pattern depends only on (seed, link,
+// message index) — never on cross-link goroutine interleaving.
+func (t *Transport) deliverLoop(lk *faultLink, rng *rand.Rand) {
+	defer t.wg.Done()
+	for {
+		select {
+		case <-t.quit:
+			return
+		case m := <-lk.ch:
+			if d := t.delayFor(rng, m.WireSize()); d > 0 {
+				t.faults.Add(1)
+				t.delayed.Add(int64(d))
+				t.sleep(d)
+			}
+			// Send errors only when the inner transport has closed
+			// mid-shutdown; nothing useful to do with them here.
+			_ = t.inner.Send(m)
+		}
+	}
+}
+
+// delayFor draws the next message's injected delay from the link PRNG.
+// Draw order is fixed (jitter, spike, partition) so the consumed random
+// stream — and therefore every later draw — is identical across runs.
+func (t *Transport) delayFor(rng *rand.Rand, wireBytes int) time.Duration {
+	s := t.sched
+	var d time.Duration
+	if s.Jitter > 0 {
+		d += time.Duration(rng.Int63n(int64(s.Jitter)))
+	}
+	if s.SpikeProb > 0 && rng.Float64() < s.SpikeProb && s.SpikeDelay > 0 {
+		d += time.Duration(rng.Int63n(int64(s.SpikeDelay)))
+	}
+	if s.PartitionProb > 0 && rng.Float64() < s.PartitionProb && s.PartitionDur > 0 {
+		// The link goes down: this and all queued messages wait out the
+		// outage, then redeliver in order.
+		d += time.Duration(rng.Int63n(int64(s.PartitionDur)))
+	}
+	if s.BytesPerSecond > 0 {
+		d += time.Duration(float64(wireBytes) / s.BytesPerSecond * float64(time.Second))
+	}
+	return d
+}
+
+// sleep waits d on the injected clock but returns early on shutdown.
+func (t *Transport) sleep(d time.Duration) {
+	done := make(chan struct{})
+	go func() {
+		t.clk.Sleep(d)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-t.quit:
+	}
+}
+
+// Recv implements network.Transport.
+func (t *Transport) Recv(node tx.NodeID) <-chan network.Message {
+	return t.inner.Recv(node)
+}
+
+// Close implements network.Transport. Messages still queued behind an
+// outage are dropped (the cluster is stopping), then the inner transport
+// is closed.
+func (t *Transport) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	t.mu.Unlock()
+	close(t.quit)
+	t.wg.Wait()
+	t.inner.Close()
+}
+
+// linkRand derives the per-link PRNG: a splitmix64-style mix of the
+// schedule seed and both endpoints, so every link gets an independent but
+// fully reproducible stream.
+func linkRand(seed int64, from, to tx.NodeID) *rand.Rand {
+	z := uint64(seed) ^ uint64(from)*0x9E3779B97F4A7C15 ^ uint64(to)*0xC2B2AE3D27D4EB4F
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return rand.New(rand.NewSource(int64(z ^ (z >> 31))))
+}

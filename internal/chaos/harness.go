@@ -1,0 +1,381 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"hermes/internal/core"
+	"hermes/internal/engine"
+	"hermes/internal/network"
+	"hermes/internal/partition"
+	"hermes/internal/router"
+	"hermes/internal/sequencer"
+	"hermes/internal/tx"
+	"hermes/internal/workload"
+)
+
+// Workload names the workload families the harness can drive.
+type Workload string
+
+// Supported workloads.
+const (
+	// WorkloadYCSB is the YCSB-A mix (50/50 read / read-modify-write)
+	// over a uniform-range layout.
+	WorkloadYCSB Workload = "ycsb"
+	// WorkloadTPCC is the New-Order/Payment mix over the by-warehouse
+	// layout; New-Order inserts records, so only cross-run conservation
+	// applies.
+	WorkloadTPCC Workload = "tpcc"
+	// WorkloadMultiTenant is the rotating-hot-node tenant workload.
+	WorkloadMultiTenant Workload = "multitenant"
+)
+
+// Policies lists every routing policy the harness can spin up.
+func Policies() []string { return []string{"hermes", "calvin", "gstore", "leap", "tpart"} }
+
+// Spec describes one deterministic harness run: a cluster, a workload
+// trace, and a submission shape. The same Spec always generates the same
+// totally ordered input, which is what makes cross-schedule equivalence
+// meaningful.
+type Spec struct {
+	// Policy is one of Policies().
+	Policy string
+	// Workload selects the generator family.
+	Workload Workload
+	// Nodes is the cluster size.
+	Nodes int
+	// Txns is the trace length; it is rounded up to a multiple of Batch.
+	Txns int
+	// Batch is the exact sequencer batch size. The harness submits the
+	// whole trace through one front-end (a single FIFO link to the
+	// leader) and disables the interval flush, so batches seal purely on
+	// the size trigger — batch composition is identical across runs no
+	// matter how the fault schedule stretches delivery.
+	Batch int
+	// Seed drives the workload generator.
+	Seed int64
+	// Timeout bounds one run (default 60s); hitting it is reported as a
+	// quiescence failure, which is itself a determinism-tooling finding.
+	Timeout time.Duration
+
+	// MutateProcs, if non-nil, transforms the generated trace before
+	// submission. Negative tests inject input-order nondeterminism here
+	// to prove the checker catches it.
+	MutateProcs func([]tx.Procedure) []tx.Procedure
+	// WrapPolicy, if non-nil, wraps every node's routing replica.
+	// Negative tests inject per-replica nondeterminism (map-iteration
+	// routing) here.
+	WrapPolicy func(router.Policy) router.Policy
+}
+
+func (s Spec) String() string {
+	return fmt.Sprintf("%s/%s n=%d txns=%d batch=%d seed=%d",
+		s.Policy, s.Workload, s.Nodes, s.Txns, s.Batch, s.Seed)
+}
+
+// Result is the externally comparable outcome of one run.
+type Result struct {
+	Spec     Spec
+	Schedule Schedule
+	// Fingerprint is the cluster-wide state hash.
+	Fingerprint uint64
+	// Nodes are the per-node state digests, in node order.
+	Nodes []engine.NodeDigest
+	// Records and Bytes are the storage totals at quiescence.
+	Records int
+	Bytes   int64
+	// Committed and Aborted account for every submitted transaction.
+	Committed, Aborted int64
+	// FaultMsgs and FaultDelay report how much the schedule actually
+	// perturbed this run.
+	FaultMsgs  int64
+	FaultDelay time.Duration
+}
+
+// normalize applies defaults and rounds the trace to whole batches.
+func (s Spec) normalize() Spec {
+	if s.Nodes <= 0 {
+		s.Nodes = 3
+	}
+	if s.Batch <= 0 {
+		s.Batch = 8
+	}
+	if s.Txns <= 0 {
+		s.Txns = 8 * s.Batch
+	}
+	if rem := s.Txns % s.Batch; rem != 0 {
+		s.Txns += s.Batch - rem
+	}
+	if s.Timeout <= 0 {
+		s.Timeout = 60 * time.Second
+	}
+	return s
+}
+
+// trace is the deterministic input of one run: layout, initial records,
+// and the ordered procedure list.
+type trace struct {
+	base    partition.Partitioner
+	records map[tx.Key][]byte
+	procs   []tx.Procedure
+	// inserts marks workloads that create records, which weakens the
+	// loaded-totals conservation check to "never shrinks".
+	inserts bool
+}
+
+// buildTrace generates the run input from the spec, deterministically.
+func buildTrace(spec Spec) (*trace, error) {
+	tr := &trace{records: make(map[tx.Key][]byte)}
+	const payload = 32
+	switch spec.Workload {
+	case WorkloadYCSB, "":
+		rows := uint64(48 * spec.Nodes)
+		tr.base = partition.NewUniformRange(0, rows, spec.Nodes)
+		for i := uint64(0); i < rows; i++ {
+			tr.records[tx.MakeKey(0, i)] = workload.Value(payload, 0)
+		}
+		gen := workload.NewYCSB(workload.YCSBConfig{
+			Rows: rows, Nodes: spec.Nodes, Mix: workload.YCSBA,
+			Theta: 0.8, KeysPerTxn: 3, Payload: payload, Seed: spec.Seed,
+		})
+		for i := 0; i < spec.Txns; i++ {
+			proc, _ := gen.Next(0)
+			tr.procs = append(tr.procs, proc)
+		}
+	case WorkloadTPCC:
+		cfg := workload.DefaultTPCCConfig(spec.Nodes, 1)
+		cfg.StockPerWarehouse = 60
+		cfg.HotSpotProb = 0.5
+		cfg.Seed = spec.Seed
+		gen := workload.NewTPCC(cfg)
+		tr.base = gen.Partitioner()
+		tr.inserts = true
+		gen.ForEachRecord(func(k tx.Key, v []byte) {
+			cp := make([]byte, len(v))
+			copy(cp, v)
+			tr.records[k] = cp
+		})
+		for i := 0; i < spec.Txns; i++ {
+			proc, _ := gen.Next(time.Duration(i) * time.Millisecond)
+			tr.procs = append(tr.procs, proc)
+		}
+	case WorkloadMultiTenant:
+		cfg := workload.DefaultMultiTenantConfig(spec.Nodes)
+		cfg.TenantsPerNode = 2
+		cfg.RowsPerTenant = 40
+		cfg.RotationPeriod = 2 * time.Second
+		cfg.Payload = payload
+		cfg.Seed = spec.Seed
+		gen := workload.NewMultiTenant(cfg)
+		tr.base = gen.Partitioner()
+		for i := uint64(0); i < gen.Rows(); i++ {
+			tr.records[tx.MakeKey(0, i)] = workload.Value(payload, 0)
+		}
+		for i := 0; i < spec.Txns; i++ {
+			// Deterministic pseudo-elapsed time: the hot node rotates at
+			// fixed trace positions, identically in every run.
+			proc, _ := gen.Next(time.Duration(i) * 50 * time.Millisecond)
+			tr.procs = append(tr.procs, proc)
+		}
+	default:
+		return nil, fmt.Errorf("chaos: unknown workload %q", spec.Workload)
+	}
+	return tr, nil
+}
+
+// factory builds the policy factory for spec over base.
+func factory(spec Spec, base partition.Partitioner) (engine.PolicyFactory, error) {
+	var pf engine.PolicyFactory
+	switch spec.Policy {
+	case "hermes", "":
+		pf = func(a []tx.NodeID) router.Policy { return core.New(base, a, core.DefaultConfig(64)) }
+	case "calvin":
+		pf = func(a []tx.NodeID) router.Policy { return router.NewCalvin(base, a) }
+	case "gstore":
+		pf = func(a []tx.NodeID) router.Policy { return router.NewGStore(base, a) }
+	case "leap":
+		pf = func(a []tx.NodeID) router.Policy { return router.NewLEAP(base, a) }
+	case "tpart":
+		pf = func(a []tx.NodeID) router.Policy { return router.NewTPart(base, a, 0.5) }
+	default:
+		return nil, fmt.Errorf("chaos: unknown policy %q", spec.Policy)
+	}
+	if spec.WrapPolicy != nil {
+		inner := pf
+		pf = func(a []tx.NodeID) router.Policy { return spec.WrapPolicy(inner(a)) }
+	}
+	return pf, nil
+}
+
+// Run executes spec once under sched and returns the quiesced state.
+//
+// Determinism protocol: the trace is submitted in order through node 0's
+// front-end only, so all forwards share one FIFO link to the leader; the
+// sequencer's interval flush is disabled (the harness sets a very long
+// interval) and Batch is the exact size trigger, so every run seals the
+// identical batch stream. Everything downstream — batch delivery, record
+// pushes, write-backs, migration chunks — is fair game for the fault
+// schedule, which is precisely the paper's determinism claim.
+func Run(spec Spec, sched Schedule) (*Result, error) {
+	spec = spec.normalize()
+	tr, err := buildTrace(spec)
+	if err != nil {
+		return nil, err
+	}
+	pf, err := factory(spec, tr.base)
+	if err != nil {
+		return nil, err
+	}
+
+	ids := make([]tx.NodeID, spec.Nodes)
+	for i := range ids {
+		ids[i] = tx.NodeID(i)
+	}
+	var chaosT *Transport
+	c, err := engine.New(engine.Config{
+		Nodes:  ids,
+		Policy: pf,
+		// Interval far beyond any run: batches seal on size only.
+		Seq: sequencer.Config{BatchSize: spec.Batch, Interval: time.Hour},
+		WrapTransport: func(inner network.Transport) network.Transport {
+			chaosT = Wrap(inner, sched, nil)
+			return chaosT
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Stop()
+
+	var loadedRecords int
+	var loadedBytes int64
+	for k, v := range tr.records {
+		c.LoadRecord(k, v)
+		loadedRecords++
+		loadedBytes += int64(len(v))
+	}
+
+	procs := tr.procs
+	if spec.MutateProcs != nil {
+		procs = spec.MutateProcs(append([]tx.Procedure(nil), procs...))
+	}
+
+	deadline := time.Now().Add(spec.Timeout)
+	dones := make([]<-chan struct{}, 0, len(procs))
+	for _, p := range procs {
+		done, err := c.Submit(0, p)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: submit under %v: %w", sched, err)
+		}
+		dones = append(dones, done)
+	}
+	for i, done := range dones {
+		select {
+		case <-done:
+		case <-time.After(time.Until(deadline)):
+			return nil, fmt.Errorf("chaos: %v under %v: txn %d/%d did not complete within %v (reproduce with seed=%d)",
+				spec, sched, i+1, len(dones), spec.Timeout, sched.Seed)
+		}
+	}
+	if !c.Drain(time.Until(deadline)) {
+		return nil, fmt.Errorf("chaos: %v under %v: cluster did not quiesce within %v (reproduce with seed=%d)",
+			spec, sched, spec.Timeout, sched.Seed)
+	}
+
+	res := &Result{
+		Spec:        spec,
+		Schedule:    sched,
+		Fingerprint: c.Fingerprint(),
+		Nodes:       c.NodeDigests(),
+		Records:     c.TotalRecords(),
+		Bytes:       c.TotalBytes(),
+		Committed:   c.Collector().Committed(),
+		Aborted:     c.Collector().Aborted(),
+	}
+	res.FaultMsgs, res.FaultDelay = chaosT.Faults()
+
+	// Conservation: transactions and migrations must never lose records
+	// or bytes; workloads without inserts must preserve the loaded totals
+	// exactly.
+	if res.Records < loadedRecords {
+		return nil, fmt.Errorf("chaos: %v under %v: records shrank %d -> %d", spec, sched, loadedRecords, res.Records)
+	}
+	if got := res.Committed + res.Aborted; got != int64(len(procs)) {
+		return nil, fmt.Errorf("chaos: %v under %v: committed+aborted = %d, want %d", spec, sched, got, len(procs))
+	}
+	if !tr.inserts {
+		if res.Records != loadedRecords || res.Bytes != loadedBytes {
+			return nil, fmt.Errorf("chaos: %v under %v: conservation violated: %d records / %d bytes, loaded %d / %d",
+				spec, sched, res.Records, res.Bytes, loadedRecords, loadedBytes)
+		}
+	}
+	return res, nil
+}
+
+// Equivalence runs spec once per schedule and checks that every run
+// reached the identical final state: cluster fingerprint, every node's
+// store digest and fusion fingerprint, and the storage totals. It returns
+// all results plus the first divergence (or run failure) found.
+func Equivalence(spec Spec, scheds []Schedule) ([]*Result, error) {
+	if len(scheds) == 0 {
+		return nil, fmt.Errorf("chaos: no schedules")
+	}
+	results := make([]*Result, 0, len(scheds))
+	var ref *Result
+	for _, sched := range scheds {
+		res, err := Run(spec, sched)
+		if err != nil {
+			return results, err
+		}
+		results = append(results, res)
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if err := equivalent(ref, res); err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// equivalent compares two quiesced runs of the same spec.
+func equivalent(a, b *Result) error {
+	mismatch := func(what string, av, bv interface{}) error {
+		return fmt.Errorf("chaos: DIVERGENCE %v: %s differs under %v vs %v: %v vs %v (reproduce with seeds %d, %d)",
+			a.Spec, what, a.Schedule, b.Schedule, av, bv, a.Schedule.Seed, b.Schedule.Seed)
+	}
+	if a.Fingerprint != b.Fingerprint {
+		return mismatch("cluster fingerprint", fmt.Sprintf("%x", a.Fingerprint), fmt.Sprintf("%x", b.Fingerprint))
+	}
+	if len(a.Nodes) != len(b.Nodes) {
+		return mismatch("node count", len(a.Nodes), len(b.Nodes))
+	}
+	for i := range a.Nodes {
+		an, bn := a.Nodes[i], b.Nodes[i]
+		if an.Store != bn.Store {
+			return mismatch(fmt.Sprintf("node %d store digest", an.Node),
+				fmt.Sprintf("%x", an.Store), fmt.Sprintf("%x", bn.Store))
+		}
+		if an.Fusion != bn.Fusion {
+			return mismatch(fmt.Sprintf("node %d fusion table", an.Node),
+				fmt.Sprintf("%x", an.Fusion), fmt.Sprintf("%x", bn.Fusion))
+		}
+		if an.Records != bn.Records || an.Bytes != bn.Bytes {
+			return mismatch(fmt.Sprintf("node %d usage", an.Node),
+				fmt.Sprintf("%d rec/%d B", an.Records, an.Bytes),
+				fmt.Sprintf("%d rec/%d B", bn.Records, bn.Bytes))
+		}
+	}
+	if a.Records != b.Records || a.Bytes != b.Bytes {
+		return mismatch("storage totals",
+			fmt.Sprintf("%d rec/%d B", a.Records, a.Bytes),
+			fmt.Sprintf("%d rec/%d B", b.Records, b.Bytes))
+	}
+	if a.Committed != b.Committed || a.Aborted != b.Aborted {
+		return mismatch("commit/abort counts",
+			fmt.Sprintf("%d/%d", a.Committed, a.Aborted),
+			fmt.Sprintf("%d/%d", b.Committed, b.Aborted))
+	}
+	return nil
+}

@@ -3,6 +3,7 @@ package engine
 import (
 	"math/rand"
 	"testing"
+	"time"
 
 	"hermes/internal/core"
 	"hermes/internal/fusion"
@@ -95,5 +96,76 @@ func TestRouteConservationFuzz(t *testing.T) {
 		for _, rt := range pol.RouteUser(txns) {
 			checkRouteConservation(t, c, rt)
 		}
+	}
+}
+
+// TestStorageConservationAcrossMigrations checks the storage-level
+// counterpart of route conservation: however records move — policy-driven
+// migrations (LEAP/Hermes), write-backs (G-Store+), or explicit cold
+// migration transactions — the cluster-wide record count and byte volume
+// must stay exactly what was loaded. A record duplicated or lost in
+// transit shows up here as a total that drifted.
+func TestStorageConservationAcrossMigrations(t *testing.T) {
+	for name, pf := range policies(3) {
+		t.Run(name, func(t *testing.T) {
+			c := newTestCluster(t, 3, pf)
+			loadCounters(c, testRows)
+			wantRecords := testRows
+			wantBytes := int64(testRows * 8) // loadCounters writes 8-byte values
+			if got := c.TotalBytes(); got != wantBytes {
+				t.Fatalf("loaded bytes = %d, want %d", got, wantBytes)
+			}
+			// Cross-partition traffic: value-size-preserving increments over
+			// skewed keys, so look-present policies migrate and Hermes fuses.
+			// The increments stay below row 120 so they can never re-migrate
+			// the explicitly moved block after its final hop.
+			rng := rand.New(rand.NewSource(5))
+			for i := 0; i < 90; i++ {
+				k1 := tx.MakeKey(0, uint64(rng.Intn(120)))
+				k2 := tx.MakeKey(0, uint64(rng.Intn(8))) // hot band
+				if _, err := c.Submit(tx.NodeID(i%3), incProc(k1, k2)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Explicit cold migrations bouncing one block between nodes while
+			// the increments are still in flight.
+			block := make([]tx.Key, 0, 40)
+			for i := uint64(120); i < 160; i++ {
+				block = append(block, tx.MakeKey(0, i))
+			}
+			for _, dest := range []tx.NodeID{1, 2, 0} {
+				if err := c.SubmitAndWait(dest, &tx.MigrationProc{Keys: block, To: dest}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !c.Drain(30 * time.Second) {
+				t.Fatalf("did not drain (pending=%d)", c.Pending())
+			}
+			if got := c.TotalRecords(); got != wantRecords {
+				t.Fatalf("record count not conserved: %d, want %d", got, wantRecords)
+			}
+			if got := c.TotalBytes(); got != wantBytes {
+				t.Fatalf("byte volume not conserved: %d, want %d", got, wantBytes)
+			}
+			// The per-node digests must agree with the totals they summarize.
+			var recs int
+			var bytes int64
+			for _, d := range c.NodeDigests() {
+				recs += d.Records
+				bytes += d.Bytes
+			}
+			if recs != wantRecords || bytes != wantBytes {
+				t.Fatalf("NodeDigests sum = %d recs %d bytes, want %d/%d",
+					recs, bytes, wantRecords, wantBytes)
+			}
+			// The explicit migrations must have ended with the block on node 0.
+			if got := c.Node(0).Store(); got != nil {
+				for _, k := range block {
+					if _, ok := got.Read(k); !ok {
+						t.Fatalf("migrated key %v missing from final destination", k)
+					}
+				}
+			}
+		})
 	}
 }

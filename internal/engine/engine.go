@@ -46,6 +46,11 @@ type Config struct {
 	Seq sequencer.Config
 	// Latency is the network latency model (nil = immediate delivery).
 	Latency network.LatencyModel
+	// WrapTransport, if non-nil, wraps the cluster's base transport before
+	// any component uses it. The chaos harness injects its seeded
+	// fault-injecting transport here; wrappers must preserve the Transport
+	// contract (per-link FIFO order, asynchronous delivery).
+	WrapTransport func(network.Transport) network.Transport
 	// StorageDelay is an optional per-record storage access cost,
 	// emulating buffer-pool pressure. Zero for unit tests.
 	StorageDelay time.Duration
@@ -76,9 +81,12 @@ const LeaderNode tx.NodeID = -64
 
 // Cluster is a running emulated cluster.
 type Cluster struct {
-	cfg       Config
-	tr        *network.ChanTransport
-	leader    *sequencer.Leader
+	cfg Config
+	// tr is what every component sends and receives through; it is base
+	// unless Config.WrapTransport interposed a wrapper (fault injection).
+	tr     network.Transport
+	base   *network.ChanTransport
+	leader *sequencer.Leader
 	nodes     map[tx.NodeID]*Node
 	order     []tx.NodeID
 	collector *metrics.Collector
@@ -118,9 +126,15 @@ func build(cfg Config) (*Cluster, error) {
 		cfg.Window = time.Second
 	}
 	all := append(append([]tx.NodeID(nil), cfg.Nodes...), LeaderNode)
+	base := network.NewChanTransport(all, cfg.Latency)
+	var tr network.Transport = base
+	if cfg.WrapTransport != nil {
+		tr = cfg.WrapTransport(base)
+	}
 	c := &Cluster{
 		cfg:     cfg,
-		tr:      network.NewChanTransport(all, cfg.Latency),
+		tr:      tr,
+		base:    base,
 		nodes:   make(map[tx.NodeID]*Node, len(cfg.Nodes)),
 		order:   append([]tx.NodeID(nil), cfg.Nodes...),
 		pending: make(map[tx.TxnID]chan struct{}),
@@ -154,7 +168,7 @@ func (c *Cluster) ConfigCopy() Config { return c.cfg }
 func (c *Cluster) Collector() *metrics.Collector { return c.collector }
 
 // NetStats exposes transport byte/message accounting.
-func (c *Cluster) NetStats() *network.Stats { return c.tr.Stats() }
+func (c *Cluster) NetStats() *network.Stats { return c.base.Stats() }
 
 // Start returns the cluster start time (metrics epoch).
 func (c *Cluster) Start() time.Time { return c.start }
@@ -330,12 +344,55 @@ func (c *Cluster) Fingerprint() uint64 {
 	return acc
 }
 
+// NodeDigest captures one node's externally comparable state at
+// quiescence: where every record lives and what the routing replica
+// believes. Two runs of the same input must agree on every field for
+// every node — a strictly stronger check than the cluster Fingerprint,
+// which could mask compensating per-node differences.
+type NodeDigest struct {
+	Node tx.NodeID
+	// Store is the stable digest over the node's record contents.
+	Store uint64
+	// Fusion is the routing replica's fusion-table fingerprint (0 when
+	// the policy has no fusion table).
+	Fusion uint64
+	// Records and Bytes are the node's record count and value volume.
+	Records int
+	Bytes   int64
+}
+
+// NodeDigests returns every node's state digest in node order.
+func (c *Cluster) NodeDigests() []NodeDigest {
+	out := make([]NodeDigest, 0, len(c.order))
+	for _, id := range c.order {
+		n := c.nodes[id]
+		d := NodeDigest{Node: id, Store: n.store.Digest()}
+		d.Records, d.Bytes = n.store.Usage()
+		if f := n.policy.Placement().Fusion; f != nil {
+			d.Fusion = f.Fingerprint()
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
 // TotalRecords sums the record counts across all nodes; migration must
 // conserve it.
 func (c *Cluster) TotalRecords() int {
 	total := 0
 	for _, n := range c.nodes {
 		total += n.store.Len()
+	}
+	return total
+}
+
+// TotalBytes sums the record value volume across all nodes; migration
+// must conserve it alongside the record count.
+func (c *Cluster) TotalBytes() int64 {
+	var total int64
+	for _, n := range c.nodes {
+		_, b := n.store.Usage()
+		total += b
 	}
 	return total
 }

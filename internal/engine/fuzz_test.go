@@ -121,6 +121,101 @@ func TestRandomizedSerializability(t *testing.T) {
 	}
 }
 
+// fuzzPolicies is the deterministic order FuzzDeterministicReplay uses to
+// map its policy selector to a factory (maps would randomize it).
+var fuzzPolicies = []string{"hermes", "calvin", "gstore", "leap", "tpart"}
+
+// FuzzDeterministicReplay feeds randomized workloads (seeded key sets and
+// transaction shapes) through two independent clusters with pinned batch
+// composition and requires byte-identical state fingerprints. Any
+// interleaving-dependent behaviour the engine picks up — map iteration in
+// a hot path, a racy counter folded into state, timing-dependent batch
+// boundaries — shows up as a fingerprint mismatch on some input.
+//
+// Batch composition is pinned the same way internal/chaos does it (which
+// this package cannot import without a cycle): every transaction enters
+// through node 0's front-end so one FIFO link fixes arrival order, and the
+// sequencer's interval flush is disabled so batches seal only on the size
+// trigger.
+func FuzzDeterministicReplay(f *testing.F) {
+	f.Add(int64(1), int64(0))
+	f.Add(int64(2), int64(1))
+	f.Add(int64(42), int64(4))
+	f.Fuzz(func(t *testing.T, seed, polSel int64) {
+		pol := fuzzPolicies[int(uint64(polSel)%uint64(len(fuzzPolicies)))]
+		const (
+			nodes = 2
+			rows  = 24
+			txns  = 16
+			batch = 4
+		)
+		// Generate the trace once so both runs replay the identical input.
+		rng := rand.New(rand.NewSource(seed))
+		type shape struct {
+			keys  []tx.Key
+			abort bool
+		}
+		shapes := make([]shape, txns)
+		for i := range shapes {
+			nKeys := 1 + rng.Intn(3)
+			set := map[tx.Key]bool{}
+			for k := 0; k < nKeys; k++ {
+				set[tx.MakeKey(0, uint64(rng.Intn(rows)))] = true
+			}
+			var keys []tx.Key
+			for k := range set {
+				keys = append(keys, k)
+			}
+			shapes[i] = shape{keys: tx.NormalizeKeys(keys), abort: rng.Intn(8) == 0}
+		}
+
+		run := func() uint64 {
+			base := partition.NewUniformRange(0, rows, nodes)
+			c, err := New(Config{
+				Nodes:  []tx.NodeID{0, 1},
+				Policy: tpccPolicy(pol, base),
+				Seq:    sequencer.Config{BatchSize: batch, Interval: time.Hour},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Stop()
+			loadCounters(c, rows)
+			dones := make([]<-chan struct{}, 0, txns)
+			for i, s := range shapes {
+				proc := incProc(s.keys...)
+				if s.abort {
+					proc = &tx.OpProc{
+						Reads: s.keys, Writes: s.keys,
+						AbortIf: func(map[tx.Key][]byte) string { return "fuzz abort" },
+					}
+				}
+				done, err := c.Submit(0, proc)
+				if err != nil {
+					t.Fatalf("submit %d: %v", i, err)
+				}
+				dones = append(dones, done)
+			}
+			deadline := time.After(30 * time.Second)
+			for i, done := range dones {
+				select {
+				case <-done:
+				case <-deadline:
+					t.Fatalf("txn %d/%d did not complete", i, txns)
+				}
+			}
+			if !c.Drain(10 * time.Second) {
+				t.Fatalf("did not drain (pending=%d)", c.Pending())
+			}
+			return c.Fingerprint()
+		}
+		if a, b := run(), run(); a != b {
+			t.Fatalf("seed=%d policy=%s: replay fingerprints differ: %x vs %x",
+				seed, pol, a, b)
+		}
+	})
+}
+
 // TestTPCCIntegrity runs the TPC-C generator through the full engine
 // under every policy and checks the workload's invariants: submissions
 // are fully accounted (committed + aborted), inserts only grow the record

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"hermes/internal/clock"
 	"hermes/internal/tx"
 )
 
@@ -57,7 +58,11 @@ func TestChanTransportDelivery(t *testing.T) {
 }
 
 func TestChanTransportFIFOPerLink(t *testing.T) {
-	tr := NewChanTransport(nodes(2), UniformLatency(100*time.Microsecond, 0))
+	// A manual clock makes the latency path deterministic: nothing can be
+	// delivered until the clock moves past the stamped due times, and no
+	// real time is spent waiting.
+	clk := clock.NewManual(time.Unix(0, 0))
+	tr := NewChanTransportClock(nodes(2), UniformLatency(100*time.Microsecond, 0), clk)
 	defer tr.Close()
 	const n = 100
 	for i := 0; i < n; i++ {
@@ -65,6 +70,13 @@ func TestChanTransportFIFOPerLink(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// The clock has not moved, so delivery is impossible yet.
+	select {
+	case m := <-tr.Recv(1):
+		t.Fatalf("message %d delivered before the clock advanced", m.Seq)
+	default:
+	}
+	clk.Advance(time.Millisecond)
 	for i := 0; i < n; i++ {
 		select {
 		case m := <-tr.Recv(1):
@@ -77,10 +89,39 @@ func TestChanTransportFIFOPerLink(t *testing.T) {
 	}
 }
 
-func TestChanTransportLocalBypass(t *testing.T) {
-	tr := NewChanTransport(nodes(1), UniformLatency(time.Hour, 0))
+func TestChanTransportLatencyGate(t *testing.T) {
+	// Delivery must wait out exactly the modelled latency: not before the
+	// due time, promptly after it.
+	clk := clock.NewManual(time.Unix(0, 0))
+	tr := NewChanTransportClock(nodes(2), UniformLatency(500*time.Microsecond, 0), clk)
 	defer tr.Close()
-	start := time.Now()
+	if err := tr.Send(Message{From: 0, To: 1, Payload: []byte("gated")}); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(499 * time.Microsecond)
+	select {
+	case <-tr.Recv(1):
+		t.Fatal("delivered before the modelled latency elapsed")
+	default:
+	}
+	clk.Advance(2 * time.Microsecond)
+	select {
+	case m := <-tr.Recv(1):
+		if string(m.Payload) != "gated" {
+			t.Fatalf("got %+v", m)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("not delivered after the latency elapsed")
+	}
+}
+
+func TestChanTransportLocalBypass(t *testing.T) {
+	// Local sends must bypass the latency model entirely: with a manual
+	// clock that never advances, an hour of modelled latency would block
+	// any message that touches the delay path.
+	clk := clock.NewManual(time.Unix(0, 0))
+	tr := NewChanTransportClock(nodes(1), UniformLatency(time.Hour, 0), clk)
+	defer tr.Close()
 	if err := tr.Send(Message{From: 0, To: 0}); err != nil {
 		t.Fatal(err)
 	}
@@ -88,9 +129,6 @@ func TestChanTransportLocalBypass(t *testing.T) {
 	case <-tr.Recv(0):
 	case <-time.After(time.Second):
 		t.Fatal("local message delayed by latency model")
-	}
-	if time.Since(start) > 500*time.Millisecond {
-		t.Fatal("local delivery took too long")
 	}
 	if msgs, _ := tr.Stats().Totals(); msgs != 0 {
 		t.Errorf("local send counted as network traffic: %d msgs", msgs)

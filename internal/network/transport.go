@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hermes/internal/clock"
 	"hermes/internal/tx"
 )
 
@@ -90,6 +91,7 @@ type ChanTransport struct {
 	links   map[[2]tx.NodeID]*link
 
 	latency LatencyModel
+	clk     clock.Clock
 	stats   Stats
 	wg      sync.WaitGroup
 }
@@ -97,10 +99,21 @@ type ChanTransport struct {
 // NewChanTransport creates a transport for the given nodes. latency may be
 // nil for immediate delivery.
 func NewChanTransport(nodes []tx.NodeID, latency LatencyModel) *ChanTransport {
+	return NewChanTransportClock(nodes, latency, clock.Real{})
+}
+
+// NewChanTransportClock is NewChanTransport with an injected time source:
+// delivery due-times are stamped and waited on through clk, so tests can
+// drive the latency model with a clock.Manual instead of real sleeps.
+func NewChanTransportClock(nodes []tx.NodeID, latency LatencyModel, clk clock.Clock) *ChanTransport {
+	if clk == nil {
+		clk = clock.Real{}
+	}
 	t := &ChanTransport{
 		inboxes: make(map[tx.NodeID]chan Message, len(nodes)),
 		links:   make(map[[2]tx.NodeID]*link),
 		latency: latency,
+		clk:     clk,
 	}
 	for _, n := range nodes {
 		t.inboxes[n] = make(chan Message, 4096)
@@ -143,7 +156,7 @@ func (t *ChanTransport) Send(m Message) error {
 	tm := timedMessage{m: m}
 	if t.latency != nil {
 		if d := t.latency(m.From, m.To, m.WireSize()); d > 0 {
-			tm.due = time.Now().Add(d)
+			tm.due = t.clk.Now().Add(d)
 		}
 	}
 	lk.ch <- tm
@@ -166,8 +179,12 @@ func (t *ChanTransport) getLink(from, to tx.NodeID, inbox chan Message) *link {
 		defer t.wg.Done()
 		for tm := range lk.ch {
 			if !tm.due.IsZero() {
-				if d := time.Until(tm.due); d > 0 {
-					time.Sleep(d)
+				for {
+					d := tm.due.Sub(t.clk.Now())
+					if d <= 0 {
+						break
+					}
+					t.clk.Sleep(d)
 				}
 			}
 			inbox <- tm.m

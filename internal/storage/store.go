@@ -150,6 +150,49 @@ func (s *Store) Fingerprint() uint64 {
 	return acc
 }
 
+// Digest returns a stable, order-independent digest of the full store
+// contents, stronger than Fingerprint: per-record hashes are combined with
+// both XOR and a multiplied sum and mixed with the record count, so pairs
+// of colliding records cannot cancel out. Cross-run equivalence checks
+// compare per-node digests with it.
+func (s *Store) Digest() uint64 {
+	var xorAcc, sumAcc, count uint64
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+		for k, v := range s.shards[i].recs {
+			h := fnv.New64a()
+			var kb [8]byte
+			for b := 0; b < 8; b++ {
+				kb[b] = byte(uint64(k) >> (8 * b))
+			}
+			h.Write(kb[:])
+			h.Write(v)
+			hv := h.Sum64()
+			xorAcc ^= hv
+			sumAcc += hv * 0x9E3779B97F4A7C15
+			count++
+		}
+		s.shards[i].mu.RUnlock()
+	}
+	mix := xorAcc ^ (sumAcc * 0xFF51AFD7ED558CCD) ^ (count * 0xC4CEB9FE1A85EC53)
+	mix ^= mix >> 33
+	return mix
+}
+
+// Usage reports the record count and total value-byte volume held by the
+// store. Migration conservation checks rely on both being invariant.
+func (s *Store) Usage() (records int, bytes int64) {
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+		for _, v := range s.shards[i].recs {
+			records++
+			bytes += int64(len(v))
+		}
+		s.shards[i].mu.RUnlock()
+	}
+	return records, bytes
+}
+
 // Checkpoint returns a deep copy of the store contents keyed by record.
 // Per §4.3 the engine quiesces between batches before checkpointing, so a
 // consistent cut is simply "after batch k".

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# CI gate: everything a change must pass before merging.
+#
+# Usage:
+#   scripts/ci.sh          # full gate (vet + race-enabled tests)
+#   scripts/ci.sh -short   # quick local pre-push check
+#
+# The chaos equivalence suite (internal/chaos) runs as part of the normal
+# test sweep; see docs/TESTING.md for reproducing a failing fault schedule
+# from the seed in its failure message.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+short_flag=""
+if [[ "${1:-}" == "-short" ]]; then
+    short_flag="-short"
+fi
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ${short_flag} ./..."
+go test -race ${short_flag} ./...
+
+echo "==> CI gate passed"
