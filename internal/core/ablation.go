@@ -27,7 +27,8 @@ type Ablation struct {
 }
 
 // AblatedPrescient is a Prescient router with selected ingredients
-// disabled. It implements router.Policy.
+// disabled. It implements router.Policy. Like Prescient, it reuses
+// per-batch scratch state and is not safe for concurrent RouteUser calls.
 type AblatedPrescient struct {
 	p   *Prescient
 	abl Ablation
@@ -67,62 +68,67 @@ func (a *AblatedPrescient) RouteUser(txns []*tx.Request) []*router.Route {
 		return nil
 	}
 
-	overlay := make(map[tx.Key]tx.NodeID)
-	order := make([]*tx.Request, 0, b)
-	masters := make([]tx.NodeID, 0, b)
-	loads := make([]int, n)
-	nodeIdx := make(map[tx.NodeID]int, n)
-	for i, node := range active {
-		nodeIdx[node] = i
-	}
+	p.beginBatch(active, b)
+	sc := &p.sc
 
 	if a.abl.NoReorder {
 		// Step 1 without reordering: greedy route in arrival order.
-		for i, r := range txns {
-			s, x := p.bestRouteFor(r, overlay, active, nodeIdx)
-			s.pos = i
-			order = append(order, r)
-			masters = append(masters, active[x])
-			loads[x]++
+		for _, r := range txns {
+			_, x := p.bestRouteFor(r, active)
+			sc.order = append(sc.order, r)
+			sc.masters = append(sc.masters, active[x])
+			sc.loads[x]++
 			for _, k := range r.WriteSet() {
-				overlay[k] = active[x]
+				sc.overlay[k] = active[x]
 			}
 		}
 	} else {
-		full := p.RouteUserPlanOnly(txns, overlay, active, nodeIdx, loads)
-		order, masters = full.order, full.masters
+		p.planGreedy(txns, active)
 	}
 
 	if !a.abl.NoRebalance {
 		theta := int(math.Ceil(float64(b) / float64(n) * (1 + p.cfg.Alpha)))
-		p.rebalance(order, masters, loads, overlay, active, nodeIdx, theta)
+		p.rebalance(sc.order, sc.masters, active, theta)
 	}
 
-	routes := make([]*router.Route, 0, b)
-	for i, r := range order {
+	ar := newRouteArena(sc.order)
+	for i, r := range sc.order {
 		if a.abl.NoFusion {
-			routes = append(routes, a.commitRouteNoFusion(r, masters[i]))
+			a.commitRouteNoFusion(r, sc.masters[i], ar)
 		} else {
-			routes = append(routes, p.commitRoute(r, masters[i]))
+			p.commitRoute(r, sc.masters[i], ar)
 		}
+	}
+	routes := ar.ptrs
+	for i := range sc.order {
+		sc.order[i] = nil
 	}
 	return routes
 }
 
 // commitRouteNoFusion emits a route where remote written records are
 // write-backs instead of migrations, leaving placement untouched.
-func (a *AblatedPrescient) commitRouteNoFusion(r *tx.Request, master tx.NodeID) *router.Route {
+func (a *AblatedPrescient) commitRouteNoFusion(r *tx.Request, master tx.NodeID, ar *routeArena) *router.Route {
 	p := a.p
 	access := r.AccessSet()
-	owners := make(map[tx.Key]tx.NodeID, len(access))
+	oBase := len(ar.owners)
 	for _, k := range access {
-		owners[k] = p.pl.Owner(k)
+		ar.owners = append(ar.owners, router.OwnerPair{Key: k, Node: p.pl.Owner(k)})
 	}
-	route := &router.Route{Txn: r, Mode: router.SingleMaster, Master: master, Owners: owners}
+	owners := router.Owners(ar.owners[oBase:len(ar.owners):len(ar.owners)])
+	ar.routes = ar.routes[:len(ar.routes)+1]
+	route := &ar.routes[len(ar.routes)-1]
+	route.Txn, route.Mode, route.Master = r, router.SingleMaster, master
+	route.Owners = owners
+	ar.ptrs = append(ar.ptrs, route)
+	wbBase := len(ar.wb)
 	for _, k := range r.WriteSet() {
-		if owners[k] != master {
-			route.WriteBack = append(route.WriteBack, k)
+		if owners.Get(k) != master {
+			ar.wb = append(ar.wb, k)
 		}
+	}
+	if len(ar.wb) > wbBase {
+		route.WriteBack = ar.wb[wbBase:len(ar.wb):len(ar.wb)]
 	}
 	return route
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -72,7 +73,7 @@ func TestPaperExampleBalancedAndCheap(t *testing.T) {
 	for _, rt := range routes {
 		moves += len(rt.Migrations)
 		for _, k := range rt.Txn.ReadSet() {
-			if !tx.ContainsKey(rt.Txn.WriteSet(), k) && rt.Owners[k] != rt.Master {
+			if !tx.ContainsKey(rt.Txn.WriteSet(), k) && rt.Owners.Get(k) != rt.Master {
 				moves++
 			}
 		}
@@ -389,28 +390,63 @@ func TestReadOnlyKeysDoNotMigrate(t *testing.T) {
 	}
 }
 
-func BenchmarkPrescientRouting(b *testing.B) {
-	// The §3.2.4 setting: n = 20 nodes, b = 1000 requests per batch.
-	base := partition.NewUniformRange(0, 1_000_000, 20)
-	p := New(base, activeNodes(20), DefaultConfig(100_000))
-	rng := rand.New(rand.NewSource(1))
-	mkBatch := func(start tx.TxnID) []*tx.Request {
-		out := make([]*tx.Request, 0, 1000)
-		for i := 0; i < 1000; i++ {
+// routingBatches pre-generates a pool of batches (bsize transactions of
+// 2 keys, 1 written — the paper's YCSB default) so benchmarks time the
+// router alone, not request construction.
+func routingBatches(rng *rand.Rand, rows uint64, bsize, pool int) [][]*tx.Request {
+	out := make([][]*tx.Request, pool)
+	id := tx.TxnID(1)
+	for p := range out {
+		batch := make([]*tx.Request, 0, bsize)
+		for i := 0; i < bsize; i++ {
 			var rs, ws []tx.Key
 			for j := 0; j < 2; j++ {
-				k := tx.MakeKey(0, uint64(rng.Intn(1_000_000)))
+				k := tx.MakeKey(0, uint64(rng.Intn(int(rows))))
 				rs = append(rs, k)
 				if j == 0 {
 					ws = append(ws, k)
 				}
 			}
-			out = append(out, reqRW(start+tx.TxnID(i), rs, ws))
+			batch = append(batch, reqRW(id, rs, ws))
+			id++
 		}
-		return out
+		out[p] = batch
 	}
+	return out
+}
+
+func BenchmarkPrescientRouting(b *testing.B) {
+	// n = 20, b = 1000 is the §3.2.4 setting; the smaller variants track
+	// the cost curve scripts/bench.sh records in BENCH_routing.json.
+	for _, n := range []int{4, 20} {
+		for _, bsize := range []int{100, 1000} {
+			b.Run(fmt.Sprintf("n=%d/b=%d", n, bsize), func(b *testing.B) {
+				const rows = 1_000_000
+				base := partition.NewUniformRange(0, rows, n)
+				p := New(base, activeNodes(n), DefaultConfig(100_000))
+				batches := routingBatches(rand.New(rand.NewSource(1)), rows, bsize, 16)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					p.RouteUser(batches[i%len(batches)])
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkCommitRoute(b *testing.B) {
+	const rows = 1_000_000
+	base := partition.NewUniformRange(0, rows, 20)
+	p := New(base, activeNodes(20), DefaultConfig(100_000))
+	batches := routingBatches(rand.New(rand.NewSource(1)), rows, 1000, 4)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		p.RouteUser(mkBatch(tx.TxnID(i*1000 + 1)))
+		batch := batches[i%len(batches)]
+		ar := newRouteArena(batch)
+		for _, r := range batch {
+			p.commitRoute(r, p.pl.Active()[i%20], ar)
+		}
 	}
 }

@@ -44,7 +44,7 @@ func checkRouteConservation(t *testing.T, c *Cluster, rt *router.Route) {
 		// Write-backs from the master deliver records to owners.
 		if role.isMaster {
 			for _, k := range rt.WriteBack {
-				owner := rt.Owners[k]
+				owner := rt.Owners.Get(k)
 				if owner != id {
 					if inbound[owner] == nil {
 						inbound[owner] = map[tx.Key]int{}

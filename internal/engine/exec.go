@@ -184,7 +184,7 @@ func (n *Node) runMaster(rt *router.Route, role *role, remote map[tx.Key][]byte)
 	localAfter := map[tx.Key]bool{}
 
 	for _, k := range access {
-		owner := rt.Owners[k]
+		owner := rt.Owners.Get(k)
 		if owner == n.id {
 			t0 := time.Now()
 			v, _ := n.store.Read(k)
@@ -252,7 +252,7 @@ func (n *Node) runMaster(rt *router.Route, role *role, remote map[tx.Key][]byte)
 				v = bv
 			}
 		}
-		owner := rt.Owners[k]
+		owner := rt.Owners.Get(k)
 		byOwner[owner] = append(byOwner[owner], network.Record{Key: k, Value: v})
 	}
 	for owner, recs := range byOwner {
@@ -294,7 +294,7 @@ func (n *Node) runWriter(rt *router.Route, remote map[tx.Key][]byte) (time.Durat
 	vals := make(map[tx.Key][]byte)
 	localAfter := map[tx.Key]bool{}
 	for _, k := range req.AccessSet() {
-		if rt.Owners[k] == n.id {
+		if rt.Owners.Get(k) == n.id {
 			t0 := time.Now()
 			v, _ := n.store.Read(k)
 			n.sleepStorage()

@@ -152,6 +152,9 @@ func (n *Node) schedLoop() {
 			}
 			arrival := time.Now()
 			plan := router.BuildPlan(n.policy, b)
+			// Routing cost (§3.2.4): how much scheduler time the batch
+			// analysis itself consumed, before any locking or execution.
+			n.cluster.collector.RecordRouting(len(b.Txns), time.Since(arrival))
 			for _, rt := range plan.Routes {
 				n.schedule(rt, arrival)
 			}
@@ -264,7 +267,7 @@ func (n *Node) roleFor(rt *router.Route) *role {
 			}
 		}
 		for _, k := range access {
-			owner := rt.Owners[k]
+			owner := rt.Owners.Get(k)
 			isWrite := tx.ContainsKey(writes, k)
 			if owner == n.id {
 				if isWrite {
@@ -336,7 +339,7 @@ func (n *Node) roleFor(rt *router.Route) *role {
 		// route (e.g. chunk keys a cold migration skipped because they
 		// are fusion-tracked, §3.3).
 		for _, k := range access {
-			owner, part := rt.Owners[k]
+			owner, part := rt.Owners.Lookup(k)
 			if !part {
 				continue
 			}

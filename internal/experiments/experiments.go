@@ -211,6 +211,10 @@ type runOutput struct {
 	Committed  int64
 	Aborted    int64
 	Migrations int64
+	// Routing cost (§3.2.4): mean scheduler time spent planning, per
+	// batch and per transaction, in microseconds.
+	RoutingPerBatchUs float64
+	RoutingPerTxnUs   float64
 }
 
 type breakdown struct {
@@ -321,10 +325,15 @@ func runLoad(sc Scale, sys system, gen workload.Generator,
 	out.Committed = col.Committed()
 	out.Aborted = col.Aborted()
 	out.Migrations = col.Migrations()
+	rs := col.Routing()
+	out.RoutingPerBatchUs = us(rs.PerBatch)
+	out.RoutingPerTxnUs = us(rs.PerTxn)
 	return out, nil
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func us(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
 
 // clusterSubmitter adapts engine.Cluster to workload.Submitter.
 type clusterSubmitter struct{ c *engine.Cluster }
@@ -367,6 +376,7 @@ var Registry = map[string]func(Scale) (*Result, error){
 	"ablation":        Ablation,
 	"ablation-fusion": AblationFusionCapacity,
 	"ablation-alpha":  AblationAlpha,
+	"routingcost":     RoutingCost,
 }
 
 // Names returns the registered experiment names, sorted.

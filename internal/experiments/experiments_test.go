@@ -21,7 +21,7 @@ func tiny() Scale {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"fig1", "fig2", "fig6a", "fig6b", "fig7", "fig8", "fig8b", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "ablation", "ablation-fusion", "ablation-alpha"}
+	want := []string{"fig1", "fig2", "fig6a", "fig6b", "fig7", "fig8", "fig8b", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "ablation", "ablation-fusion", "ablation-alpha", "routingcost"}
 	for _, name := range want {
 		if Registry[name] == nil {
 			t.Errorf("experiment %s missing from registry", name)
@@ -207,5 +207,30 @@ func TestAvgY(t *testing.T) {
 	}
 	if got := AvgY(Series{Y: []float64{2, 4}}); got != 3 {
 		t.Fatalf("AvgY = %f", got)
+	}
+}
+
+func TestRoutingCost(t *testing.T) {
+	res, err := RoutingCost(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two microbenchmark series (n=4, n=20) plus the cluster row.
+	if len(res.Series) != 3 {
+		t.Fatalf("series = %d, want 3", len(res.Series))
+	}
+	for _, s := range res.Series[:2] {
+		for i, y := range s.Y {
+			if y <= 0 {
+				t.Fatalf("%s: non-positive µs at point %d", s.Label, i)
+			}
+		}
+	}
+	cluster := res.Series[2]
+	if len(cluster.Y) != 3 {
+		t.Fatalf("cluster row = %v", cluster.Y)
+	}
+	if cluster.Y[0] <= 0 || cluster.Y[1] <= 0 {
+		t.Fatalf("cluster routing cost not recorded: %v", cluster.Y)
 	}
 }

@@ -66,6 +66,22 @@ type Collector struct {
 	busy        map[int]*atomic.Int64 // node -> busy nanos
 	migrations  atomic.Int64
 	remoteReads atomic.Int64
+
+	routingBatches atomic.Int64
+	routingTxns    atomic.Int64
+	routingNanos   atomic.Int64
+}
+
+// RoutingStats is the routing-cost summary of §3.2.4: how much scheduler
+// time the prescient analysis itself consumes, reported per batch and per
+// transaction so it can be compared against end-to-end latency (the paper
+// measures ~4% of transaction latency at b=1000, n=20).
+type RoutingStats struct {
+	Batches  int64
+	Txns     int64
+	Total    time.Duration
+	PerBatch time.Duration // mean routing time per batch
+	PerTxn   time.Duration // mean routing time per transaction
 }
 
 // NewCollector returns a collector with throughput windows of the given
@@ -109,6 +125,32 @@ func (c *Collector) RecordMigration(records int) { c.migrations.Add(int64(record
 
 // RecordRemoteReads counts records read across the network.
 func (c *Collector) RecordRemoteReads(n int) { c.remoteReads.Add(int64(n)) }
+
+// RecordRouting records one batch-routing invocation: txns transactions
+// planned in d of scheduler time. Every node's scheduler routes every
+// batch (deterministic replication), so callers record once per node per
+// batch; the averages still report the per-batch cost correctly.
+func (c *Collector) RecordRouting(txns int, d time.Duration) {
+	c.routingBatches.Add(1)
+	c.routingTxns.Add(int64(txns))
+	c.routingNanos.Add(int64(d))
+}
+
+// Routing returns the cumulative routing-cost summary.
+func (c *Collector) Routing() RoutingStats {
+	s := RoutingStats{
+		Batches: c.routingBatches.Load(),
+		Txns:    c.routingTxns.Load(),
+		Total:   time.Duration(c.routingNanos.Load()),
+	}
+	if s.Batches > 0 {
+		s.PerBatch = s.Total / time.Duration(s.Batches)
+	}
+	if s.Txns > 0 {
+		s.PerTxn = s.Total / time.Duration(s.Txns)
+	}
+	return s
+}
 
 // AddBusy accrues execution busy-time for a node; BusyFraction divides by
 // wall time to report CPU usage as in Fig. 8.

@@ -202,3 +202,25 @@ func BenchmarkRecordCommit(b *testing.B) {
 		c.RecordCommit(now, bd)
 	}
 }
+
+func TestRoutingStats(t *testing.T) {
+	c := NewCollector(time.Unix(0, 0), time.Second)
+	if s := c.Routing(); s.Batches != 0 || s.PerBatch != 0 || s.PerTxn != 0 {
+		t.Fatalf("empty collector routing stats = %+v", s)
+	}
+	c.RecordRouting(100, 2*time.Millisecond)
+	c.RecordRouting(300, 4*time.Millisecond)
+	s := c.Routing()
+	if s.Batches != 2 || s.Txns != 400 {
+		t.Fatalf("counts = %d batches / %d txns, want 2/400", s.Batches, s.Txns)
+	}
+	if s.Total != 6*time.Millisecond {
+		t.Fatalf("total = %v, want 6ms", s.Total)
+	}
+	if s.PerBatch != 3*time.Millisecond {
+		t.Fatalf("per-batch = %v, want 3ms", s.PerBatch)
+	}
+	if s.PerTxn != 15*time.Microsecond {
+		t.Fatalf("per-txn = %v, want 15µs", s.PerTxn)
+	}
+}

@@ -29,12 +29,11 @@ func (c *Calvin) Placement() *Placement { return c.pl }
 func (c *Calvin) RouteUser(txns []*tx.Request) []*Route {
 	routes := make([]*Route, 0, len(txns))
 	for _, r := range txns {
-		owners := make(map[tx.Key]tx.NodeID, len(r.AccessSet()))
-		ownersFor(c.pl, r.AccessSet(), owners)
+		owners := ownersOf(c.pl, r.AccessSet())
 		var writers []tx.NodeID
 		seen := map[tx.NodeID]bool{}
 		for _, k := range r.WriteSet() {
-			if o := owners[k]; !seen[o] {
+			if o := owners.Get(k); !seen[o] {
 				seen[o] = true
 				writers = append(writers, o)
 			}
@@ -44,7 +43,7 @@ func (c *Calvin) RouteUser(txns []*tx.Request) []*Route {
 			// read key, or the first active node) executes and replies.
 			w := tx.NoNode
 			if rs := r.ReadSet(); len(rs) > 0 {
-				w = owners[rs[0]]
+				w = owners.Get(rs[0])
 			} else if a := c.pl.Active(); len(a) > 0 {
 				w = a[0]
 			}

@@ -33,13 +33,12 @@ func (g *GStore) RouteUser(txns []*tx.Request) []*Route {
 	active := g.pl.Active()
 	for _, r := range txns {
 		access := r.AccessSet()
-		owners := make(map[tx.Key]tx.NodeID, len(access))
-		ownersFor(g.pl, access, owners)
+		owners := ownersOf(g.pl, access)
 		_, best := ownerHistogram(g.pl, nil, access, active)
 		master := active[best]
 		var writeBack []tx.Key
 		for _, k := range r.WriteSet() {
-			if owners[k] != master {
+			if owners.Get(k) != master {
 				writeBack = append(writeBack, k)
 			}
 		}

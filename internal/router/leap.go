@@ -38,14 +38,13 @@ func (l *LEAP) RouteUser(txns []*tx.Request) []*Route {
 	active := l.pl.Active()
 	for _, r := range txns {
 		access := r.AccessSet()
-		owners := make(map[tx.Key]tx.NodeID, len(access))
-		ownersFor(l.pl, access, owners)
+		owners := ownersOf(l.pl, access)
 		_, best := ownerHistogram(l.pl, nil, access, active)
 		master := active[best]
 		route := &Route{Txn: r, Mode: SingleMaster, Master: master, Owners: owners}
 		for _, k := range access {
-			if owners[k] != master {
-				route.Migrations = append(route.Migrations, Migration{Key: k, From: owners[k], To: master})
+			if o := owners.Get(k); o != master {
+				route.Migrations = append(route.Migrations, Migration{Key: k, From: o, To: master})
 			}
 			// Track ownership at the master; entries whose owner matches
 			// the cold home are redundant and dropped to keep the map

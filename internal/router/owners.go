@@ -1,0 +1,77 @@
+package router
+
+import (
+	"hermes/internal/tx"
+)
+
+// OwnerPair is one (key, owner) entry of a route's owner snapshot.
+type OwnerPair struct {
+	Key  tx.Key
+	Node tx.NodeID
+}
+
+// Owners is a route's owner snapshot: every key in the transaction's
+// access set (plus eviction keys) mapped to its owner at the route's
+// position in the serial order. It replaces the per-route
+// map[tx.Key]tx.NodeID so routers can carve a whole batch's snapshots out
+// of one slab allocation; entries are kept sorted by key and looked up by
+// binary search (access sets are small). The nil value is empty and
+// usable.
+type Owners []OwnerPair
+
+// Get returns the owner of k, mirroring map-index semantics: the zero
+// NodeID (node 0) when k is absent. Callers that must distinguish absence
+// (keys a route deliberately skipped, §3.3) use Lookup.
+func (o Owners) Get(k tx.Key) tx.NodeID {
+	n, _ := o.Lookup(k)
+	return n
+}
+
+// Lookup returns the owner of k and whether the snapshot contains it.
+// Absent keys report the zero NodeID, matching the comma-ok map idiom
+// this type replaced.
+func (o Owners) Lookup(k tx.Key) (tx.NodeID, bool) {
+	i := o.search(k)
+	if i < len(o) && o[i].Key == k {
+		return o[i].Node, true
+	}
+	return 0, false
+}
+
+// Set inserts or updates k's owner, keeping entries sorted by key.
+func (o *Owners) Set(k tx.Key, n tx.NodeID) {
+	s := *o
+	i := s.search(k)
+	if i < len(s) && s[i].Key == k {
+		s[i].Node = n
+		return
+	}
+	s = append(s, OwnerPair{})
+	copy(s[i+1:], s[i:])
+	s[i] = OwnerPair{Key: k, Node: n}
+	*o = s
+}
+
+// search returns the first index whose key is ≥ k.
+func (o Owners) search(k tx.Key) int {
+	lo, hi := 0, len(o)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if o[mid].Key < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// ownersOf builds the owner snapshot of keys (sorted, deduplicated — an
+// access set) against pl.
+func ownersOf(pl *Placement, keys []tx.Key) Owners {
+	out := make(Owners, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, OwnerPair{Key: k, Node: pl.Owner(k)})
+	}
+	return out
+}

@@ -39,7 +39,7 @@ func routeProvision(pl *Placement, r *tx.Request, proc *tx.ProvisionProc) *Route
 	for _, n := range proc.Add {
 		pl.AddNode(n)
 	}
-	route := &Route{Txn: r, Mode: Provision, Master: tx.NoNode, Owners: map[tx.Key]tx.NodeID{}}
+	route := &Route{Txn: r, Mode: Provision, Master: tx.NoNode}
 	for _, n := range proc.Remove {
 		// Re-home fusion entries living on the removed node: their
 		// records migrate back to their cold homes alongside this control
@@ -53,7 +53,7 @@ func routeProvision(pl *Placement, r *tx.Request, proc *tx.ProvisionProc) *Route
 					home = firstOther(pl.Active(), n)
 					pl.SetHome(k, home)
 				}
-				route.Owners[k] = n
+				route.Owners.Set(k, n)
 				route.Migrations = append(route.Migrations, Migration{Key: k, From: n, To: home})
 				pl.Fusion.Delete(k)
 			}
@@ -75,7 +75,7 @@ func firstOther(active []tx.NodeID, not tx.NodeID) tx.NodeID {
 func routeColdMigration(pl *Placement, r *tx.Request, proc *tx.MigrationProc) *Route {
 	route := &Route{
 		Txn: r, Mode: SingleMaster, Master: proc.To,
-		Owners: make(map[tx.Key]tx.NodeID, len(proc.Keys)),
+		Owners: make(Owners, 0, len(proc.Keys)),
 	}
 	for _, k := range tx.NormalizeKeys(append([]tx.Key(nil), proc.Keys...)) {
 		// §3.3: cold migration skips records tracked by the fusion table —
@@ -92,7 +92,7 @@ func routeColdMigration(pl *Placement, r *tx.Request, proc *tx.MigrationProc) *R
 		if from == proc.To {
 			continue
 		}
-		route.Owners[k] = from
+		route.Owners.Set(k, from)
 		route.Migrations = append(route.Migrations, Migration{Key: k, From: from, To: proc.To})
 	}
 	return route
@@ -136,9 +136,3 @@ func ownerHistogram(pl *Placement, overlay map[tx.Key]tx.NodeID, keys []tx.Key, 
 	return counts, best
 }
 
-// ownersFor resolves the current owner of every key in keys into dst.
-func ownersFor(pl *Placement, keys []tx.Key, dst map[tx.Key]tx.NodeID) {
-	for _, k := range keys {
-		dst[k] = pl.Owner(k)
-	}
-}

@@ -52,7 +52,7 @@ type Route struct {
 	// Owners maps every key in the transaction's access set (plus
 	// eviction keys) to its owner at this transaction's position in the
 	// serial order.
-	Owners map[tx.Key]tx.NodeID
+	Owners Owners
 	// Migrations are ownership moves executed with this transaction:
 	// the record leaves storage at From and enters storage at To.
 	Migrations []Migration
@@ -79,7 +79,7 @@ func (r *Route) Participants() []tx.NodeID {
 		add(w)
 	}
 	for _, o := range r.Owners {
-		add(o)
+		add(o.Node)
 	}
 	for _, m := range r.Migrations {
 		add(m.From)

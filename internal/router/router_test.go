@@ -84,8 +84,8 @@ func TestCalvinMultiMasterRoute(t *testing.T) {
 	if len(rt.Migrations) != 0 || len(rt.WriteBack) != 0 {
 		t.Fatal("Calvin must not migrate or write back")
 	}
-	if rt.Owners[k(30)] != 1 {
-		t.Fatalf("Owners[k30] = %d", rt.Owners[k(30)])
+	if rt.Owners.Get(k(30)) != 1 {
+		t.Fatalf("Owners[k30] = %d", rt.Owners.Get(k(30)))
 	}
 }
 
@@ -218,8 +218,8 @@ func TestTPartForwardPushWithinBatch(t *testing.T) {
 	if routes[1].Master != 1 {
 		t.Fatalf("T2 master = %d, want 1 (forward push)", routes[1].Master)
 	}
-	if routes[1].Owners[k] != 1 {
-		t.Fatalf("T2 owner of k = %d, want 1", routes[1].Owners[k])
+	if routes[1].Owners.Get(k) != 1 {
+		t.Fatalf("T2 owner of k = %d, want 1", routes[1].Owners.Get(k))
 	}
 	// The write-back must be attached to T2 (last toucher), not T1.
 	if len(routes[0].Migrations) != 1 {
@@ -244,15 +244,15 @@ func TestBuildPlanSegmentsAroundControlTxns(t *testing.T) {
 		t.Fatalf("plan = seq %d, %d routes", plan.Seq, len(plan.Routes))
 	}
 	// Before migration k is owned by node 0; after, by node 1.
-	if plan.Routes[0].Owners[k] != 0 {
-		t.Fatalf("pre-migration owner = %d", plan.Routes[0].Owners[k])
+	if plan.Routes[0].Owners.Get(k) != 0 {
+		t.Fatalf("pre-migration owner = %d", plan.Routes[0].Owners.Get(k))
 	}
 	mig := plan.Routes[1]
 	if mig.Mode != SingleMaster || len(mig.Migrations) != 1 || mig.Migrations[0].From != 0 || mig.Migrations[0].To != 1 {
 		t.Fatalf("migration route = %+v", mig)
 	}
-	if plan.Routes[2].Owners[k] != 1 {
-		t.Fatalf("post-migration owner = %d", plan.Routes[2].Owners[k])
+	if plan.Routes[2].Owners.Get(k) != 1 {
+		t.Fatalf("post-migration owner = %d", plan.Routes[2].Owners.Get(k))
 	}
 }
 
@@ -325,7 +325,7 @@ func TestRouteParticipants(t *testing.T) {
 	rt := &Route{
 		Mode:   SingleMaster,
 		Master: 2,
-		Owners: map[tx.Key]tx.NodeID{1: 0, 2: 2},
+		Owners: Owners{{Key: 1, Node: 0}, {Key: 2, Node: 2}},
 		Migrations: []Migration{
 			{Key: 1, From: 0, To: 2},
 			{Key: 9, From: 3, To: 1},
@@ -350,9 +350,7 @@ func (s *stubPolicy) Placement() *Placement { return s.pl }
 func (s *stubPolicy) RouteUser(txns []*tx.Request) []*Route {
 	out := make([]*Route, len(txns))
 	for i, r := range txns {
-		owners := map[tx.Key]tx.NodeID{}
-		ownersFor(s.pl, r.AccessSet(), owners)
-		out[i] = &Route{Txn: r, Mode: SingleMaster, Master: s.pl.Active()[0], Owners: owners}
+		out[i] = &Route{Txn: r, Mode: SingleMaster, Master: s.pl.Active()[0], Owners: ownersOf(s.pl, r.AccessSet())}
 	}
 	return out
 }

@@ -75,12 +75,12 @@ func (t *TPart) RouteUser(txns []*tx.Request) []*Route {
 		master := active[best]
 		loads[best]++
 
-		owners := make(map[tx.Key]tx.NodeID, len(access))
+		owners := make(Owners, 0, len(access))
 		for _, k := range access {
 			if o, ok := overlay[k]; ok {
-				owners[k] = o
+				owners = append(owners, OwnerPair{Key: k, Node: o})
 			} else {
-				owners[k] = t.pl.Owner(k)
+				owners = append(owners, OwnerPair{Key: k, Node: t.pl.Owner(k)})
 			}
 		}
 		route := &Route{Txn: r, Mode: SingleMaster, Master: master, Owners: owners}
@@ -89,14 +89,14 @@ func (t *TPart) RouteUser(txns []*tx.Request) []*Route {
 			// partition instead of riding the forward-push overlay; no
 			// later transaction reads them within the batch, so pushing
 			// them around would just double the migration traffic.
-			if _, moved := overlay[k]; !moved && !tx.ContainsKey(r.ReadSet(), k) && owners[k] != master {
+			if _, moved := overlay[k]; !moved && !tx.ContainsKey(r.ReadSet(), k) && owners.Get(k) != master {
 				route.WriteBack = append(route.WriteBack, k)
 				continue
 			}
-			if owners[k] != master {
+			if o := owners.Get(k); o != master {
 				// The record moves to the master with this transaction
 				// (forward pushing); it will be returned home at batch end.
-				route.Migrations = append(route.Migrations, Migration{Key: k, From: owners[k], To: master})
+				route.Migrations = append(route.Migrations, Migration{Key: k, From: o, To: master})
 			}
 			overlay[k] = master
 		}

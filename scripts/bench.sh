@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Routing-cost benchmark gate (docs/PERF.md).
+#
+# Runs the BenchmarkPrescientRouting grid (b ∈ {100, 1000}, n ∈ {4, 20})
+# plus BenchmarkCommitRoute with -benchmem, merges the pre-optimization
+# baseline from scripts/routing_baseline.txt, and writes BENCH_routing.json
+# at the repo root: per-variant {baseline, current, speedup} plus the
+# headline n=20/b=1000 ratios the PR gate requires (≥ 3× ns/op,
+# ≥ 10× allocs/op).
+#
+# Usage:
+#   scripts/bench.sh                # 2s per variant (default)
+#   BENCHTIME=5s scripts/bench.sh   # longer, steadier numbers
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benchtime="${BENCHTIME:-2s}"
+out=BENCH_routing.json
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "==> go test -bench 'BenchmarkPrescientRouting|BenchmarkCommitRoute' -benchtime=$benchtime -benchmem ./internal/core"
+go test -run '^$' -bench 'BenchmarkPrescientRouting|BenchmarkCommitRoute' \
+    -benchtime="$benchtime" -benchmem ./internal/core | tee "$raw"
+
+awk -v benchtime="$benchtime" '
+function strip(name) { sub(/-[0-9]+$/, "", name); return name }
+# Both files share the go-bench line format:
+#   Name-P  iters  N ns/op  N B/op  N allocs/op
+BEGIN { src = "baseline" }
+FNR == 1 && NR != 1 { src = "current" }   # first file is the baseline, second the fresh run
+/^Benchmark/ {
+    name = strip($1)
+    ns[name, src] = $3; bytes[name, src] = $5; allocs[name, src] = $7
+    if (src == "current" && !(name in seen)) { order[++n] = name; seen[name] = 1 }
+    next
+}
+END {
+    printf "{\n"
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"results\": {\n"
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        printf "    \"%s\": {\n", name
+        printf "      \"baseline\": {\"ns_op\": %d, \"bytes_op\": %d, \"allocs_op\": %d},\n", \
+            ns[name, "baseline"], bytes[name, "baseline"], allocs[name, "baseline"]
+        printf "      \"current\":  {\"ns_op\": %d, \"bytes_op\": %d, \"allocs_op\": %d},\n", \
+            ns[name, "current"], bytes[name, "current"], allocs[name, "current"]
+        sx = ns[name, "baseline"] / ns[name, "current"]
+        bx = bytes[name, "baseline"] / bytes[name, "current"]
+        ax = 0; if (allocs[name, "current"] > 0) ax = allocs[name, "baseline"] / allocs[name, "current"]
+        printf "      \"speedup\":  {\"ns\": %.2f, \"bytes\": %.2f, \"allocs\": %.2f}\n", sx, bx, ax
+        printf "    }%s\n", (i < n ? "," : "")
+    }
+    printf "  },\n"
+    hl = "BenchmarkPrescientRouting/n=20/b=1000"
+    nsx = ns[hl, "baseline"] / ns[hl, "current"]
+    alx = 0; if (allocs[hl, "current"] > 0) alx = allocs[hl, "baseline"] / allocs[hl, "current"]
+    printf "  \"gate\": {\n"
+    printf "    \"variant\": \"n=20/b=1000\",\n"
+    printf "    \"ns_speedup\": %.2f, \"ns_required\": 3.0,\n", nsx
+    printf "    \"allocs_speedup\": %.2f, \"allocs_required\": 10.0,\n", alx
+    verdict = "false"; if (nsx >= 3.0 && alx >= 10.0) verdict = "true"
+    printf "    \"pass\": %s\n", verdict
+    printf "  }\n"
+    printf "}\n"
+}' scripts/routing_baseline.txt "$raw" > "$out"
+
+echo "==> wrote $out"
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$out" <<'EOF'
+import json, sys
+gate = json.load(open(sys.argv[1]))["gate"]
+print(f"==> gate ({gate['variant']}): ns {gate['ns_speedup']}x (need {gate['ns_required']}x), "
+      f"allocs {gate['allocs_speedup']}x (need {gate['allocs_required']}x) -> "
+      f"{'PASS' if gate['pass'] else 'FAIL'}")
+sys.exit(0 if gate["pass"] else 1)
+EOF
+else
+    grep -q '"pass": true' "$out" && echo "==> gate PASS" || { echo "==> gate FAIL"; exit 1; }
+fi

@@ -25,4 +25,9 @@ go build ./...
 echo "==> go test -race ${short_flag} ./..."
 go test -race ${short_flag} ./...
 
+# Smoke-run the routing benchmark (1 iteration) so it can't silently rot;
+# scripts/bench.sh runs the full gated comparison against the baseline.
+echo "==> go test -bench=BenchmarkPrescientRouting -benchtime=1x ./internal/core"
+go test -run '^$' -bench=BenchmarkPrescientRouting -benchtime=1x ./internal/core
+
 echo "==> CI gate passed"
