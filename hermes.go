@@ -60,6 +60,8 @@ type (
 	Partitioner = partition.Partitioner
 	// Breakdown is the per-transaction latency decomposition.
 	Breakdown = metrics.Breakdown
+	// Batch is one totally ordered request batch (checkpoint tails).
+	Batch = tx.Batch
 )
 
 // MakeKey builds a key for a row in a table.
@@ -125,6 +127,11 @@ type Options struct {
 	ExecCost  time.Duration
 	// StatsWindow is the throughput window (default 1s).
 	StatsWindow time.Duration
+	// Reliable interposes the reliable-delivery layer (sequencing, acks,
+	// retransmission, dedup, delivery logs) under every node. Required for
+	// CrashNode/RestartNode and for surviving lossy transports; costs a
+	// little throughput, so it is opt-in.
+	Reliable bool
 }
 
 // DB is an open emulated cluster.
@@ -180,6 +187,7 @@ func Open(opts Options) (*DB, error) {
 		Executors:    opts.Executors,
 		ExecCost:     opts.ExecCost,
 		Window:       opts.StatsWindow,
+		Reliable:     opts.Reliable,
 	})
 	if err != nil {
 		return nil, err
@@ -270,6 +278,19 @@ func (db *DB) Migrate(keys []Key, to NodeID, chunkSize int) error {
 // Drain waits for all in-flight transactions to finish everywhere.
 func (db *DB) Drain(timeout time.Duration) bool { return db.cluster.Drain(timeout) }
 
+// CrashNode kills a node: all of its volatile state is lost and
+// transactions that need it stall deterministically until RestartNode.
+// Requires Options.Reliable and a prior successful Checkpoint.
+func (db *DB) CrashNode(id NodeID) error { return db.cluster.CrashNode(id) }
+
+// RestartNode recovers a crashed node by replaying its logged input from
+// the last checkpoint, then rejoins it to live traffic.
+func (db *DB) RestartNode(id NodeID) error { return db.cluster.RestartNode(id) }
+
+// Tail returns the logged batches with sequence ≥ seq — the post-checkpoint
+// input to hand to RecoverWithTail.
+func (db *DB) Tail(seq uint64) []*Batch { return db.cluster.TailSince(seq) }
+
 // Close shuts the cluster down.
 func (db *DB) Close() { db.cluster.Stop() }
 
@@ -287,12 +308,21 @@ type Stats struct {
 	AvgBreakdown Breakdown
 	// P50 and P99 are approximate total-latency quantiles.
 	P50, P99 time.Duration
+	// Retransmits and DupsDropped count the reliable layer's recovery
+	// actions (zero without Options.Reliable).
+	Retransmits int64
+	DupsDropped int64
+	// Crashes / Recoveries / Downtime summarize node kills and restarts.
+	Crashes    int64
+	Recoveries int64
+	Downtime   time.Duration
 }
 
 // Stats snapshots the cluster's metrics.
 func (db *DB) Stats() Stats {
 	col := db.cluster.Collector()
 	msgs, bytes := db.cluster.NetStats().Totals()
+	rel := db.cluster.ReliableStats()
 	return Stats{
 		Committed:    col.Committed(),
 		Aborted:      col.Aborted(),
@@ -304,6 +334,11 @@ func (db *DB) Stats() Stats {
 		AvgBreakdown: col.AvgBreakdown(),
 		P50:          col.LatencyQuantile(0.5),
 		P99:          col.LatencyQuantile(0.99),
+		Retransmits:  rel.Retransmits,
+		DupsDropped:  rel.DupsDropped,
+		Crashes:      col.Crashes(),
+		Recoveries:   col.Recoveries(),
+		Downtime:     col.Downtime(),
 	}
 }
 

@@ -53,6 +53,32 @@ type Schedule struct {
 	// BytesPerSecond throttles each link's bandwidth; a message of n
 	// wire bytes occupies the link for n/BytesPerSecond (0 = unlimited).
 	BytesPerSecond float64
+
+	// DropProb is the per-message probability that the link silently
+	// discards a message; DupProb the probability that it delivers one
+	// twice. Both break the base Transport contract, so schedules using
+	// them require the engine's reliable-delivery layer (RequiresReliable)
+	// to restore exactly-once in-order delivery above the faulty link.
+	DropProb float64
+	DupProb  float64
+	// Crashes lists node kill/restart events the harness executes during
+	// the run. They also require the reliable layer (the delivery log is
+	// what the restarted node replays).
+	Crashes []Crash
+}
+
+// Crash is one seeded node kill: the victim is killed once its scheduler
+// has consumed AfterFrac of the run's batches, stays down for Downtime,
+// then restarts and replays. The trigger is a point in the deterministic
+// batch stream, so "when" a crash hits is reproducible even though the
+// kill itself is wall-clock asynchronous.
+type Crash struct {
+	// Node indexes the victim (modulo the cluster size).
+	Node int
+	// AfterFrac in [0,1) positions the kill within the batch stream.
+	AfterFrac float64
+	// Downtime is how long the node stays dead before restarting.
+	Downtime time.Duration
 }
 
 // String summarizes the schedule for failure reports.
@@ -60,9 +86,17 @@ func (s Schedule) String() string {
 	return fmt.Sprintf("%s(seed=%d)", s.Name, s.Seed)
 }
 
-// faulty reports whether the schedule injects anything at all.
+// faulty reports whether the schedule injects anything at the transport.
 func (s Schedule) faulty() bool {
-	return s.Jitter > 0 || s.SpikeProb > 0 || s.PartitionProb > 0 || s.BytesPerSecond > 0
+	return s.Jitter > 0 || s.SpikeProb > 0 || s.PartitionProb > 0 ||
+		s.BytesPerSecond > 0 || s.DropProb > 0 || s.DupProb > 0
+}
+
+// RequiresReliable reports whether the schedule's faults exceed what the
+// base Transport contract tolerates: message loss, duplication, or node
+// crashes all need the engine's reliable-delivery layer underneath.
+func (s Schedule) RequiresReliable() bool {
+	return s.DropProb > 0 || s.DupProb > 0 || len(s.Crashes) > 0
 }
 
 // Schedules returns the standard matrix of distinct fault schedules used
@@ -85,6 +119,23 @@ func Schedules(seed int64) []Schedule {
 	}
 }
 
+// LossySchedules returns the fault schedules that exceed the base
+// Transport contract — drops, duplicates, and a combined
+// drop+duplicate+mid-run-crash schedule — all requiring the reliable
+// layer. They extend Schedules(seed) in the equivalence suite: every run
+// must still reach state byte-identical to the fault-free baseline.
+func LossySchedules(seed int64) []Schedule {
+	return []Schedule{
+		{Name: "drops", Seed: seed + 10, Jitter: 300 * time.Microsecond,
+			DropProb: 0.05},
+		{Name: "dups", Seed: seed + 11, Jitter: 300 * time.Microsecond,
+			DupProb: 0.08},
+		{Name: "lossy-crash", Seed: seed + 12, Jitter: 200 * time.Microsecond,
+			DropProb: 0.03, DupProb: 0.03,
+			Crashes: []Crash{{Node: 1, AfterFrac: 0.4, Downtime: 30 * time.Millisecond}}},
+	}
+}
+
 // Transport wraps an inner transport with seeded fault injection. It is
 // safe for concurrent Send and preserves per-link FIFO order: every
 // cross-node message funnels through its link's single delivery
@@ -103,6 +154,8 @@ type Transport struct {
 
 	faults  atomic.Int64 // messages that received a non-zero delay
 	delayed atomic.Int64 // total injected delay, ns
+	dropped atomic.Int64 // messages silently discarded
+	dupped  atomic.Int64 // messages delivered twice
 }
 
 type faultLink struct {
@@ -133,6 +186,11 @@ func (t *Transport) Schedule() Schedule { return t.sched }
 // schedule actually exercised the system.
 func (t *Transport) Faults() (messages int64, totalDelay time.Duration) {
 	return t.faults.Load(), time.Duration(t.delayed.Load())
+}
+
+// Loss reports how many messages the schedule discarded and duplicated.
+func (t *Transport) Loss() (dropped, dupped int64) {
+	return t.dropped.Load(), t.dupped.Load()
 }
 
 // Send implements network.Transport.
@@ -177,9 +235,18 @@ func (t *Transport) deliverLoop(lk *faultLink, rng *rand.Rand) {
 				t.delayed.Add(int64(d))
 				t.sleep(d)
 			}
+			drop, dup := t.lossFor(rng)
+			if drop {
+				t.dropped.Add(1)
+				continue
+			}
 			// Send errors only when the inner transport has closed
 			// mid-shutdown; nothing useful to do with them here.
 			_ = t.inner.Send(m)
+			if dup {
+				t.dupped.Add(1)
+				_ = t.inner.Send(m)
+			}
 		}
 	}
 }
@@ -205,6 +272,21 @@ func (t *Transport) delayFor(rng *rand.Rand, wireBytes int) time.Duration {
 		d += time.Duration(float64(wireBytes) / s.BytesPerSecond * float64(time.Second))
 	}
 	return d
+}
+
+// lossFor draws the next message's drop/duplicate fate. The draws are
+// guarded so schedules without loss consume exactly the random stream
+// they always did — legacy schedules reproduce their historical fault
+// patterns bit-for-bit.
+func (t *Transport) lossFor(rng *rand.Rand) (drop, dup bool) {
+	s := t.sched
+	if s.DropProb > 0 {
+		drop = rng.Float64() < s.DropProb
+	}
+	if s.DupProb > 0 {
+		dup = rng.Float64() < s.DupProb
+	}
+	return drop, dup
 }
 
 // sleep waits d on the injected clock but returns early on shutdown.

@@ -90,6 +90,13 @@ type Result struct {
 	// perturbed this run.
 	FaultMsgs  int64
 	FaultDelay time.Duration
+	// Dropped/Dupped count messages the schedule lost or duplicated;
+	// Retransmits counts the reliable layer's recoveries. Zero for
+	// schedules within the base Transport contract.
+	Dropped, Dupped int64
+	Retransmits     int64
+	// Crashes counts executed node kill/restart cycles.
+	Crashes int64
 }
 
 // normalize applies defaults and rounds the trace to whole batches.
@@ -241,6 +248,10 @@ func Run(spec Spec, sched Schedule) (*Result, error) {
 			chaosT = Wrap(inner, sched, nil)
 			return chaosT
 		},
+		// Loss and crash schedules need the reliable layer above the
+		// faulty link; schedules within the base contract run without it,
+		// exactly as before.
+		Reliable: sched.RequiresReliable(),
 	})
 	if err != nil {
 		return nil, err
@@ -255,12 +266,60 @@ func Run(spec Spec, sched Schedule) (*Result, error) {
 		loadedBytes += int64(len(v))
 	}
 
+	// Crash schedules replay from the last checkpoint; take one at the
+	// loaded-but-idle cut so the whole trace is coverable.
+	if len(sched.Crashes) > 0 {
+		if _, err := c.Checkpoint(30 * time.Second); err != nil {
+			return nil, fmt.Errorf("chaos: %v under %v: initial checkpoint: %w", spec, sched, err)
+		}
+	}
+
 	procs := tr.procs
 	if spec.MutateProcs != nil {
 		procs = spec.MutateProcs(append([]tx.Procedure(nil), procs...))
 	}
 
 	deadline := time.Now().Add(spec.Timeout)
+
+	// The crash executor kills and restarts victims at their scheduled
+	// points in the batch stream while the trace is being submitted and
+	// executed. It runs concurrently with submission: a crash trigger can
+	// sit in the middle of the stream, and the stalled cluster must keep
+	// accepting input past it.
+	crashErr := make(chan error, 1)
+	crashesDone := make(chan struct{})
+	go func() {
+		defer close(crashesDone)
+		totalBatches := uint64(len(procs) / spec.Batch)
+		for _, cr := range sched.Crashes {
+			victim := tx.NodeID(cr.Node % spec.Nodes)
+			trigger := uint64(float64(totalBatches) * cr.AfterFrac)
+			if trigger < 1 {
+				trigger = 1
+			}
+			if trigger > totalBatches {
+				trigger = totalBatches
+			}
+			for c.Node(victim).Scheduled() < trigger {
+				if time.Now().After(deadline) {
+					crashErr <- fmt.Errorf("chaos: %v under %v: node %d never reached crash trigger batch %d",
+						spec, sched, victim, trigger)
+					return
+				}
+				time.Sleep(200 * time.Microsecond)
+			}
+			if err := c.CrashNode(victim); err != nil {
+				crashErr <- fmt.Errorf("chaos: %v under %v: crash node %d: %w", spec, sched, victim, err)
+				return
+			}
+			time.Sleep(cr.Downtime)
+			if err := c.RestartNode(victim); err != nil {
+				crashErr <- fmt.Errorf("chaos: %v under %v: restart node %d: %w", spec, sched, victim, err)
+				return
+			}
+		}
+	}()
+
 	dones := make([]<-chan struct{}, 0, len(procs))
 	for _, p := range procs {
 		done, err := c.Submit(0, p)
@@ -272,10 +331,23 @@ func Run(spec Spec, sched Schedule) (*Result, error) {
 	for i, done := range dones {
 		select {
 		case <-done:
+		case err := <-crashErr:
+			return nil, err
 		case <-time.After(time.Until(deadline)):
 			return nil, fmt.Errorf("chaos: %v under %v: txn %d/%d did not complete within %v (reproduce with seed=%d)",
 				spec, sched, i+1, len(dones), spec.Timeout, sched.Seed)
 		}
+	}
+	select {
+	case <-crashesDone:
+	case <-time.After(time.Until(deadline)):
+		return nil, fmt.Errorf("chaos: %v under %v: crash executor did not finish (reproduce with seed=%d)",
+			spec, sched, sched.Seed)
+	}
+	select {
+	case err := <-crashErr:
+		return nil, err
+	default:
 	}
 	if !c.Drain(time.Until(deadline)) {
 		return nil, fmt.Errorf("chaos: %v under %v: cluster did not quiesce within %v (reproduce with seed=%d)",
@@ -293,6 +365,9 @@ func Run(spec Spec, sched Schedule) (*Result, error) {
 		Aborted:     c.Collector().Aborted(),
 	}
 	res.FaultMsgs, res.FaultDelay = chaosT.Faults()
+	res.Dropped, res.Dupped = chaosT.Loss()
+	res.Retransmits = c.ReliableStats().Retransmits
+	res.Crashes = c.Collector().Crashes()
 
 	// Conservation: transactions and migrations must never lose records
 	// or bytes; workloads without inserts must preserve the loaded totals

@@ -10,11 +10,17 @@ import (
 )
 
 // Checkpoint is a consistent cut of the cluster per §4.3: the storage
-// contents of every node after some batch, plus the command-log prefix
-// needed to rebuild the (derived) routing state by replaying the
-// deterministic routing algorithm. Because the engine quiesces between
-// batches before snapshotting, "after batch Seq-1" is a consistent cut by
+// contents of every node after some batch, plus a snapshot of the derived
+// routing state at that point. Because the engine quiesces between batches
+// before snapshotting, "after batch Seq-1" is a consistent cut by
 // construction.
+//
+// The routing snapshot replaces replay-from-genesis: every policy's
+// cross-batch state is exactly its Placement (override map, active set,
+// fusion table), and all replicas agree on it at a quiesced cut, so one
+// snapshot restores every replica. That is what lets a successful
+// checkpoint truncate the command log — nothing before Seq is ever needed
+// again.
 type Checkpoint struct {
 	// Seq is the first batch sequence NOT covered by the checkpoint.
 	Seq uint64
@@ -22,72 +28,106 @@ type Checkpoint struct {
 	NextTxn tx.TxnID
 	// Stores holds each node's record snapshot.
 	Stores map[tx.NodeID]map[tx.Key][]byte
-	// RoutingLog is the command-log prefix (batches 0..Seq-1). Routing
-	// state is a pure function of it, so recovery replays routing only —
-	// no re-execution — to rebuild fusion tables and placement.
-	RoutingLog []*tx.Batch
+	// Routing is the placement snapshot shared by all replicas at the cut.
+	Routing *router.PlacementState
+	// Delivered records, per node, the reliable layer's delivery watermark
+	// at the cut (how many transport messages the node had consumed). A
+	// restarted node rewinds its delivery log to this watermark and
+	// re-receives everything after it. Nil when the cluster runs without
+	// the reliable layer.
+	Delivered map[tx.NodeID]uint64
 }
 
-// Checkpoint quiesces the cluster (up to timeout) and snapshots it. It
-// reports failure if in-flight transactions do not drain in time.
+// Checkpoint quiesces the cluster (up to timeout) and snapshots it,
+// truncating the command logs (and, in reliable mode, the delivery logs)
+// behind the cut. It reports failure if in-flight transactions do not
+// drain in time.
 func (c *Cluster) Checkpoint(timeout time.Duration) (*Checkpoint, error) {
 	if !c.Drain(timeout) {
 		return nil, fmt.Errorf("engine: cluster did not quiesce for checkpoint")
 	}
-	ref := c.nodes[c.order[0]].cmdlog
-	prefix := ref.Since(0)
+	nodes := c.nodeList()
+	seq, nextTxn := c.leader.Next()
 	cp := &Checkpoint{
-		Seq:        uint64(len(prefix)),
-		NextTxn:    1,
-		Stores:     make(map[tx.NodeID]map[tx.Key][]byte, len(c.nodes)),
-		RoutingLog: prefix,
+		Seq:     seq,
+		NextTxn: nextTxn,
+		Stores:  make(map[tx.NodeID]map[tx.Key][]byte, len(nodes)),
+		Routing: nodes[0].policy.Placement().Snapshot(),
 	}
-	for _, b := range prefix {
-		for _, r := range b.Txns {
-			if r.ID >= cp.NextTxn {
-				cp.NextTxn = r.ID + 1
-			}
+	for _, n := range nodes {
+		cp.Stores[n.id] = n.store.Checkpoint()
+	}
+	if c.rel != nil {
+		cp.Delivered = make(map[tx.NodeID]uint64, len(nodes))
+		for _, n := range nodes {
+			cp.Delivered[n.id] = c.rel.Delivered(n.id)
 		}
 	}
-	for id, n := range c.nodes {
-		cp.Stores[id] = n.store.Checkpoint()
+	// The snapshot covers everything before Seq / the watermarks, so the
+	// logs can drop it (the satellite fix for unbounded log growth).
+	for _, n := range nodes {
+		n.cmdlog.Truncate(cp.Seq)
 	}
+	if c.rel != nil {
+		for id, wm := range cp.Delivered {
+			c.rel.TruncateDelivered(id, wm)
+		}
+		c.rel.TruncateDelivered(LeaderNode, c.rel.Delivered(LeaderNode))
+	}
+	c.mu.Lock()
+	c.lastCP = cp
+	c.mu.Unlock()
 	return cp, nil
 }
 
-// Recover builds a cluster from a checkpoint: storage is restored
-// directly, routing state is rebuilt by replaying the routing algorithm
-// over the checkpointed command-log prefix (§4.3's "replay the prescient
-// routing and data fusion"), and then any tail batches — input logged
-// after the checkpoint — are re-executed in full through ReplayBatches.
+// LastCheckpoint returns the most recent checkpoint taken on this cluster
+// (nil if none); RestartNode replays from it.
+func (c *Cluster) LastCheckpoint() *Checkpoint {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastCP
+}
+
+// Recover builds a cluster from a checkpoint: storage and placement state
+// are restored directly on every replica, the total order resumes after
+// the checkpointed prefix, and then any tail batches — input logged after
+// the checkpoint — are re-executed in full through ReplayBatches.
+//
+// The returned cluster has no checkpoint of its own yet (the delivery
+// watermarks in cp refer to the dead cluster's transport); take a fresh
+// Checkpoint before using CrashNode on it.
 func Recover(cfg Config, cp *Checkpoint, tail []*tx.Batch) (*Cluster, error) {
 	c, err := build(cfg)
 	if err != nil {
 		return nil, err
 	}
+	// The transport (and the reliable layer's goroutines, if configured)
+	// exist as of build; error paths must tear them down.
+	fail := func(err error) (*Cluster, error) {
+		c.tr.Close()
+		return nil, err
+	}
 	for id, snap := range cp.Stores {
-		n, ok := c.nodes[id]
-		if !ok {
-			return nil, fmt.Errorf("engine: checkpoint covers unknown node %d", id)
+		n := c.node(id)
+		if n == nil {
+			return fail(fmt.Errorf("engine: checkpoint covers unknown node %d", id))
 		}
 		n.store.Restore(snap)
 	}
-	// Rebuild derived routing state on every replica, and seed the
-	// command logs so post-recovery appends continue the sequence.
-	for _, n := range c.nodes {
-		for _, b := range cp.RoutingLog {
-			router.BuildPlan(n.policy, b)
-			if err := n.cmdlog.Append(b); err != nil {
-				return nil, fmt.Errorf("engine: reseeding command log: %w", err)
-			}
+	for _, n := range c.nodeList() {
+		if cp.Routing != nil {
+			n.policy.Placement().Restore(cp.Routing)
 		}
+		// The scheduler cursor starts at the cut so quiescence checks and
+		// crash triggers measure post-checkpoint progress.
+		n.scheduled.Store(cp.Seq)
 	}
 	// Resume the total order after the checkpointed prefix and the tail.
 	nextSeq := cp.Seq
 	nextTxn := cp.NextTxn
 	for _, b := range tail {
 		if b.Seq != nextSeq {
-			return nil, fmt.Errorf("engine: tail batch %d out of order, want %d", b.Seq, nextSeq)
+			return fail(fmt.Errorf("engine: tail batch %d out of order, want %d", b.Seq, nextSeq))
 		}
 		nextSeq++
 		for _, r := range b.Txns {
@@ -100,6 +140,7 @@ func Recover(cfg Config, cp *Checkpoint, tail []*tx.Batch) (*Cluster, error) {
 	c.startAll()
 	if len(tail) > 0 {
 		if err := c.ReplayBatches(tail); err != nil {
+			c.Stop()
 			return nil, err
 		}
 	}
@@ -131,7 +172,7 @@ func (c *Cluster) ReplayBatches(batches []*tx.Batch) error {
 	deadline := time.Now().Add(30 * time.Second)
 	for {
 		ok := true
-		for _, n := range c.nodes {
+		for _, n := range c.nodeList() {
 			if n.scheduled.Load() < wantSeq {
 				ok = false
 				break
@@ -154,5 +195,5 @@ func (c *Cluster) ReplayBatches(batches []*tx.Batch) error {
 // TailSince returns the logged batches with sequence ≥ seq from the
 // reference node's command log (for handing to Recover).
 func (c *Cluster) TailSince(seq uint64) []*tx.Batch {
-	return c.nodes[c.order[0]].cmdlog.Since(seq)
+	return c.node(c.order[0]).cmdlog.Since(seq)
 }

@@ -33,8 +33,12 @@ func TestCheckpointRecoverIdentity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cp.Seq == 0 || len(cp.Stores) != 2 || len(cp.RoutingLog) != int(cp.Seq) {
-		t.Fatalf("checkpoint shape: seq=%d stores=%d log=%d", cp.Seq, len(cp.Stores), len(cp.RoutingLog))
+	if cp.Seq == 0 || len(cp.Stores) != 2 || cp.Routing == nil {
+		t.Fatalf("checkpoint shape: seq=%d stores=%d routing=%v", cp.Seq, len(cp.Stores), cp.Routing)
+	}
+	// A successful checkpoint truncates the log behind the cut.
+	if got := c.nodes[0].cmdlog.Len(); got != 0 {
+		t.Fatalf("command log holds %d batches after checkpoint, want 0", got)
 	}
 
 	// Keep running after the checkpoint; this is the tail recovery must

@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"hermes/internal/tx"
+)
+
+// CrashNode kills a node: its goroutines stop and every piece of volatile
+// state — storage, lock table, mailboxes, scheduler queue, routing replica
+// — is abandoned (the restart builds a fresh Node; nothing of the killed
+// instance is reused). The rest of the cluster keeps sequencing and
+// executing; transactions that need the dead node stall deterministically
+// on its locks/record pushes until RestartNode replays it back.
+//
+// Requires the reliable layer (Config.Reliable) — its per-destination
+// delivery log is the durable input the restart replays — and a prior
+// successful Checkpoint to bound the replay.
+func (c *Cluster) CrashNode(id tx.NodeID) error {
+	n := c.node(id)
+	if n == nil {
+		return fmt.Errorf("engine: crash: unknown node %d", id)
+	}
+	c.mu.Lock()
+	switch {
+	case c.stopped:
+		c.mu.Unlock()
+		return fmt.Errorf("engine: crash: cluster stopped")
+	case c.rel == nil:
+		c.mu.Unlock()
+		return fmt.Errorf("engine: crash requires Config.Reliable")
+	case c.lastCP == nil:
+		c.mu.Unlock()
+		return fmt.Errorf("engine: crash requires a prior checkpoint")
+	}
+	if _, down := c.crashed[id]; down {
+		c.mu.Unlock()
+		return fmt.Errorf("engine: node %d already crashed", id)
+	}
+	c.crashed[id] = time.Now()
+	c.mu.Unlock()
+
+	// Stop feeding the node before killing it so the delivery cursor
+	// freezes at a consumed-message boundary; the transport keeps acking
+	// and logging on the node's behalf while it is down (the log layer is
+	// the durable tier, like the paper's logging service).
+	c.rel.Pause(id)
+	n.stop()
+	n.wait()
+	c.collector.RecordCrash()
+	return nil
+}
+
+// RestartNode brings a crashed node back: a fresh Node instance restores
+// the last checkpoint's storage and placement snapshot, rewinds its
+// delivery log to the checkpoint's watermark, and then re-consumes the
+// logged input — batches and record pushes alike — which deterministically
+// re-derives everything the crash destroyed and catches up the tail before
+// the node rejoins live traffic.
+func (c *Cluster) RestartNode(id tx.NodeID) error {
+	c.mu.Lock()
+	downSince, down := c.crashed[id]
+	cp := c.lastCP
+	c.mu.Unlock()
+	if !down {
+		return fmt.Errorf("engine: restart: node %d is not crashed", id)
+	}
+	snap, ok := cp.Stores[id]
+	if !ok {
+		return fmt.Errorf("engine: restart: checkpoint does not cover node %d", id)
+	}
+	n := newNode(id, c, c.cfg.Policy(c.cfg.Active))
+	n.store.Restore(snap)
+	if cp.Routing != nil {
+		n.policy.Placement().Restore(cp.Routing)
+	}
+	n.scheduled.Store(cp.Seq)
+	c.nodesMu.Lock()
+	c.nodes[id] = n
+	c.nodesMu.Unlock()
+	// Replay: rewind the paused delivery log to the checkpoint watermark,
+	// then resume — the feeder re-delivers the suffix in original order to
+	// the fresh node's recvLoop. Stale messages for transactions other
+	// nodes already finished are consumed and discarded harmlessly (their
+	// mailboxes are never read); batches re-execute, re-applying exactly
+	// the state the checkpoint does not cover.
+	c.rel.Rewind(id, cp.Delivered[id])
+	n.start()
+	c.rel.Resume(id)
+	c.mu.Lock()
+	delete(c.crashed, id)
+	c.mu.Unlock()
+	c.collector.RecordRecovery(time.Since(downSince))
+	return nil
+}

@@ -49,8 +49,17 @@ type Config struct {
 	// WrapTransport, if non-nil, wraps the cluster's base transport before
 	// any component uses it. The chaos harness injects its seeded
 	// fault-injecting transport here; wrappers must preserve the Transport
-	// contract (per-link FIFO order, asynchronous delivery).
+	// contract (per-link FIFO order, asynchronous delivery) — unless the
+	// cluster also runs the reliable layer (below), which restores the
+	// contract over lossy wrappers.
 	WrapTransport func(network.Transport) network.Transport
+	// Reliable interposes the reliable-delivery layer (sequence numbers,
+	// acks, retransmission, dedup, and per-destination delivery logs)
+	// between the wrapped transport and every engine component. It is
+	// required for CrashNode/RestartNode — the delivery log is what lets a
+	// restarted node re-receive the input it lost — and for running over
+	// transports that drop or duplicate messages.
+	Reliable bool
 	// StorageDelay is an optional per-record storage access cost,
 	// emulating buffer-pool pressure. Zero for unit tests.
 	StorageDelay time.Duration
@@ -84,9 +93,15 @@ type Cluster struct {
 	cfg Config
 	// tr is what every component sends and receives through; it is base
 	// unless Config.WrapTransport interposed a wrapper (fault injection).
-	tr     network.Transport
-	base   *network.ChanTransport
+	tr   network.Transport
+	base *network.ChanTransport
+	// rel is the reliable-delivery layer when Config.Reliable is set (nil
+	// otherwise); crash/restart and lossy-link tolerance depend on it.
+	rel    *network.Reliable
 	leader *sequencer.Leader
+	// nodesMu guards nodes: RestartNode swaps in a fresh *Node while the
+	// rest of the cluster keeps running.
+	nodesMu   sync.RWMutex
 	nodes     map[tx.NodeID]*Node
 	order     []tx.NodeID
 	collector *metrics.Collector
@@ -98,6 +113,15 @@ type Cluster struct {
 	waiters map[*tx.Request]chan struct{}
 	active  []tx.NodeID
 	stopped bool
+	// crashed maps a down node to when it was killed (Reliable mode only).
+	crashed map[tx.NodeID]time.Time
+	// accounted dedups metric recording per transaction: replay after a
+	// restart re-commits transactions at the recovering node, and those
+	// must not count twice. Only consulted in Reliable mode.
+	accounted map[tx.TxnID]struct{}
+	// lastCP is the most recent successful checkpoint; RestartNode replays
+	// from it.
+	lastCP *Checkpoint
 }
 
 // New assembles and starts a cluster.
@@ -131,16 +155,24 @@ func build(cfg Config) (*Cluster, error) {
 	if cfg.WrapTransport != nil {
 		tr = cfg.WrapTransport(base)
 	}
+	var rel *network.Reliable
+	if cfg.Reliable {
+		rel = network.NewReliable(tr, all)
+		tr = rel
+	}
 	c := &Cluster{
-		cfg:     cfg,
-		tr:      tr,
-		base:    base,
-		nodes:   make(map[tx.NodeID]*Node, len(cfg.Nodes)),
-		order:   append([]tx.NodeID(nil), cfg.Nodes...),
-		pending: make(map[tx.TxnID]chan struct{}),
-		waiters: make(map[*tx.Request]chan struct{}),
-		active:  append([]tx.NodeID(nil), cfg.Active...),
-		start:   time.Now(),
+		cfg:       cfg,
+		tr:        tr,
+		base:      base,
+		rel:       rel,
+		nodes:     make(map[tx.NodeID]*Node, len(cfg.Nodes)),
+		order:     append([]tx.NodeID(nil), cfg.Nodes...),
+		pending:   make(map[tx.TxnID]chan struct{}),
+		waiters:   make(map[*tx.Request]chan struct{}),
+		active:    append([]tx.NodeID(nil), cfg.Active...),
+		crashed:   make(map[tx.NodeID]time.Time),
+		accounted: make(map[tx.TxnID]struct{}),
+		start:     time.Now(),
 	}
 	c.collector = metrics.NewCollector(c.start, cfg.Window)
 	// Every node (including standbys) receives the full batch stream so
@@ -154,10 +186,56 @@ func build(cfg Config) (*Cluster, error) {
 }
 
 func (c *Cluster) startAll() {
-	for _, n := range c.nodes {
+	for _, n := range c.nodeList() {
 		n.start()
 	}
 	c.leader.Start()
+}
+
+// node returns the current *Node for id (nil if unknown) under the swap
+// lock; RestartNode may replace the instance at any time.
+func (c *Cluster) node(id tx.NodeID) *Node {
+	c.nodesMu.RLock()
+	defer c.nodesMu.RUnlock()
+	return c.nodes[id]
+}
+
+// nodeList returns the current node instances in node order.
+func (c *Cluster) nodeList() []*Node {
+	c.nodesMu.RLock()
+	defer c.nodesMu.RUnlock()
+	out := make([]*Node, 0, len(c.order))
+	for _, id := range c.order {
+		out = append(out, c.nodes[id])
+	}
+	return out
+}
+
+// accountOnce reports whether the caller should record client-visible
+// metrics (commit/abort counters) for this transaction. Without the
+// reliable layer there is no replay and every transaction is seen once;
+// with it, a restarted node re-executes logged input, and only the first
+// completion counts.
+func (c *Cluster) accountOnce(id tx.TxnID) bool {
+	if c.rel == nil {
+		return true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.accounted[id]; dup {
+		return false
+	}
+	c.accounted[id] = struct{}{}
+	return true
+}
+
+// ReliableStats exposes the reliable layer's retransmission/dedup counters
+// (zero-valued when Config.Reliable is off).
+func (c *Cluster) ReliableStats() network.ReliableStats {
+	if c.rel == nil {
+		return network.ReliableStats{}
+	}
+	return c.rel.Stats()
 }
 
 // ConfigCopy returns the configuration the cluster was built with, for
@@ -174,8 +252,9 @@ func (c *Cluster) NetStats() *network.Stats { return c.base.Stats() }
 func (c *Cluster) Start() time.Time { return c.start }
 
 // Node returns the node with the given id (nil if unknown); used by tests
-// and recovery drills.
-func (c *Cluster) Node(id tx.NodeID) *Node { return c.nodes[id] }
+// and recovery drills. After a RestartNode the returned instance is the
+// replacement, not the killed one.
+func (c *Cluster) Node(id tx.NodeID) *Node { return c.node(id) }
 
 // Active returns the currently active node set as last set by
 // provisioning calls on this handle.
@@ -290,9 +369,25 @@ func (c *Cluster) Drain(timeout time.Duration) bool {
 	for {
 		c.leader.Flush()
 		if c.Pending() == 0 {
+			// Quiescence needs more than "no client is waiting": every
+			// replica's scheduler must also have consumed the full sealed
+			// batch stream. A transaction completes when its committer
+			// finishes, so a node that merely observes a batch can still be
+			// routing it — and its policy replica (fusion table, placement)
+			// would be a batch behind anything that fingerprints it now.
+			nextSeq, _ := c.leader.Next()
+			c.mu.Lock()
+			down := make(map[tx.NodeID]bool, len(c.crashed))
+			for id := range c.crashed {
+				down[id] = true
+			}
+			c.mu.Unlock()
 			quiesced := true
-			for _, n := range c.nodes {
-				if n.locks.QueuedKeys() != 0 {
+			for _, n := range c.nodeList() {
+				if down[n.id] {
+					continue // frozen until RestartNode catches it up
+				}
+				if n.locks.QueuedKeys() != 0 || n.Scheduled() != nextSeq {
 					quiesced = false
 					break
 				}
@@ -319,11 +414,12 @@ func (c *Cluster) Stop() {
 	c.stopped = true
 	c.mu.Unlock()
 	c.leader.Stop()
-	for _, n := range c.nodes {
+	nodes := c.nodeList()
+	for _, n := range nodes {
 		n.stop()
 	}
 	c.tr.Close()
-	for _, n := range c.nodes {
+	for _, n := range nodes {
 		n.wait()
 	}
 }
@@ -334,8 +430,7 @@ func (c *Cluster) Stop() {
 // guarantee of the whole stack.
 func (c *Cluster) Fingerprint() uint64 {
 	var acc uint64
-	for _, id := range c.order {
-		n := c.nodes[id]
+	for _, n := range c.nodeList() {
 		acc ^= n.store.Fingerprint() * 31
 		if f := n.policy.Placement().Fusion; f != nil {
 			acc ^= f.Fingerprint() * 131
@@ -364,9 +459,8 @@ type NodeDigest struct {
 // NodeDigests returns every node's state digest in node order.
 func (c *Cluster) NodeDigests() []NodeDigest {
 	out := make([]NodeDigest, 0, len(c.order))
-	for _, id := range c.order {
-		n := c.nodes[id]
-		d := NodeDigest{Node: id, Store: n.store.Digest()}
+	for _, n := range c.nodeList() {
+		d := NodeDigest{Node: n.id, Store: n.store.Digest()}
 		d.Records, d.Bytes = n.store.Usage()
 		if f := n.policy.Placement().Fusion; f != nil {
 			d.Fusion = f.Fingerprint()
@@ -380,7 +474,7 @@ func (c *Cluster) NodeDigests() []NodeDigest {
 // conserve it.
 func (c *Cluster) TotalRecords() int {
 	total := 0
-	for _, n := range c.nodes {
+	for _, n := range c.nodeList() {
 		total += n.store.Len()
 	}
 	return total
@@ -390,7 +484,7 @@ func (c *Cluster) TotalRecords() int {
 // must conserve it alongside the record count.
 func (c *Cluster) TotalBytes() int64 {
 	var total int64
-	for _, n := range c.nodes {
+	for _, n := range c.nodeList() {
 		_, b := n.store.Usage()
 		total += b
 	}
@@ -400,19 +494,19 @@ func (c *Cluster) TotalBytes() int64 {
 // LoadRecord seeds a record at its home partition as computed by node 0's
 // placement (all replicas agree). Call before submitting transactions.
 func (c *Cluster) LoadRecord(k tx.Key, v []byte) {
-	home := c.nodes[c.order[0]].policy.Placement().Home(k)
-	c.nodes[home].store.Write(k, v)
+	home := c.node(c.order[0]).policy.Placement().Home(k)
+	c.node(home).store.Write(k, v)
 }
 
 // ReadRecord locates and reads a record via current placement; returns
 // nil,false if absent everywhere. Intended for tests and examples, not
 // the transaction path.
 func (c *Cluster) ReadRecord(k tx.Key) ([]byte, bool) {
-	owner := c.nodes[c.order[0]].policy.Placement().Owner(k)
-	if v, ok := c.nodes[owner].store.Read(k); ok {
+	owner := c.node(c.order[0]).policy.Placement().Owner(k)
+	if v, ok := c.node(owner).store.Read(k); ok {
 		return v, true
 	}
-	for _, n := range c.nodes {
+	for _, n := range c.nodeList() {
 		if v, ok := n.store.Read(k); ok {
 			return v, true
 		}

@@ -35,7 +35,9 @@ func (n *Node) run(rt *router.Route, role *role, grant *lock.Grant, arrival time
 	// T-Part's per-batch pulls) keep loading it, while a migration frees
 	// it — the effect behind Figs. 11-14.
 	if len(role.pushTo) > 0 {
-		n.execSlot()
+		if !n.execSlot() {
+			return // node shutting down
+		}
 		if d := n.cluster.cfg.ExecCost / 4; d > 0 {
 			t0 := time.Now()
 			time.Sleep(d)
@@ -83,13 +85,17 @@ func (n *Node) run(rt *router.Route, role *role, grant *lock.Grant, arrival time
 	aborted := false
 	switch {
 	case role.isMaster:
-		n.execSlot()
+		if !n.execSlot() {
+			return
+		}
 		var st time.Duration
 		st, aborted = n.runMaster(rt, role, remote)
 		storageTime += st
 		n.execDone()
 	case role.isWriter:
-		n.execSlot()
+		if !n.execSlot() {
+			return
+		}
 		var st time.Duration
 		st, aborted = n.runWriter(rt, remote)
 		storageTime += st
@@ -125,7 +131,7 @@ func (n *Node) run(rt *router.Route, role *role, grant *lock.Grant, arrival time
 	// neither counts as a user commit (the client is answered either
 	// way).
 	if rt.Mode != router.Provision && n.isCommitter(rt) {
-		if !aborted {
+		if !aborted && n.cluster.accountOnce(rt.Txn.ID) {
 			done := time.Now()
 			total := done.Sub(rt.Txn.SubmitTime)
 			if rt.Txn.SubmitTime.IsZero() {
@@ -234,7 +240,9 @@ func (n *Node) runMaster(rt *router.Route, role *role, remote map[tx.Key][]byte)
 
 	if ctx.aborted {
 		undo.Rollback()
-		n.cluster.collector.RecordAbort()
+		if n.cluster.accountOnce(req.ID) {
+			n.cluster.collector.RecordAbort()
+		}
 	} else {
 		undo.Discard()
 	}
@@ -319,7 +327,7 @@ func (n *Node) runWriter(rt *router.Route, remote map[tx.Key][]byte) (time.Durat
 	storageTime += ctx.storageTime
 	if ctx.aborted {
 		undo.Rollback()
-		if n.isCommitter(rt) {
+		if n.isCommitter(rt) && n.cluster.accountOnce(req.ID) {
 			n.cluster.collector.RecordAbort()
 		}
 	} else {

@@ -60,11 +60,19 @@ func newNode(id tx.NodeID, c *Cluster, policy router.Policy) *Node {
 	return n
 }
 
-// execSlot claims an executor slot (no-op when unbounded); release by
-// reading from the returned channel's counterpart via execDone.
-func (n *Node) execSlot() {
-	if n.execSem != nil {
-		n.execSem <- struct{}{}
+// execSlot claims an executor slot (no-op when unbounded), giving up when
+// the node shuts down so a crash cannot strand role goroutines behind a
+// saturated pool; release with execDone. It reports whether the slot was
+// claimed.
+func (n *Node) execSlot() bool {
+	if n.execSem == nil {
+		return true
+	}
+	select {
+	case n.execSem <- struct{}{}:
+		return true
+	case <-n.quit:
+		return false
 	}
 }
 
@@ -76,6 +84,11 @@ func (n *Node) execDone() {
 
 // Store exposes the node's storage (tests, recovery, examples).
 func (n *Node) Store() *storage.Store { return n.store }
+
+// Scheduled reports 1 + the sequence of the last batch this node's
+// scheduler fully handed to the lock manager; crash schedules use it to
+// trigger kills at deterministic points in the batch stream.
+func (n *Node) Scheduled() uint64 { return n.scheduled.Load() }
 
 // Policy exposes the node's routing replica (tests, stats).
 func (n *Node) Policy() router.Policy { return n.policy }

@@ -1,0 +1,38 @@
+// Package leaktest is a stdlib-only goroutine-leak check for Close paths:
+// it snapshots runtime.NumGoroutine before the test body and, in a deferred
+// call, waits for the count to drain back down before declaring a leak.
+// Tests using it must not run in parallel (the count is process-wide).
+package leaktest
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Check snapshots the current goroutine count and returns a function to
+// defer: it polls until the count returns to the snapshot (goroutines
+// legitimately wind down asynchronously after Close) and fails the test if
+// it has not within five seconds, dumping all stacks.
+func Check(t testing.TB) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			n := runtime.NumGoroutine()
+			if n <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				m := runtime.Stack(buf, true)
+				t.Errorf("leaktest: %d goroutines before, %d still running after 5s drain:\n%s",
+					before, n, buf[:m])
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}

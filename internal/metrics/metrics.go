@@ -70,6 +70,10 @@ type Collector struct {
 	routingBatches atomic.Int64
 	routingTxns    atomic.Int64
 	routingNanos   atomic.Int64
+
+	crashes       atomic.Int64
+	recoveries    atomic.Int64
+	downtimeNanos atomic.Int64
 }
 
 // RoutingStats is the routing-cost summary of §3.2.4: how much scheduler
@@ -151,6 +155,25 @@ func (c *Collector) Routing() RoutingStats {
 	}
 	return s
 }
+
+// RecordCrash counts a node kill.
+func (c *Collector) RecordCrash() { c.crashes.Add(1) }
+
+// RecordRecovery counts a node restart, accruing how long the node was
+// down (kill to rejoin).
+func (c *Collector) RecordRecovery(down time.Duration) {
+	c.recoveries.Add(1)
+	c.downtimeNanos.Add(int64(down))
+}
+
+// Crashes returns the cumulative count of node kills.
+func (c *Collector) Crashes() int64 { return c.crashes.Load() }
+
+// Recoveries returns the cumulative count of node restarts.
+func (c *Collector) Recoveries() int64 { return c.recoveries.Load() }
+
+// Downtime returns the cumulative wall time nodes spent down.
+func (c *Collector) Downtime() time.Duration { return time.Duration(c.downtimeNanos.Load()) }
 
 // AddBusy accrues execution busy-time for a node; BusyFraction divides by
 // wall time to report CPU usage as in Fig. 8.

@@ -38,6 +38,11 @@ const (
 	MsgSeqAck
 	// MsgControl carries small control-plane notifications.
 	MsgControl
+	// MsgLinkAck is the reliable layer's cumulative per-link delivery
+	// acknowledgement (Link carries the highest contiguously received
+	// sequence). It never reaches the engine: the receiving side's pump
+	// consumes it.
+	MsgLinkAck
 )
 
 // String implements fmt.Stringer.
@@ -59,6 +64,8 @@ func (t MsgType) String() string {
 		return "SeqAck"
 	case MsgControl:
 		return "Control"
+	case MsgLinkAck:
+		return "LinkAck"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -78,6 +85,12 @@ type Message struct {
 	Seq      uint64
 	Records  []Record
 	Payload  []byte
+
+	// Link is the reliable layer's per-(From,To)-link sequence number
+	// (first message = 1; 0 = unsequenced). On MsgLinkAck it instead
+	// carries the cumulative acknowledged sequence. The header estimate in
+	// WireSize already covers it.
+	Link uint64
 
 	// Batch carries a totally ordered request batch by reference on the
 	// in-process transport (MsgSeqForward / MsgSeqDeliver). WireSize

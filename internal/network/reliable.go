@@ -1,0 +1,481 @@
+package network
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hermes/internal/tx"
+)
+
+// Retransmission pacing: the first retry waits retransmitBase, then the
+// interval doubles per silent round up to retransmitCap. The base is a few
+// link round-trips at the emulation's latency scale, so a healthy link is
+// never retransmitted into.
+const (
+	retransmitBase = 2 * time.Millisecond
+	retransmitCap  = 64 * time.Millisecond
+)
+
+// ReliableStats reports how hard the reliable layer had to work.
+type ReliableStats struct {
+	// Retransmits counts messages re-sent by the retransmit loops.
+	Retransmits int64
+	// DupsDropped counts received messages discarded as duplicates.
+	DupsDropped int64
+	// Acks counts cumulative link acknowledgements sent.
+	Acks int64
+}
+
+// Reliable provides the Transport contract — per-link FIFO order, no loss,
+// no duplication — on top of an inner transport that may drop or duplicate
+// messages (the chaos wrapper's DropProb/DupProb faults, a flaky socket).
+// Mechanism, per (from,to) link: the sender stamps each message with a
+// dense sequence number (Message.Link), buffers it until acknowledged, and
+// retransmits the unacknowledged window with capped exponential backoff;
+// the receiver delivers in sequence, buffers the future, discards
+// duplicates, and returns cumulative MsgLinkAck acknowledgements (which may
+// themselves be lost or duplicated — the protocol only needs them to
+// eventually arrive).
+//
+// Reliable additionally keeps a per-destination delivery log: every message
+// is appended to its destination's log before a feeder goroutine hands it
+// to the consumer, and the log survives the consumer. This is what makes
+// live node restart possible (§4.3): the delivery log is the node's durable
+// totally-ordered input record — like the paper's command log, but covering
+// record pushes and write-backs too — so a restarted node catches up by
+// rewinding its cursor to the last checkpoint's watermark (Delivered) and
+// re-receiving history, while Pause/Resume model the crash window. The
+// layer itself is modeled as durable (it keeps acking and logging while the
+// node is down), exactly as the paper assumes of its logging tier.
+type Reliable struct {
+	inner Transport
+
+	mu     sync.Mutex
+	sends  map[[2]tx.NodeID]*sendLink
+	closed bool
+
+	// dests is built once at construction and never mutated after.
+	dests map[tx.NodeID]*destState
+
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	retransmits atomic.Int64
+	dupDropped  atomic.Int64
+	acks        atomic.Int64
+}
+
+// sendLink is the sender half of one (from,to) link.
+type sendLink struct {
+	mu      sync.Mutex
+	nextSeq uint64 // last assigned sequence (first message gets 1)
+	acked   uint64 // highest cumulative ack received
+	unacked []Message
+	kick    chan struct{} // wakes the retransmit loop when work appears
+}
+
+// recvLink is the receiver half of one (from,to) link. It is owned by the
+// destination's pump goroutine, so it needs no lock.
+type recvLink struct {
+	expected uint64 // sequence of the next in-order message
+	future   map[uint64]Message
+}
+
+// destState is one destination's delivery log and consumer feed.
+type destState struct {
+	node tx.NodeID
+	recv map[tx.NodeID]*recvLink // sender -> dedup state (pump-owned)
+
+	mu       sync.Mutex
+	log      []Message
+	base     uint64 // absolute position of log[0] (advances on truncation)
+	next     uint64 // absolute position of the next message to hand out
+	gen      uint64 // bumped by Rewind so a racing handoff can't advance next
+	paused   bool
+	pauseSig chan struct{} // closed while paused; fresh channel when running
+	notify   chan struct{} // cap-1 feeder kick
+	out      chan Message  // unbuffered consumer channel (Recv)
+}
+
+// NewReliable wraps inner with reliable delivery for the given nodes.
+// Messages to destinations outside the set pass through unsequenced.
+func NewReliable(inner Transport, nodes []tx.NodeID) *Reliable {
+	r := &Reliable{
+		inner: inner,
+		sends: make(map[[2]tx.NodeID]*sendLink),
+		dests: make(map[tx.NodeID]*destState, len(nodes)),
+		quit:  make(chan struct{}),
+	}
+	for _, n := range nodes {
+		ds := &destState{
+			node:     n,
+			recv:     make(map[tx.NodeID]*recvLink),
+			pauseSig: make(chan struct{}),
+			notify:   make(chan struct{}, 1),
+			out:      make(chan Message),
+		}
+		r.dests[n] = ds
+		r.wg.Add(2)
+		go r.pumpLoop(ds)
+		go r.feedLoop(ds)
+	}
+	return r
+}
+
+// Stats returns cumulative protocol counters.
+func (r *Reliable) Stats() ReliableStats {
+	return ReliableStats{
+		Retransmits: r.retransmits.Load(),
+		DupsDropped: r.dupDropped.Load(),
+		Acks:        r.acks.Load(),
+	}
+}
+
+// Send implements Transport: it sequences m onto its link, buffers it for
+// retransmission, and makes the first delivery attempt. Send never blocks
+// on a slow or dead receiver beyond the inner transport's own enqueue.
+func (r *Reliable) Send(m Message) error {
+	if m.From == m.To {
+		return r.inner.Send(m)
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return fmt.Errorf("network: reliable transport closed")
+	}
+	if _, ok := r.dests[m.To]; !ok {
+		// Unknown destination: stay transparent.
+		r.mu.Unlock()
+		return r.inner.Send(m)
+	}
+	key := [2]tx.NodeID{m.From, m.To}
+	sl := r.sends[key]
+	if sl == nil {
+		sl = &sendLink{kick: make(chan struct{}, 1)}
+		r.sends[key] = sl
+		r.wg.Add(1)
+		go r.retransmitLoop(sl)
+	}
+	r.mu.Unlock()
+
+	sl.mu.Lock()
+	sl.nextSeq++
+	m.Link = sl.nextSeq
+	sl.unacked = append(sl.unacked, m)
+	sl.mu.Unlock()
+	select {
+	case sl.kick <- struct{}{}:
+	default:
+	}
+	// First-attempt transmission; loss is repaired by the retransmit loop,
+	// so a mid-shutdown inner error is not fatal to the caller.
+	return r.inner.Send(m)
+}
+
+// retransmitLoop re-sends sl's unacknowledged window whenever a backoff
+// interval passes with no ack progress.
+func (r *Reliable) retransmitLoop(sl *sendLink) {
+	defer r.wg.Done()
+	backoff := retransmitBase
+	for {
+		sl.mu.Lock()
+		pending := len(sl.unacked)
+		ackedBefore := sl.acked
+		sl.mu.Unlock()
+		if pending == 0 {
+			backoff = retransmitBase
+			select {
+			case <-sl.kick:
+				continue
+			case <-r.quit:
+				return
+			}
+		}
+		if !r.sleep(backoff) {
+			return
+		}
+		var resend []Message
+		sl.mu.Lock()
+		if sl.acked > ackedBefore {
+			// The receiver made progress while we waited: give the
+			// in-flight window another round before resending.
+			backoff = retransmitBase
+		} else {
+			resend = append(resend, sl.unacked...)
+		}
+		sl.mu.Unlock()
+		if len(resend) == 0 {
+			continue
+		}
+		r.retransmits.Add(int64(len(resend)))
+		for _, m := range resend {
+			_ = r.inner.Send(m)
+		}
+		backoff *= 2
+		if backoff > retransmitCap {
+			backoff = retransmitCap
+		}
+	}
+}
+
+func (r *Reliable) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-r.quit:
+		return false
+	}
+}
+
+// pumpLoop consumes the inner transport's inbox for one destination:
+// protocol traffic (acks, duplicates, gaps) is absorbed here; accepted
+// messages are appended to the delivery log for the feeder.
+func (r *Reliable) pumpLoop(ds *destState) {
+	defer r.wg.Done()
+	inbox := r.inner.Recv(ds.node)
+	for {
+		select {
+		case <-r.quit:
+			return
+		case m, ok := <-inbox:
+			if !ok {
+				return
+			}
+			r.handle(ds, m)
+		}
+	}
+}
+
+func (r *Reliable) handle(ds *destState, m Message) {
+	switch {
+	case m.Type == MsgLinkAck:
+		// m acknowledges data we (ds.node) sent to m.From.
+		r.mu.Lock()
+		sl := r.sends[[2]tx.NodeID{ds.node, m.From}]
+		r.mu.Unlock()
+		if sl == nil {
+			return
+		}
+		sl.mu.Lock()
+		if m.Link > sl.acked {
+			sl.acked = m.Link
+			i := 0
+			for i < len(sl.unacked) && sl.unacked[i].Link <= m.Link {
+				i++
+			}
+			if i > 0 {
+				sl.unacked = append(sl.unacked[:0:0], sl.unacked[i:]...)
+			}
+		}
+		sl.mu.Unlock()
+	case m.Link == 0:
+		// Unsequenced (a sender outside this wrapper): deliver in arrival
+		// order.
+		ds.deliver(m)
+	default:
+		rl := ds.recv[m.From]
+		if rl == nil {
+			rl = &recvLink{expected: 1, future: make(map[uint64]Message)}
+			ds.recv[m.From] = rl
+		}
+		switch {
+		case m.Link < rl.expected:
+			r.dupDropped.Add(1)
+		case m.Link > rl.expected:
+			// A gap: an earlier message was lost (or is still in flight
+			// behind a retransmission). Hold this one for in-order release.
+			if _, dup := rl.future[m.Link]; dup {
+				r.dupDropped.Add(1)
+			} else {
+				rl.future[m.Link] = m
+			}
+		default:
+			ds.deliver(m)
+			rl.expected++
+			for {
+				nm, ok := rl.future[rl.expected]
+				if !ok {
+					break
+				}
+				delete(rl.future, rl.expected)
+				ds.deliver(nm)
+				rl.expected++
+			}
+		}
+		// Ack every sequenced receipt (including duplicates: the original
+		// ack may have been the casualty).
+		r.acks.Add(1)
+		_ = r.inner.Send(Message{
+			From: ds.node, To: m.From, Type: MsgLinkAck, Link: rl.expected - 1,
+		})
+	}
+}
+
+// deliver appends an accepted message to the delivery log and kicks the
+// feeder.
+func (ds *destState) deliver(m Message) {
+	ds.mu.Lock()
+	ds.log = append(ds.log, m)
+	ds.mu.Unlock()
+	select {
+	case ds.notify <- struct{}{}:
+	default:
+	}
+}
+
+// feedLoop hands logged messages to the consumer in log order. The cursor
+// advances *before* the handoff and rolls back only if a Pause aborts it:
+// the unbuffered out channel means a completed send was received, so the
+// watermark can never lag a consumed message — which matters, because a
+// checkpoint watermark below a consumed state-bearing message would make a
+// restart re-apply input the checkpoint already covers.
+func (r *Reliable) feedLoop(ds *destState) {
+	defer r.wg.Done()
+	for {
+		ds.mu.Lock()
+		for ds.paused || ds.next >= ds.base+uint64(len(ds.log)) {
+			ds.mu.Unlock()
+			select {
+			case <-ds.notify:
+			case <-r.quit:
+				return
+			}
+			ds.mu.Lock()
+		}
+		m := ds.log[ds.next-ds.base]
+		ds.next++
+		gen := ds.gen
+		sig := ds.pauseSig
+		ds.mu.Unlock()
+		select {
+		case ds.out <- m:
+		case <-sig:
+			// Paused mid-handoff: nobody took the message, so put the
+			// cursor back — unless a Rewind already repositioned it.
+			ds.mu.Lock()
+			if ds.gen == gen {
+				ds.next--
+			}
+			ds.mu.Unlock()
+		case <-r.quit:
+			return
+		}
+	}
+}
+
+// Recv implements Transport. The channel is stable across calls, including
+// across a Pause/Rewind/Resume cycle, so a restarted consumer reattaches to
+// the same feed.
+func (r *Reliable) Recv(node tx.NodeID) <-chan Message {
+	ds := r.dests[node]
+	if ds == nil {
+		return r.inner.Recv(node)
+	}
+	return ds.out
+}
+
+// Delivered returns node's delivery watermark: the absolute count of
+// messages handed to its consumer. Checkpoints record it; Rewind to it
+// replays exactly the post-checkpoint input.
+func (r *Reliable) Delivered(node tx.NodeID) uint64 {
+	ds := r.dests[node]
+	if ds == nil {
+		return 0
+	}
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return ds.next
+}
+
+// Pause stops feeding node's consumer (crash onset). Logging, acking, and
+// retransmission continue — only the consumer handoff stops.
+func (r *Reliable) Pause(node tx.NodeID) {
+	ds := r.dests[node]
+	if ds == nil {
+		return
+	}
+	ds.mu.Lock()
+	if !ds.paused {
+		ds.paused = true
+		close(ds.pauseSig)
+	}
+	ds.mu.Unlock()
+}
+
+// Rewind moves node's delivery cursor back to absolute position since
+// (clamped to the truncation base; never moved forward). Call while
+// paused: the restarted consumer then re-receives everything after since.
+func (r *Reliable) Rewind(node tx.NodeID, since uint64) {
+	ds := r.dests[node]
+	if ds == nil {
+		return
+	}
+	ds.mu.Lock()
+	if since < ds.base {
+		since = ds.base
+	}
+	if since < ds.next {
+		ds.next = since
+	}
+	ds.gen++
+	ds.mu.Unlock()
+}
+
+// Resume restarts node's feed after a Pause.
+func (r *Reliable) Resume(node tx.NodeID) {
+	ds := r.dests[node]
+	if ds == nil {
+		return
+	}
+	ds.mu.Lock()
+	if ds.paused {
+		ds.paused = false
+		ds.pauseSig = make(chan struct{})
+	}
+	ds.mu.Unlock()
+	select {
+	case ds.notify <- struct{}{}:
+	default:
+	}
+}
+
+// TruncateDelivered drops node's logged messages below absolute position
+// upto (clamped to the delivery watermark, so undelivered input is never
+// lost). Checkpoints call it: input before the checkpoint is covered by
+// the snapshot and no longer needed for replay.
+func (r *Reliable) TruncateDelivered(node tx.NodeID, upto uint64) {
+	ds := r.dests[node]
+	if ds == nil {
+		return
+	}
+	ds.mu.Lock()
+	if upto > ds.next {
+		upto = ds.next
+	}
+	if upto > ds.base {
+		n := upto - ds.base
+		ds.log = append(ds.log[:0:0], ds.log[n:]...)
+		ds.base = upto
+	}
+	ds.mu.Unlock()
+}
+
+// Close implements Transport: it stops every goroutine, then closes the
+// inner transport. Consumer channels are not closed (consumers are
+// expected to stop on their own quit signal first, as the engine does).
+func (r *Reliable) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+	close(r.quit)
+	r.wg.Wait()
+	r.inner.Close()
+}

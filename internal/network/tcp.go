@@ -5,8 +5,19 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"hermes/internal/tx"
+)
+
+// Dial-retry and send-deadline defaults. A peer that is restarting should
+// be reachable again within the retry budget; a peer that is truly dead
+// must not wedge a sender forever mid-Encode.
+const (
+	defaultDialAttempts   = 6
+	defaultDialBackoff    = 10 * time.Millisecond
+	defaultDialBackoffCap = 320 * time.Millisecond
+	defaultSendTimeout    = 10 * time.Second
 )
 
 // TCPTransport is a real-socket implementation of Transport for a single
@@ -29,6 +40,11 @@ type TCPTransport struct {
 	accepted []net.Conn
 	closed   bool
 	wg       sync.WaitGroup
+
+	dialAttempts   int
+	dialBackoff    time.Duration
+	dialBackoffCap time.Duration
+	sendTimeout    time.Duration
 }
 
 type tcpConn struct {
@@ -49,12 +65,16 @@ func NewTCPTransport(self tx.NodeID, addrs map[tx.NodeID]string) (*TCPTransport,
 		return nil, fmt.Errorf("network: listen %s: %w", addr, err)
 	}
 	t := &TCPTransport{
-		self:  self,
-		addrs: addrs,
-		ln:    ln,
-		inbox: make(chan Message, 4096),
-		quit:  make(chan struct{}),
-		conns: make(map[tx.NodeID]*tcpConn),
+		self:           self,
+		addrs:          addrs,
+		ln:             ln,
+		inbox:          make(chan Message, 4096),
+		quit:           make(chan struct{}),
+		conns:          make(map[tx.NodeID]*tcpConn),
+		dialAttempts:   defaultDialAttempts,
+		dialBackoff:    defaultDialBackoff,
+		dialBackoffCap: defaultDialBackoffCap,
+		sendTimeout:    defaultSendTimeout,
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
@@ -102,7 +122,28 @@ func (t *TCPTransport) readLoop(c net.Conn) {
 	}
 }
 
-// Send implements Transport.
+// SetSendTimeout overrides the per-message write deadline (0 disables).
+func (t *TCPTransport) SetSendTimeout(d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sendTimeout = d
+}
+
+// SetDialRetry overrides the dial-retry policy: attempts tries with
+// exponential backoff starting at backoff and capped at backoffCap.
+// attempts < 1 means a single try.
+func (t *TCPTransport) SetDialRetry(attempts int, backoff, backoffCap time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.dialAttempts = attempts
+	t.dialBackoff = backoff
+	t.dialBackoffCap = backoffCap
+}
+
+// Send implements Transport. A broken connection is dropped and re-dialed
+// once within the same call, so a peer that restarted between messages is
+// reconnected transparently; the write deadline bounds how long a dead
+// peer that stopped reading can stall the sender.
 func (t *TCPTransport) Send(m Message) error {
 	if m.To == t.self {
 		t.mu.Lock()
@@ -114,26 +155,46 @@ func (t *TCPTransport) Send(m Message) error {
 		t.inbox <- m
 		return nil
 	}
-	conn, err := t.dial(m.To)
-	if err != nil {
-		return err
-	}
-	t.stats.Count(m.WireSize())
-	conn.mu.Lock()
-	defer conn.mu.Unlock()
-	if err := conn.enc.Encode(&m); err != nil {
-		// Drop the broken connection so a later Send re-dials.
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		conn, err := t.dial(m.To)
+		if err != nil {
+			return err
+		}
+		t.mu.Lock()
+		timeout := t.sendTimeout
+		t.mu.Unlock()
+		conn.mu.Lock()
+		if timeout > 0 {
+			conn.c.SetWriteDeadline(time.Now().Add(timeout))
+		}
+		err = conn.enc.Encode(&m)
+		if timeout > 0 {
+			conn.c.SetWriteDeadline(time.Time{})
+		}
+		conn.mu.Unlock()
+		if err == nil {
+			t.stats.Count(m.WireSize())
+			return nil
+		}
+		// Drop the broken connection; the next loop iteration (or a later
+		// Send) re-dials. A gob stream is unusable after a failed Encode,
+		// so the whole connection goes.
 		t.mu.Lock()
 		if t.conns[m.To] == conn {
 			delete(t.conns, m.To)
 		}
 		t.mu.Unlock()
 		conn.c.Close()
-		return fmt.Errorf("network: send to node %d: %w", m.To, err)
+		lastErr = err
 	}
-	return nil
+	return fmt.Errorf("network: send to node %d: %w", m.To, lastErr)
 }
 
+// dial returns the live connection to node, establishing one if needed.
+// Failed dials are retried with capped exponential backoff: during a peer
+// restart the address is briefly unreachable, and erroring out on first
+// refusal would turn every peer blip into a delivery failure.
 func (t *TCPTransport) dial(node tx.NodeID) (*tcpConn, error) {
 	t.mu.Lock()
 	if t.closed {
@@ -145,13 +206,34 @@ func (t *TCPTransport) dial(node tx.NodeID) (*tcpConn, error) {
 		return c, nil
 	}
 	addr, ok := t.addrs[node]
+	attempts, backoff, maxBackoff := t.dialAttempts, t.dialBackoff, t.dialBackoffCap
 	t.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("network: unknown node %d", node)
 	}
-	raw, err := net.Dial("tcp", addr)
+	if attempts < 1 {
+		attempts = 1
+	}
+	var raw net.Conn
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			select {
+			case <-time.After(backoff):
+			case <-t.quit:
+				return nil, fmt.Errorf("network: transport closed")
+			}
+			if backoff *= 2; backoff > maxBackoff && maxBackoff > 0 {
+				backoff = maxBackoff
+			}
+		}
+		raw, err = net.Dial("tcp", addr)
+		if err == nil {
+			break
+		}
+	}
 	if err != nil {
-		return nil, fmt.Errorf("network: dial node %d at %s: %w", node, addr, err)
+		return nil, fmt.Errorf("network: dial node %d at %s after %d attempts: %w", node, addr, attempts, err)
 	}
 	conn := &tcpConn{c: raw, enc: gob.NewEncoder(raw)}
 	t.mu.Lock()

@@ -197,3 +197,44 @@ func (p *Placement) RemoveNode(n tx.NodeID) {
 
 // SetHome re-homes k to n (cold migration result).
 func (p *Placement) SetHome(k tx.Key, n tx.NodeID) { p.Override[k] = n }
+
+// PlacementState is a self-contained copy of the mutable placement layers
+// (everything except the static base partitioner). Checkpoints carry one
+// per cluster: because every scheduler replica evolves identical placement
+// state from the identical batch stream, a single snapshot restores all
+// replicas.
+type PlacementState struct {
+	Override map[tx.Key]tx.NodeID
+	Active   []tx.NodeID
+	// Fusion is nil when the policy routes without a hot overlay.
+	Fusion *fusion.Table
+}
+
+// Snapshot deep-copies the mutable placement layers.
+func (p *Placement) Snapshot() *PlacementState {
+	s := &PlacementState{
+		Override: make(map[tx.Key]tx.NodeID, len(p.Override)),
+		Active:   append([]tx.NodeID(nil), p.actives...),
+	}
+	for k, n := range p.Override {
+		s.Override[k] = n
+	}
+	if p.Fusion != nil {
+		s.Fusion = p.Fusion.Clone()
+	}
+	return s
+}
+
+// Restore overwrites the mutable layers in place from s, deep-copying so
+// several replicas can restore from the same snapshot independently. The
+// Placement pointer itself is preserved: policies cache it.
+func (p *Placement) Restore(s *PlacementState) {
+	p.Override = make(map[tx.Key]tx.NodeID, len(s.Override))
+	for k, n := range s.Override {
+		p.Override[k] = n
+	}
+	p.actives = append(p.actives[:0], s.Active...)
+	if s.Fusion != nil {
+		p.Fusion = s.Fusion.Clone()
+	}
+}

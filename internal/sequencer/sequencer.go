@@ -191,6 +191,16 @@ func (l *Leader) SetNext(seq uint64, next tx.TxnID) {
 	l.mu.Unlock()
 }
 
+// Next reports the sequence the next flushed batch will get and the id its
+// first transaction will get — the inverse of SetNext. Checkpoints record
+// this pair so recovery can resume the total order exactly where the
+// snapshot cut it.
+func (l *Leader) Next() (seq uint64, next tx.TxnID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq, l.nextTxn
+}
+
 // SetMembers atomically replaces the delivery membership. The engine calls
 // this when provisioning changes take effect; the change applies to the
 // next flushed batch.

@@ -25,6 +25,15 @@ go build ./...
 echo "==> go test -race ${short_flag} ./..."
 go test -race ${short_flag} ./...
 
+# Crash-recovery gate: reliable transport, node kill/restart, checkpoint+
+# tail recovery, and the lossy+crash chaos schedules. The general sweep
+# above already covers these when run full; this named step keeps the
+# recovery claim pinned even under -short (see docs/RECOVERY.md).
+echo "==> crash-recovery suite (-race)"
+go test -race -count=1 \
+    -run 'Reliable|Crash|Recover|Checkpoint|LossAndCrash|LossySchedule|TCPTransport' \
+    ./internal/network ./internal/engine ./internal/chaos .
+
 # Smoke-run the routing benchmark (1 iteration) so it can't silently rot;
 # scripts/bench.sh runs the full gated comparison against the baseline.
 echo "==> go test -bench=BenchmarkPrescientRouting -benchtime=1x ./internal/core"
