@@ -6,6 +6,11 @@
 //	hermes-bench -list
 //	hermes-bench -experiment fig6b
 //	hermes-bench -experiment all -full
+//	hermes-bench -experiment fig6b -report out.json
+//
+// With -report, every measured run also lands in a JSON report: per-window
+// throughput/CPU/net series, the latency breakdown, routing cost, and the
+// final telemetry gauge snapshot (fusion, migration, transport counters).
 //
 // Without -full, experiments run at the downscaled benchmark scale
 // (seconds per system); with -full they run at a larger scale closer to
@@ -13,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +38,7 @@ func main() {
 		clients = flag.Int("clients", 0, "override closed-loop client count")
 		phase   = flag.Duration("phase", 0, "override measured duration per system run")
 		seed    = flag.Int64("seed", 0, "override random seed")
+		report  = flag.String("report", "", "write a JSON run report (per-window series, breakdowns, telemetry gauges) to this file")
 	)
 	flag.Parse()
 
@@ -67,12 +74,24 @@ func main() {
 	if *exp == "all" {
 		names = experiments.Names()
 	}
+
+	var records []experiments.RunRecord
+	current := ""
+	if *report != "" {
+		experiments.SetReportSink(func(rec experiments.RunRecord) {
+			rec.Experiment = current
+			records = append(records, rec)
+		})
+		defer experiments.SetReportSink(nil)
+	}
+
 	for _, name := range names {
 		run, ok := experiments.Registry[name]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", name)
 			os.Exit(2)
 		}
+		current = name
 		start := time.Now()
 		res, err := run(sc)
 		if err != nil {
@@ -81,5 +100,24 @@ func main() {
 		}
 		fmt.Print(res.Render())
 		fmt.Printf("(%s in %.1fs)\n\n", name, time.Since(start).Seconds())
+	}
+
+	if *report != "" {
+		out := struct {
+			Scale   experiments.Scale       `json:"scale"`
+			Runs    []experiments.RunRecord `json:"runs"`
+			Written time.Time               `json:"written"`
+		}{Scale: sc, Runs: records, Written: time.Now()}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "report: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*report, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "report: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("report: %d runs -> %s\n", len(records), *report)
 	}
 }

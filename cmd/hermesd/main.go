@@ -5,6 +5,7 @@
 // Usage:
 //
 //	hermesd -nodes 4 -rows 10000 -policy hermes
+//	hermesd -nodes 4 -http :8080        # live /metrics, /trace, /debug/pprof
 //
 // Commands:
 //
@@ -22,6 +23,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -36,6 +38,8 @@ func main() {
 		standby = flag.Int("standby", 2, "standby nodes for scale-out")
 		rows    = flag.Uint64("rows", 10000, "table size")
 		policy  = flag.String("policy", "hermes", "routing policy (hermes|calvin|g-store|leap|t-part)")
+		reli    = flag.Bool("reliable", false, "enable the reliable-delivery layer (acks, retransmission, dedup)")
+		addr    = flag.String("http", "", "serve /metrics, /trace and /debug/pprof on this address (implies telemetry)")
 	)
 	flag.Parse()
 
@@ -44,6 +48,8 @@ func main() {
 		StandbyNodes: *standby,
 		Rows:         *rows,
 		Policy:       hermes.Policy(*policy),
+		Reliable:     *reli,
+		Telemetry:    *addr != "",
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -52,6 +58,14 @@ func main() {
 	defer db.Close()
 	db.LoadUniform(64)
 	fmt.Printf("hermesd: %d nodes (+%d standby), %d rows, policy=%s\n", *nodes, *standby, *rows, *policy)
+	if *addr != "" {
+		go func() {
+			if err := http.ListenAndServe(*addr, db.Telemetry().Handler()); err != nil {
+				fmt.Fprintln(os.Stderr, "http:", err)
+			}
+		}()
+		fmt.Printf("serving http://%s/metrics, /trace, /debug/pprof/\n", *addr)
+	}
 
 	nextStandby := *nodes
 	sc := bufio.NewScanner(os.Stdin)
@@ -129,10 +143,14 @@ func main() {
 		case "stats":
 			db.Drain(2 * time.Second)
 			st := db.Stats()
-			fmt.Printf("committed=%d aborted=%d migrations=%d remote-reads=%d\n",
-				st.Committed, st.Aborted, st.Migrations, st.RemoteReads)
+			fmt.Printf("committed=%d aborted=%d migrations=%d (%d bytes, %d in flight) remote-reads=%d\n",
+				st.Committed, st.Aborted, st.Migrations, st.MigrationBytes, st.MigrationsInFlight, st.RemoteReads)
 			fmt.Printf("net: %d msgs, %d bytes; latency p50=%v p99=%v\n",
 				st.NetworkMsgs, st.NetworkBytes, st.P50, st.P99)
+			fmt.Printf("routing: %d batches, %v/batch, %v/txn\n",
+				st.RoutingBatches, st.RoutingPerBatch, st.RoutingPerTxn)
+			fmt.Printf("reliability: %d retransmits, %d dups dropped; crashes=%d recoveries=%d downtime=%v\n",
+				st.Retransmits, st.DupsDropped, st.Crashes, st.Recoveries, st.Downtime)
 		default:
 			fmt.Println("commands: get set inc owner addnode migrate stats quit")
 		}

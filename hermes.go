@@ -38,6 +38,7 @@ import (
 	"hermes/internal/partition"
 	"hermes/internal/router"
 	"hermes/internal/sequencer"
+	"hermes/internal/telemetry"
 	"hermes/internal/tx"
 )
 
@@ -132,6 +133,15 @@ type Options struct {
 	// CrashNode/RestartNode and for surviving lossy transports; costs a
 	// little throughput, so it is opt-in.
 	Reliable bool
+	// Telemetry attaches the observability layer: a per-transaction
+	// lifecycle tracer and a gauge/counter registry, servable over HTTP
+	// via DB.Telemetry().Handler() (see docs/OBSERVABILITY.md). It is
+	// strictly observation-only — enabling it cannot change any
+	// deterministic outcome — and costs a few percent of throughput.
+	Telemetry bool
+	// TelemetryRingSize overrides the tracer's per-node event ring
+	// capacity (default 16384; rounded up to a power of two).
+	TelemetryRingSize int
 }
 
 // DB is an open emulated cluster.
@@ -177,6 +187,10 @@ func Open(opts Options) (*DB, error) {
 	for i := range ids {
 		ids[i] = tx.NodeID(i)
 	}
+	var tel *telemetry.Telemetry
+	if opts.Telemetry {
+		tel = telemetry.New(ids, opts.TelemetryRingSize)
+	}
 	cl, err := engine.New(engine.Config{
 		Nodes:        ids,
 		Active:       ids[:opts.Nodes],
@@ -188,6 +202,7 @@ func Open(opts Options) (*DB, error) {
 		ExecCost:     opts.ExecCost,
 		Window:       opts.StatsWindow,
 		Reliable:     opts.Reliable,
+		Telemetry:    tel,
 	})
 	if err != nil {
 		return nil, err
@@ -302,6 +317,11 @@ type Stats struct {
 	RemoteReads  int64
 	NetworkMsgs  int64
 	NetworkBytes int64
+	// MigrationBytes counts migrated payload bytes landed at their
+	// destinations; MigrationsInFlight is the instantaneous gauge of
+	// transactions currently executing with attached migrations.
+	MigrationBytes     int64
+	MigrationsInFlight int64
 	// Throughput is committed transactions per StatsWindow, oldest first.
 	Throughput []int64
 	// AvgBreakdown is the mean per-transaction latency decomposition.
@@ -316,6 +336,12 @@ type Stats struct {
 	Crashes    int64
 	Recoveries int64
 	Downtime   time.Duration
+	// RoutingBatches counts batch-routing invocations across all
+	// replicas; RoutingPerBatch / RoutingPerTxn are the mean prescient
+	// analysis cost (§3.2.4).
+	RoutingBatches  int64
+	RoutingPerBatch time.Duration
+	RoutingPerTxn   time.Duration
 }
 
 // Stats snapshots the cluster's metrics.
@@ -323,24 +349,35 @@ func (db *DB) Stats() Stats {
 	col := db.cluster.Collector()
 	msgs, bytes := db.cluster.NetStats().Totals()
 	rel := db.cluster.ReliableStats()
+	routing := col.Routing()
 	return Stats{
-		Committed:    col.Committed(),
-		Aborted:      col.Aborted(),
-		Migrations:   col.Migrations(),
-		RemoteReads:  col.RemoteReads(),
-		NetworkMsgs:  msgs,
-		NetworkBytes: bytes,
-		Throughput:   col.Throughput(),
-		AvgBreakdown: col.AvgBreakdown(),
-		P50:          col.LatencyQuantile(0.5),
-		P99:          col.LatencyQuantile(0.99),
-		Retransmits:  rel.Retransmits,
-		DupsDropped:  rel.DupsDropped,
-		Crashes:      col.Crashes(),
-		Recoveries:   col.Recoveries(),
-		Downtime:     col.Downtime(),
+		Committed:          col.Committed(),
+		Aborted:            col.Aborted(),
+		Migrations:         col.Migrations(),
+		RemoteReads:        col.RemoteReads(),
+		NetworkMsgs:        msgs,
+		NetworkBytes:       bytes,
+		MigrationBytes:     col.MigrationBytes(),
+		MigrationsInFlight: col.MigrationsInFlight(),
+		Throughput:         col.Throughput(),
+		AvgBreakdown:       col.AvgBreakdown(),
+		P50:                col.LatencyQuantile(0.5),
+		P99:                col.LatencyQuantile(0.99),
+		Retransmits:        rel.Retransmits,
+		DupsDropped:        rel.DupsDropped,
+		Crashes:            col.Crashes(),
+		Recoveries:         col.Recoveries(),
+		Downtime:           col.Downtime(),
+		RoutingBatches:     routing.Batches,
+		RoutingPerBatch:    routing.PerBatch,
+		RoutingPerTxn:      routing.PerTxn,
 	}
 }
+
+// Telemetry returns the observability handle (nil unless
+// Options.Telemetry): the lifecycle tracer, the metric registry, and the
+// HTTP surface via Telemetry().Handler().
+func (db *DB) Telemetry() *telemetry.Telemetry { return db.cluster.Telemetry() }
 
 // Fingerprint hashes the full cluster state (storage + fusion tables);
 // identical inputs always produce identical fingerprints.

@@ -10,6 +10,7 @@ import (
 	"hermes/internal/partition"
 	"hermes/internal/router"
 	"hermes/internal/sequencer"
+	"hermes/internal/telemetry"
 	"hermes/internal/tx"
 	"hermes/internal/workload"
 )
@@ -58,6 +59,12 @@ type Spec struct {
 	// quiescence failure, which is itself a determinism-tooling finding.
 	Timeout time.Duration
 
+	// Telemetry attaches a live telemetry layer (lifecycle tracer +
+	// gauge registry) to the run. Telemetry must be a pure observer, so
+	// a run with it on must quiesce to byte-identical state as one with
+	// it off — TelemetryEquivalence asserts exactly that.
+	Telemetry bool
+
 	// MutateProcs, if non-nil, transforms the generated trace before
 	// submission. Negative tests inject input-order nondeterminism here
 	// to prove the checker catches it.
@@ -69,8 +76,12 @@ type Spec struct {
 }
 
 func (s Spec) String() string {
-	return fmt.Sprintf("%s/%s n=%d txns=%d batch=%d seed=%d",
-		s.Policy, s.Workload, s.Nodes, s.Txns, s.Batch, s.Seed)
+	tel := ""
+	if s.Telemetry {
+		tel = " telemetry=on"
+	}
+	return fmt.Sprintf("%s/%s n=%d txns=%d batch=%d seed=%d%s",
+		s.Policy, s.Workload, s.Nodes, s.Txns, s.Batch, s.Seed, tel)
 }
 
 // Result is the externally comparable outcome of one run.
@@ -97,6 +108,10 @@ type Result struct {
 	Retransmits     int64
 	// Crashes counts executed node kill/restart cycles.
 	Crashes int64
+	// Traced and MetricSamples report telemetry activity (zero unless
+	// Spec.Telemetry): lifecycle events emitted and registry samples.
+	Traced        uint64
+	MetricSamples int
 }
 
 // normalize applies defaults and rounds the trace to whole batches.
@@ -238,10 +253,15 @@ func Run(spec Spec, sched Schedule) (*Result, error) {
 	for i := range ids {
 		ids[i] = tx.NodeID(i)
 	}
+	var tel *telemetry.Telemetry
+	if spec.Telemetry {
+		tel = telemetry.New(ids, 1<<12)
+	}
 	var chaosT *Transport
 	c, err := engine.New(engine.Config{
-		Nodes:  ids,
-		Policy: pf,
+		Nodes:     ids,
+		Policy:    pf,
+		Telemetry: tel,
 		// Interval far beyond any run: batches seal on size only.
 		Seq: sequencer.Config{BatchSize: spec.Batch, Interval: time.Hour},
 		WrapTransport: func(inner network.Transport) network.Transport {
@@ -368,6 +388,10 @@ func Run(spec Spec, sched Schedule) (*Result, error) {
 	res.Dropped, res.Dupped = chaosT.Loss()
 	res.Retransmits = c.ReliableStats().Retransmits
 	res.Crashes = c.Collector().Crashes()
+	if tel != nil {
+		res.Traced = tel.Tracer().Written()
+		res.MetricSamples = len(tel.Registry().Snapshot())
+	}
 
 	// Conservation: transactions and migrations must never lose records
 	// or bytes; workloads without inserts must preserve the loaded totals
@@ -410,6 +434,40 @@ func Equivalence(spec Spec, scheds []Schedule) ([]*Result, error) {
 		if err := equivalent(ref, res); err != nil {
 			return results, err
 		}
+	}
+	return results, nil
+}
+
+// TelemetryEquivalence runs spec under sched twice — telemetry fully off,
+// then fully on — and checks the runs quiesced to byte-identical state:
+// same cluster fingerprint, node digests, storage totals, and
+// commit/abort counts. Any difference means telemetry perturbed the
+// deterministic state machine. It also sanity-checks that the enabled run
+// actually observed the workload (traced events and a non-empty metric
+// snapshot), so a silently disconnected tracer cannot pass.
+func TelemetryEquivalence(spec Spec, sched Schedule) ([]*Result, error) {
+	off := spec
+	off.Telemetry = false
+	on := spec
+	on.Telemetry = true
+
+	resOff, err := Run(off, sched)
+	if err != nil {
+		return nil, err
+	}
+	resOn, err := Run(on, sched)
+	if err != nil {
+		return []*Result{resOff}, err
+	}
+	results := []*Result{resOff, resOn}
+	if err := equivalent(resOff, resOn); err != nil {
+		return results, fmt.Errorf("telemetry on/off: %w", err)
+	}
+	if resOn.Traced == 0 {
+		return results, fmt.Errorf("chaos: %v under %v: telemetry run traced no events", on, sched)
+	}
+	if resOn.MetricSamples == 0 {
+		return results, fmt.Errorf("chaos: %v under %v: telemetry run registered no metrics", on, sched)
 	}
 	return results, nil
 }

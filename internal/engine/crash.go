@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"hermes/internal/telemetry"
 	"hermes/internal/tx"
 )
 
@@ -49,6 +50,7 @@ func (c *Cluster) CrashNode(id tx.NodeID) error {
 	n.stop()
 	n.wait()
 	c.collector.RecordCrash()
+	c.tracer.Emit(id, 0, telemetry.PhaseCrash, 0)
 	return nil
 }
 
@@ -92,5 +94,6 @@ func (c *Cluster) RestartNode(id tx.NodeID) error {
 	delete(c.crashed, id)
 	c.mu.Unlock()
 	c.collector.RecordRecovery(time.Since(downSince))
+	c.tracer.Emit(id, 0, telemetry.PhaseReplay, int64(cp.Seq))
 	return nil
 }

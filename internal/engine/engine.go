@@ -20,10 +20,12 @@ import (
 	"sync"
 	"time"
 
+	"hermes/internal/fusion"
 	"hermes/internal/metrics"
 	"hermes/internal/network"
 	"hermes/internal/router"
 	"hermes/internal/sequencer"
+	"hermes/internal/telemetry"
 	"hermes/internal/tx"
 )
 
@@ -82,6 +84,12 @@ type Config struct {
 	// how external look-back controllers (Clay's planner, §5.2.1)
 	// observe the workload; it must be fast or hand off to a channel.
 	CommitHook func(route *router.Route)
+	// Telemetry, if non-nil, receives lifecycle trace events and gets the
+	// cluster's gauges registered into its registry. Telemetry is strictly
+	// observation-only: no engine decision reads it, so enabling it cannot
+	// change the deterministic outcome (enforced by the chaos harness's
+	// telemetry-equivalence check).
+	Telemetry *telemetry.Telemetry
 }
 
 // LeaderNode is the transport address of the dedicated total-order leader
@@ -106,6 +114,9 @@ type Cluster struct {
 	order     []tx.NodeID
 	collector *metrics.Collector
 	start     time.Time
+	// tracer is Config.Telemetry's tracer (nil when telemetry is off);
+	// every Emit through a nil tracer is a single-branch no-op.
+	tracer *telemetry.Tracer
 
 	mu      sync.Mutex
 	pending map[tx.TxnID]chan struct{}
@@ -175,6 +186,7 @@ func build(cfg Config) (*Cluster, error) {
 		start:     time.Now(),
 	}
 	c.collector = metrics.NewCollector(c.start, cfg.Window)
+	c.tracer = cfg.Telemetry.Tracer()
 	// Every node (including standbys) receives the full batch stream so
 	// its routing replica stays in sync; only active nodes are routed to.
 	c.leader = sequencer.NewLeader(LeaderNode, c.tr, cfg.Nodes, cfg.Seq, nil)
@@ -182,7 +194,108 @@ func build(cfg Config) (*Cluster, error) {
 		n := newNode(id, c, cfg.Policy(cfg.Active))
 		c.nodes[id] = n
 	}
+	c.registerGauges()
 	return c, nil
+}
+
+// fusionStats shortens the gauge closures below.
+type fusionStats = fusion.Stats
+
+// registerGauges publishes the cluster's live state into the telemetry
+// registry. Every closure reads through c.node(id) / c.rel so a node
+// swapped by RestartNode is picked up automatically; all reads are
+// observation-only.
+func (c *Cluster) registerGauges() {
+	reg := c.cfg.Telemetry.Registry()
+	if reg == nil {
+		return
+	}
+	col := c.collector
+	reg.Gauge("hermes_txns_committed_total", "committed transactions",
+		func() float64 { return float64(col.Committed()) })
+	reg.Gauge("hermes_txns_aborted_total", "logic-aborted transactions",
+		func() float64 { return float64(col.Aborted()) })
+	reg.Gauge("hermes_migration_records_total", "cumulative migrated records",
+		func() float64 { return float64(col.Migrations()) })
+	reg.Gauge("hermes_migration_bytes_total", "cumulative migrated payload bytes landed",
+		func() float64 { return float64(col.MigrationBytes()) })
+	reg.Gauge("hermes_migrations_in_flight", "transactions currently executing with attached migrations",
+		func() float64 { return float64(col.MigrationsInFlight()) })
+	reg.Gauge("hermes_remote_reads_total", "records read across the network",
+		func() float64 { return float64(col.RemoteReads()) })
+	reg.Gauge("hermes_node_crashes_total", "node kills",
+		func() float64 { return float64(col.Crashes()) })
+	reg.Gauge("hermes_node_recoveries_total", "node restarts",
+		func() float64 { return float64(col.Recoveries()) })
+	reg.Gauge("hermes_routing_batches_total", "batch-routing invocations across replicas",
+		func() float64 { return float64(col.Routing().Batches) })
+	reg.Gauge("hermes_routing_us_per_batch", "mean prescient-routing cost per batch (microseconds)",
+		func() float64 { return float64(col.Routing().PerBatch) / 1e3 })
+
+	reg.Gauge("hermes_seq_batches_total", "batches sealed by the total-order leader",
+		func() float64 { return float64(c.leader.Stats().Batches) })
+	reg.Gauge("hermes_seq_batch_fill", "last sealed batch size relative to the configured batch size",
+		func() float64 { return c.leader.Stats().LastFill })
+	reg.Gauge("hermes_seq_pending", "requests waiting at the leader for the next flush",
+		func() float64 { return float64(c.leader.Stats().Pending) })
+
+	netStats := c.base.Stats()
+	reg.Gauge("hermes_net_messages_total", "transport messages sent",
+		func() float64 { m, _ := netStats.Totals(); return float64(m) })
+	reg.Gauge("hermes_net_bytes_total", "transport payload bytes sent",
+		func() float64 { _, b := netStats.Totals(); return float64(b) })
+	if c.rel != nil {
+		rel := c.rel
+		reg.Gauge("hermes_transport_retransmits_total", "messages re-sent by the reliable layer",
+			func() float64 { return float64(rel.Stats().Retransmits) })
+		reg.Gauge("hermes_transport_dups_dropped_total", "duplicate messages discarded by the reliable layer",
+			func() float64 { return float64(rel.Stats().DupsDropped) })
+		reg.Gauge("hermes_transport_unacked", "sender-side unacknowledged messages (retransmission window)",
+			func() float64 { u, _ := rel.Depths(); return float64(u) })
+		reg.Gauge("hermes_transport_backlog", "receiver-side logged messages not yet handed to consumers",
+			func() float64 { _, b := rel.Depths(); return float64(b) })
+	}
+
+	for _, id := range c.cfg.Nodes {
+		id := id
+		label := fmt.Sprintf(`{node="%d"}`, id)
+		reg.Gauge("hermes_sched_queue_depth"+label, "batches waiting in the node's scheduler queue",
+			func() float64 {
+				if n := c.node(id); n != nil {
+					return float64(len(n.batches))
+				}
+				return 0
+			})
+		reg.Gauge("hermes_sched_seq"+label, "1 + sequence of the last batch the node's scheduler consumed",
+			func() float64 {
+				if n := c.node(id); n != nil {
+					return float64(n.Scheduled())
+				}
+				return 0
+			})
+		reg.Gauge("hermes_node_busy_seconds_total"+label, "cumulative executor busy time",
+			func() float64 { return col.BusyTotal(int(id)).Seconds() })
+		fusionStat := func(pick func(fusionStats) int64) func() float64 {
+			return func() float64 {
+				if n := c.node(id); n != nil {
+					if f := n.policy.Placement().Fusion; f != nil {
+						return float64(pick(f.Stats()))
+					}
+				}
+				return 0
+			}
+		}
+		reg.Gauge("hermes_fusion_occupancy"+label, "fusion-table entries currently tracked",
+			fusionStat(func(s fusionStats) int64 { return s.Size }))
+		reg.Gauge("hermes_fusion_inserts_total"+label, "fusion-table insertions",
+			fusionStat(func(s fusionStats) int64 { return s.Inserts }))
+		reg.Gauge("hermes_fusion_evictions_total"+label, "fusion-table capacity evictions",
+			fusionStat(func(s fusionStats) int64 { return s.Evictions }))
+		reg.Gauge("hermes_fusion_deletes_total"+label, "fusion-table deletions (records migrated home)",
+			fusionStat(func(s fusionStats) int64 { return s.Deletes }))
+		reg.Gauge("hermes_fusion_owner_moves_total"+label, "tracked keys re-owned to a different node (hot-set churn)",
+			fusionStat(func(s fusionStats) int64 { return s.OwnerMoves }))
+	}
 }
 
 func (c *Cluster) startAll() {
@@ -244,6 +357,19 @@ func (c *Cluster) ConfigCopy() Config { return c.cfg }
 
 // Collector exposes the cluster's metrics.
 func (c *Cluster) Collector() *metrics.Collector { return c.collector }
+
+// Telemetry exposes the telemetry handle the cluster was built with (nil
+// when telemetry is off).
+func (c *Cluster) Telemetry() *telemetry.Telemetry { return c.cfg.Telemetry }
+
+// ReliableDepths reports the reliable layer's current queue occupancy
+// (zeros when Config.Reliable is off).
+func (c *Cluster) ReliableDepths() (unacked, backlog int64) {
+	if c.rel == nil {
+		return 0, 0
+	}
+	return c.rel.Depths()
+}
 
 // NetStats exposes transport byte/message accounting.
 func (c *Cluster) NetStats() *network.Stats { return c.base.Stats() }
@@ -345,11 +471,22 @@ func (c *Cluster) complete(id tx.TxnID) {
 // all nodes) performs the registration — it is idempotent.
 func (c *Cluster) registerAssigned(req *tx.Request) {
 	c.mu.Lock()
-	if ch, ok := c.waiters[req]; ok {
+	_, found := c.waiters[req]
+	if found {
+		ch := c.waiters[req]
 		delete(c.waiters, req)
 		c.pending[req.ID] = ch
 	}
 	c.mu.Unlock()
+	if found {
+		// Exactly one registration finds the waiter, so these cluster-scope
+		// events are emitted once per transaction: the submit time (known
+		// only now that the total order revealed the ID) and the assignment.
+		if !req.SubmitTime.IsZero() {
+			c.tracer.EmitAt(req.SubmitTime, telemetry.ClusterNode, req.ID, telemetry.PhaseEnqueued, 0)
+		}
+		c.tracer.Emit(telemetry.ClusterNode, req.ID, telemetry.PhaseSequenced, 0)
+	}
 }
 
 // Pending reports the number of in-flight transactions.

@@ -8,6 +8,7 @@ import (
 	"hermes/internal/network"
 	"hermes/internal/router"
 	"hermes/internal/storage"
+	"hermes/internal/telemetry"
 	"hermes/internal/tx"
 )
 
@@ -17,6 +18,12 @@ import (
 // that record waits only ever point "toward" nodes that will push
 // unconditionally once their own locks are granted.
 func (n *Node) run(rt *router.Route, role *role, grant *lock.Grant, arrival time.Time) {
+	// The in-flight gauge spans one transaction's whole execution window
+	// (lock wait included), counted once at the committing node.
+	if len(rt.Migrations) > 0 && rt.Mode != router.Provision && n.isCommitter(rt) {
+		n.cluster.collector.AddMigrationsInFlight(1)
+		defer n.cluster.collector.AddMigrationsInFlight(-1)
+	}
 	dispatch := time.Now()
 	select {
 	case <-grant.Done():
@@ -24,6 +31,7 @@ func (n *Node) run(rt *router.Route, role *role, grant *lock.Grant, arrival time
 		return
 	}
 	granted := time.Now()
+	n.cluster.tracer.Emit(n.id, rt.Txn.ID, telemetry.PhaseLocked, int64(granted.Sub(dispatch)))
 
 	var storageTime time.Duration
 
@@ -77,6 +85,7 @@ func (n *Node) run(rt *router.Route, role *role, grant *lock.Grant, arrival time
 			return // shutting down
 		}
 		remoteReady = time.Now()
+		n.cluster.tracer.Emit(n.id, rt.Txn.ID, telemetry.PhaseRemoteReady, int64(role.expectRecords))
 	} else {
 		remoteReady = granted
 	}
@@ -92,6 +101,7 @@ func (n *Node) run(rt *router.Route, role *role, grant *lock.Grant, arrival time
 		st, aborted = n.runMaster(rt, role, remote)
 		storageTime += st
 		n.execDone()
+		n.cluster.tracer.Emit(n.id, rt.Txn.ID, telemetry.PhaseExecuted, 0)
 	case role.isWriter:
 		if !n.execSlot() {
 			return
@@ -100,16 +110,23 @@ func (n *Node) run(rt *router.Route, role *role, grant *lock.Grant, arrival time
 		st, aborted = n.runWriter(rt, remote)
 		storageTime += st
 		n.execDone()
+		n.cluster.tracer.Emit(n.id, rt.Txn.ID, telemetry.PhaseExecuted, 0)
 	default:
 		// Pure source / arrival role: insert migration arrivals and apply
 		// write-backs, then release.
+		var migBytes int64
 		for _, k := range role.insertArrivals {
 			if v, ok := remote[k]; ok && v != nil {
 				t0 := time.Now()
 				n.store.Write(k, v)
 				n.sleepStorage()
 				storageTime += time.Since(t0)
+				migBytes += int64(len(v))
 			}
+		}
+		if len(role.insertArrivals) > 0 {
+			n.cluster.collector.RecordMigrationBytes(int(migBytes))
+			n.cluster.tracer.Emit(n.id, rt.Txn.ID, telemetry.PhaseMigratedIn, migBytes)
 		}
 		for _, k := range role.writeBackApply {
 			if v, ok := remote[k]; ok {
@@ -149,9 +166,13 @@ func (n *Node) run(rt *router.Route, role *role, grant *lock.Grant, arrival time
 			n.cluster.collector.RecordCommit(done, bd)
 			n.cluster.collector.RecordMigration(len(rt.Migrations))
 			n.cluster.collector.RecordRemoteReads(role.expectRecords)
+			n.cluster.tracer.Emit(n.id, rt.Txn.ID, telemetry.PhaseCommitted, int64(total))
 			if hook := n.cluster.cfg.CommitHook; hook != nil {
 				hook(rt)
 			}
+		}
+		if aborted {
+			n.cluster.tracer.Emit(n.id, rt.Txn.ID, telemetry.PhaseAborted, 0)
 		}
 		n.cluster.complete(rt.Txn.ID)
 	}
@@ -188,6 +209,7 @@ func (n *Node) runMaster(rt *router.Route, role *role, remote map[tx.Key][]byte)
 	orig := make(map[tx.Key][]byte, len(access))
 	undo := storage.NewUndoLog(n.store)
 	localAfter := map[tx.Key]bool{}
+	var migBytes int64
 
 	for _, k := range access {
 		owner := rt.Owners.Get(k)
@@ -210,6 +232,7 @@ func (n *Node) runMaster(rt *router.Route, role *role, remote map[tx.Key][]byte)
 					n.store.Write(k, v)
 					n.sleepStorage()
 					storageTime += time.Since(t0)
+					migBytes += int64(len(v))
 				}
 				localAfter[k] = true
 			}
@@ -223,7 +246,12 @@ func (n *Node) runMaster(rt *router.Route, role *role, remote map[tx.Key][]byte)
 			n.store.Write(k, v)
 			n.sleepStorage()
 			storageTime += time.Since(t0)
+			migBytes += int64(len(v))
 		}
+	}
+	if len(inbound) > 0 || len(role.insertArrivals) > 0 {
+		n.cluster.collector.RecordMigrationBytes(int(migBytes))
+		n.cluster.tracer.Emit(n.id, req.ID, telemetry.PhaseMigratedIn, migBytes)
 	}
 
 	ctx := &execCtx{

@@ -10,6 +10,7 @@ import (
 	"hermes/internal/router"
 	"hermes/internal/sequencer"
 	"hermes/internal/storage"
+	"hermes/internal/telemetry"
 	"hermes/internal/tx"
 )
 
@@ -137,6 +138,11 @@ func (n *Node) recvLoop() {
 					continue
 				}
 				sequencer.Ack(n.id, LeaderNode, n.cluster.tr, m.Seq)
+				if n.cluster.tracer.Enabled() {
+					for _, req := range m.Batch.Txns {
+						n.cluster.tracer.Emit(n.id, req.ID, telemetry.PhaseBatched, int64(m.Batch.Seq))
+					}
+				}
 				select {
 				case n.batches <- m.Batch:
 				case <-n.quit:
@@ -198,6 +204,13 @@ func (n *Node) schedule(rt *router.Route, arrival time.Time) {
 	role := n.roleFor(rt)
 	if !role.involved() {
 		return
+	}
+	if n.cluster.tracer.Enabled() {
+		master := int64(-1)
+		if rt.Mode == router.SingleMaster {
+			master = int64(rt.Master)
+		}
+		n.cluster.tracer.Emit(n.id, rt.Txn.ID, telemetry.PhaseRouted, master)
 	}
 	grant := n.locks.Acquire(rt.Txn.ID, role.shared, role.excl)
 	n.wg.Add(1)

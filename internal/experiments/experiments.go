@@ -20,6 +20,7 @@ import (
 	"hermes/internal/partition"
 	"hermes/internal/router"
 	"hermes/internal/sequencer"
+	"hermes/internal/telemetry"
 	"hermes/internal/tx"
 	"hermes/internal/workload"
 )
@@ -263,6 +264,12 @@ func runLoad(sc Scale, sys system, gen workload.Generator,
 			return sc.NetLatency + time.Duration(float64(bytes)/1.25e9*float64(time.Second))
 		}
 	}
+	sink := currentSink()
+	var tel *telemetry.Telemetry
+	if sink != nil {
+		tel = telemetry.New(nodes, 0)
+		cfg.Telemetry = tel
+	}
 	c, err := engine.New(cfg)
 	if err != nil {
 		return nil, err
@@ -328,6 +335,22 @@ func runLoad(sc Scale, sys system, gen workload.Generator,
 	rs := col.Routing()
 	out.RoutingPerBatchUs = us(rs.PerBatch)
 	out.RoutingPerTxnUs = us(rs.PerTxn)
+	if sink != nil {
+		rec := RunRecord{
+			System:            sys.name,
+			Throughput:        out.Throughput,
+			CPU:               out.CPU,
+			NetPerTxn:         out.NetPerTxn,
+			Breakdown:         out.Breakdown,
+			Committed:         out.Committed,
+			Aborted:           out.Aborted,
+			Migrations:        out.Migrations,
+			RoutingPerBatchUs: out.RoutingPerBatchUs,
+			RoutingPerTxnUs:   out.RoutingPerTxnUs,
+			Gauges:            tel.Registry().SnapshotMap(),
+		}
+		sink(rec)
+	}
 	return out, nil
 }
 

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"testing"
+
+	"hermes/internal/partition"
+)
+
+// benchGoogleHermes runs the Hermes system on the Small-scale Google
+// workload, optionally with the telemetry layer attached (a report sink
+// makes runLoad build every cluster with tracer + gauge registry), and
+// reports sustained committed throughput. Comparing the Off/On variants
+// measures the enabled-telemetry overhead quoted in docs/OBSERVABILITY.md:
+//
+//	go test -run '^$' -bench 'BenchmarkGoogleSmallTelemetry' \
+//	    -benchtime 5x ./internal/experiments
+func benchGoogleHermes(b *testing.B, telemetryOn bool) {
+	sc := Small()
+	base := partition.NewUniformRange(0, sc.Rows, sc.Nodes)
+	sys := standardSystems(sc, base)[5] // Hermes
+	if telemetryOn {
+		SetReportSink(func(RunRecord) {})
+		defer SetReportSink(nil)
+	}
+	var committed int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := runGoogle(sc, sys, 0, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		committed += out.Committed
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(committed)/(float64(b.N)*sc.Phase.Seconds()), "txns/sec")
+}
+
+func BenchmarkGoogleSmallTelemetryOff(b *testing.B) { benchGoogleHermes(b, false) }
+
+func BenchmarkGoogleSmallTelemetryOn(b *testing.B) { benchGoogleHermes(b, true) }

@@ -1,0 +1,53 @@
+package experiments
+
+import "sync"
+
+// RunRecord is one measured system run in machine-readable form — the
+// JSON counterpart of a figure's rendered column, emitted through the
+// report sink for cmd/hermes-bench -report. Experiment is stamped by the
+// caller that knows which figure is running; everything else is filled by
+// runLoad.
+type RunRecord struct {
+	Experiment string `json:"experiment,omitempty"`
+	System     string `json:"system"`
+	// Throughput is commits per sampling window (oldest first); CPU the
+	// mean busy fraction per window in percent; NetPerTxn bytes per
+	// committed transaction per window.
+	Throughput []float64 `json:"throughput"`
+	CPU        []float64 `json:"cpu_pct"`
+	NetPerTxn  []float64 `json:"net_bytes_per_txn"`
+	// Breakdown is the mean per-transaction latency decomposition (ms).
+	Breakdown  breakdown `json:"breakdown_ms"`
+	Committed  int64     `json:"committed"`
+	Aborted    int64     `json:"aborted"`
+	Migrations int64     `json:"migrations"`
+	// Routing cost (§3.2.4) in microseconds.
+	RoutingPerBatchUs float64 `json:"routing_us_per_batch"`
+	RoutingPerTxnUs   float64 `json:"routing_us_per_txn"`
+	// Gauges is the final telemetry-registry snapshot (fusion occupancy,
+	// migration bytes, transport retransmits, queue depths, ...); only
+	// present when a report sink is installed, which enables telemetry
+	// for the run.
+	Gauges map[string]float64 `json:"gauges,omitempty"`
+}
+
+var (
+	reportMu   sync.Mutex
+	reportSink func(RunRecord)
+)
+
+// SetReportSink installs fn to receive a RunRecord for every measured
+// run. While a sink is installed, runLoad attaches the telemetry layer
+// to each cluster so the record carries a full gauge snapshot; telemetry
+// is observation-only, so results are unchanged. Pass nil to uninstall.
+func SetReportSink(fn func(RunRecord)) {
+	reportMu.Lock()
+	reportSink = fn
+	reportMu.Unlock()
+}
+
+func currentSink() func(RunRecord) {
+	reportMu.Lock()
+	defer reportMu.Unlock()
+	return reportSink
+}

@@ -12,6 +12,7 @@ package fusion
 import (
 	"container/list"
 	"hash/fnv"
+	"sync/atomic"
 
 	"hermes/internal/tx"
 )
@@ -45,6 +46,39 @@ type Table struct {
 	policy   Policy
 	m        map[tx.Key]*node
 	order    *list.List // front = most recent, back = eviction candidate
+
+	// stats counters are atomic only so telemetry gauges can read them
+	// from other goroutines while the owning scheduler mutates the table;
+	// they never influence table behavior.
+	stats struct {
+		size       atomic.Int64
+		inserts    atomic.Int64
+		evictions  atomic.Int64
+		deletes    atomic.Int64
+		ownerMoves atomic.Int64
+	}
+}
+
+// Stats is a consistent-enough snapshot of the table's activity counters:
+// occupancy, cumulative inserts/evictions/deletes, and owner moves
+// (re-Put of a tracked key onto a different node — hot-set churn).
+type Stats struct {
+	Size       int64
+	Inserts    int64
+	Evictions  int64
+	Deletes    int64
+	OwnerMoves int64
+}
+
+// Stats returns the activity counters. Safe to call from any goroutine.
+func (t *Table) Stats() Stats {
+	return Stats{
+		Size:       t.stats.size.Load(),
+		Inserts:    t.stats.inserts.Load(),
+		Evictions:  t.stats.evictions.Load(),
+		Deletes:    t.stats.deletes.Load(),
+		OwnerMoves: t.stats.ownerMoves.Load(),
+	}
 }
 
 // New returns a table bounded to capacity entries (capacity ≤ 0 means
@@ -93,6 +127,9 @@ func (t *Table) Touch(k tx.Key) (tx.NodeID, bool) {
 // under LRU but keeps insertion order under FIFO.
 func (t *Table) Put(k tx.Key, owner tx.NodeID) []Entry {
 	if n, ok := t.m[k]; ok {
+		if n.entry.Owner != owner {
+			t.stats.ownerMoves.Add(1)
+		}
 		n.entry.Owner = owner
 		if t.policy == LRU {
 			t.order.MoveToFront(n.elem)
@@ -102,6 +139,7 @@ func (t *Table) Put(k tx.Key, owner tx.NodeID) []Entry {
 	n := &node{entry: Entry{Key: k, Owner: owner}}
 	n.elem = t.order.PushFront(n)
 	t.m[k] = n
+	t.stats.inserts.Add(1)
 	var evicted []Entry
 	for t.capacity > 0 && len(t.m) > t.capacity {
 		back := t.order.Back()
@@ -109,7 +147,9 @@ func (t *Table) Put(k tx.Key, owner tx.NodeID) []Entry {
 		t.order.Remove(back)
 		delete(t.m, victim.entry.Key)
 		evicted = append(evicted, victim.entry)
+		t.stats.evictions.Add(1)
 	}
+	t.stats.size.Store(int64(len(t.m)))
 	return evicted
 }
 
@@ -119,6 +159,8 @@ func (t *Table) Delete(k tx.Key) {
 	if n, ok := t.m[k]; ok {
 		t.order.Remove(n.elem)
 		delete(t.m, k)
+		t.stats.deletes.Add(1)
+		t.stats.size.Store(int64(len(t.m)))
 	}
 }
 

@@ -59,13 +59,23 @@ type Collector struct {
 	committed atomic.Int64
 	aborted   atomic.Int64
 
-	mu          sync.Mutex
-	perWindow   []int64
-	sum         Breakdown
-	hist        Histogram
-	busy        map[int]*atomic.Int64 // node -> busy nanos
-	migrations  atomic.Int64
-	remoteReads atomic.Int64
+	mu        sync.Mutex
+	perWindow []int64
+	sum       Breakdown
+	hist      Histogram
+
+	// busy holds per-node busy-nanos counters indexed by node ID (dense
+	// small ints). The slice is immutable once published: growing copies
+	// the counter pointers into a larger slice under mu and swaps the
+	// pointer, so the hot path (AddBusy/BusyTotal) is a single atomic
+	// load + bounds check with no lock.
+	busy    atomic.Pointer[[]*atomic.Int64]
+	busyNeg sync.Map // nodeID < 0 fallback (never hit by the engine)
+
+	migrations         atomic.Int64
+	migrationBytes     atomic.Int64
+	migrationsInFlight atomic.Int64
+	remoteReads        atomic.Int64
 
 	routingBatches atomic.Int64
 	routingTxns    atomic.Int64
@@ -91,11 +101,49 @@ type RoutingStats struct {
 // NewCollector returns a collector with throughput windows of the given
 // duration, starting at start.
 func NewCollector(start time.Time, window time.Duration) *Collector {
-	return &Collector{
+	c := &Collector{
 		start:  start,
 		window: window,
-		busy:   make(map[int]*atomic.Int64),
 	}
+	// Pre-size well past any realistic node count so the grow path never
+	// runs during a measured workload.
+	s := newBusySlice(64)
+	c.busy.Store(&s)
+	return c
+}
+
+func newBusySlice(n int) []*atomic.Int64 {
+	s := make([]*atomic.Int64, n)
+	for i := range s {
+		s[i] = &atomic.Int64{}
+	}
+	return s
+}
+
+// busyCounter returns the busy-nanos counter for a node, lock-free for
+// in-range dense IDs.
+func (c *Collector) busyCounter(nodeID int) *atomic.Int64 {
+	if nodeID < 0 {
+		v, _ := c.busyNeg.LoadOrStore(nodeID, &atomic.Int64{})
+		return v.(*atomic.Int64)
+	}
+	if s := *c.busy.Load(); nodeID < len(s) {
+		return s[nodeID]
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := *c.busy.Load()
+	if nodeID < len(s) {
+		return s[nodeID]
+	}
+	n := len(s) * 2
+	for n <= nodeID {
+		n *= 2
+	}
+	grown := newBusySlice(n)
+	copy(grown, s)
+	c.busy.Store(&grown)
+	return grown[nodeID]
 }
 
 // RecordCommit records a committed transaction finishing at now with the
@@ -126,6 +174,20 @@ func (c *Collector) RecordAbort() { c.aborted.Add(1) }
 // RecordMigration counts records migrated between nodes (fusion moves,
 // write-backs, and cold chunks all count).
 func (c *Collector) RecordMigration(records int) { c.migrations.Add(int64(records)) }
+
+// RecordMigrationBytes counts payload bytes landed by migrations.
+func (c *Collector) RecordMigrationBytes(n int) { c.migrationBytes.Add(int64(n)) }
+
+// AddMigrationsInFlight adjusts the gauge of transactions currently
+// carrying migrations (+1 when such a transaction starts executing, -1
+// when it finishes).
+func (c *Collector) AddMigrationsInFlight(delta int64) { c.migrationsInFlight.Add(delta) }
+
+// MigrationsInFlight returns the current in-flight migration gauge.
+func (c *Collector) MigrationsInFlight() int64 { return c.migrationsInFlight.Load() }
+
+// MigrationBytes returns the cumulative migrated payload bytes.
+func (c *Collector) MigrationBytes() int64 { return c.migrationBytes.Load() }
 
 // RecordRemoteReads counts records read across the network.
 func (c *Collector) RecordRemoteReads(n int) { c.remoteReads.Add(int64(n)) }
@@ -178,26 +240,13 @@ func (c *Collector) Downtime() time.Duration { return time.Duration(c.downtimeNa
 // AddBusy accrues execution busy-time for a node; BusyFraction divides by
 // wall time to report CPU usage as in Fig. 8.
 func (c *Collector) AddBusy(nodeID int, d time.Duration) {
-	c.mu.Lock()
-	a, ok := c.busy[nodeID]
-	if !ok {
-		a = &atomic.Int64{}
-		c.busy[nodeID] = a
-	}
-	c.mu.Unlock()
-	a.Add(int64(d))
+	c.busyCounter(nodeID).Add(int64(d))
 }
 
 // BusyTotal reports the cumulative busy-time accrued by a node; samplers
 // diff successive snapshots to get per-window CPU usage (Fig. 8).
 func (c *Collector) BusyTotal(nodeID int) time.Duration {
-	c.mu.Lock()
-	a, ok := c.busy[nodeID]
-	c.mu.Unlock()
-	if !ok {
-		return 0
-	}
-	return time.Duration(a.Load())
+	return time.Duration(c.busyCounter(nodeID).Load())
 }
 
 // BusyFraction reports node busy-time divided by elapsed wall time.
@@ -205,13 +254,7 @@ func (c *Collector) BusyFraction(nodeID int, elapsed time.Duration) float64 {
 	if elapsed <= 0 {
 		return 0
 	}
-	c.mu.Lock()
-	a, ok := c.busy[nodeID]
-	c.mu.Unlock()
-	if !ok {
-		return 0
-	}
-	return float64(a.Load()) / float64(elapsed)
+	return float64(c.busyCounter(nodeID).Load()) / float64(elapsed)
 }
 
 // Committed and Aborted return cumulative counts.

@@ -133,6 +133,31 @@ func (r *Reliable) Stats() ReliableStats {
 	}
 }
 
+// Depths reports the layer's current queue occupancy: Unacked is the
+// total sender-side retransmission window (messages sent but not yet
+// cumulatively acked) and Backlog is the total receiver-side delivery
+// backlog (messages logged but not yet handed to consumers). Both are
+// instantaneous gauges for telemetry, not protocol state.
+func (r *Reliable) Depths() (unacked, backlog int64) {
+	r.mu.Lock()
+	links := make([]*sendLink, 0, len(r.sends))
+	for _, sl := range r.sends {
+		links = append(links, sl)
+	}
+	r.mu.Unlock()
+	for _, sl := range links {
+		sl.mu.Lock()
+		unacked += int64(len(sl.unacked))
+		sl.mu.Unlock()
+	}
+	for _, ds := range r.dests {
+		ds.mu.Lock()
+		backlog += int64(ds.base + uint64(len(ds.log)) - ds.next)
+		ds.mu.Unlock()
+	}
+	return unacked, backlog
+}
+
 // Send implements Transport: it sequences m onto its link, buffers it for
 // retransmission, and makes the first delivery attempt. Send never blocks
 // on a slow or dead receiver beyond the inner transport's own enqueue.

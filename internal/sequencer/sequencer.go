@@ -54,6 +54,10 @@ type Leader struct {
 	acks    map[uint64]int
 	stopped bool
 
+	statBatches  int64
+	statTxns     int64
+	statLastFill float64
+
 	quit chan struct{}
 	done sync.WaitGroup
 }
@@ -168,6 +172,9 @@ func (l *Leader) Flush() {
 	}
 	batch := &tx.Batch{Seq: l.nextSeq, Txns: reqs}
 	l.nextSeq++
+	l.statBatches++
+	l.statTxns += int64(len(reqs))
+	l.statLastFill = float64(len(reqs)) / float64(l.cfg.BatchSize)
 	members := append([]tx.NodeID(nil), l.members...)
 	l.mu.Unlock()
 
@@ -178,6 +185,29 @@ func (l *Leader) Flush() {
 			From: l.id, To: n, Type: network.MsgSeqDeliver,
 			Seq: batch.Seq, Batch: batch,
 		})
+	}
+}
+
+// LeaderStats reports batching activity: how many batches and
+// transactions the leader has sealed, how full the most recent batch was
+// relative to the configured size, and the requests currently pending.
+type LeaderStats struct {
+	Batches  int64
+	Txns     int64
+	LastFill float64 // last sealed batch size / BatchSize
+	Pending  int     // requests awaiting the next flush
+}
+
+// Stats returns cumulative batching statistics. Safe to call from any
+// goroutine.
+func (l *Leader) Stats() LeaderStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LeaderStats{
+		Batches:  l.statBatches,
+		Txns:     l.statTxns,
+		LastFill: l.statLastFill,
+		Pending:  len(l.pending),
 	}
 }
 

@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+
+	"hermes/internal/tx"
+)
+
+// Handler returns the live observability surface:
+//
+//	/metrics        Prometheus text exposition of the registry
+//	/trace?txn=N    flame-style lifecycle summary of one transaction
+//	/trace          full time-ordered event log (text)
+//	/debug/pprof/*  the standard runtime profiles
+//	/debug/vars     expvar JSON
+//	/               a plain index of the above
+//
+// The handler is read-only: serving a request never mutates engine state,
+// so it is safe to scrape a live deterministic run.
+func (t *Telemetry) Handler() http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if t == nil || t.registry == nil {
+			return
+		}
+		_ = t.registry.WritePrometheus(w)
+	})
+
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		tr := t.Tracer()
+		if q := r.URL.Query().Get("txn"); q != "" {
+			id, err := strconv.ParseInt(q, 10, 64)
+			if err != nil {
+				http.Error(w, "bad txn id: "+q, http.StatusBadRequest)
+				return
+			}
+			fmt.Fprint(w, tr.Summary(tx.TxnID(id)))
+			return
+		}
+		evs := tr.Events()
+		fmt.Fprintf(w, "%d events (use /trace?txn=N for one transaction)\n", len(evs))
+		for _, ev := range evs {
+			node := "cluster"
+			if ev.Node != ClusterNode {
+				node = fmt.Sprintf("node %d", ev.Node)
+			}
+			fmt.Fprintf(w, "%d txn=%d %-8s %-15s aux=%d\n", ev.TS, ev.Txn, node, ev.Phase, ev.Aux)
+		}
+	})
+
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "hermes observability surface")
+		fmt.Fprintln(w, "  /metrics        Prometheus text metrics")
+		fmt.Fprintln(w, "  /trace          full lifecycle event log")
+		fmt.Fprintln(w, "  /trace?txn=N    one transaction's trace")
+		fmt.Fprintln(w, "  /debug/pprof/   runtime profiles")
+		fmt.Fprintln(w, "  /debug/vars     expvar JSON")
+	})
+
+	return mux
+}

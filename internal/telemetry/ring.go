@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"sync/atomic"
+
+	"hermes/internal/tx"
+)
+
+// Ring is a fixed-size lock-free event buffer. Writers claim slots with a
+// single atomic fetch-add and publish with a per-slot sequence word
+// (seqlock style); when the ring wraps, the oldest events are silently
+// overwritten — tracing is an observation window, not a durable log.
+// Writes never block and never allocate.
+//
+// Event fields are stored as individual atomic words so concurrent
+// drains are data-race-free; the sequence word is checked before and
+// after the field loads so a slot caught mid-overwrite is skipped rather
+// than returned torn.
+type Ring struct {
+	mask  uint64
+	pos   atomic.Uint64 // next slot to claim
+	slots []slot
+}
+
+type slot struct {
+	// seq is 0 while unwritten or mid-write, claim+1 once published. A
+	// reader that sees the same published seq before and after loading the
+	// fields knows the copy is untorn.
+	seq atomic.Uint64
+	ts  atomic.Int64
+	txn atomic.Uint64
+	// np packs the node ID (upper 56 bits, signed) with the phase (low 8).
+	np  atomic.Int64
+	aux atomic.Int64
+}
+
+// NewRing returns a ring holding size events; size is rounded up to a
+// power of two (minimum 64).
+func NewRing(size int) *Ring {
+	n := 64
+	for n < size {
+		n <<= 1
+	}
+	return &Ring{mask: uint64(n - 1), slots: make([]slot, n)}
+}
+
+// Cap returns the ring capacity in events.
+func (r *Ring) Cap() int { return len(r.slots) }
+
+// Written returns how many events were ever written (including those
+// already overwritten).
+func (r *Ring) Written() uint64 { return r.pos.Load() }
+
+// put claims the next slot and publishes ev into it.
+func (r *Ring) put(ev Event) {
+	claim := r.pos.Add(1) - 1
+	s := &r.slots[claim&r.mask]
+	s.seq.Store(0) // unpublish: readers skip the slot while we overwrite it
+	s.ts.Store(ev.TS)
+	s.txn.Store(uint64(ev.Txn))
+	s.np.Store(int64(ev.Node)<<8 | int64(ev.Phase))
+	s.aux.Store(ev.Aux)
+	s.seq.Store(claim + 1)
+}
+
+// drain appends every stable event currently in the ring to out, oldest
+// claim first, and returns the extended slice.
+func (r *Ring) drain(out []Event) []Event {
+	pos := r.pos.Load()
+	n := uint64(len(r.slots))
+	start := uint64(0)
+	if pos > n {
+		start = pos - n
+	}
+	for claim := start; claim < pos; claim++ {
+		s := &r.slots[claim&r.mask]
+		if s.seq.Load() != claim+1 {
+			continue // overwritten or mid-write
+		}
+		ev := Event{TS: s.ts.Load(), Txn: tx.TxnID(s.txn.Load()), Aux: s.aux.Load()}
+		np := s.np.Load()
+		ev.Node, ev.Phase = tx.NodeID(np>>8), Phase(np&0xff)
+		if s.seq.Load() != claim+1 {
+			continue // torn: a writer raced the loads
+		}
+		out = append(out, ev)
+	}
+	return out
+}

@@ -1,0 +1,40 @@
+package telemetry
+
+import "hermes/internal/tx"
+
+// Telemetry bundles the lifecycle tracer and the metric registry — one
+// handle the engine threads through its layers and the HTTP surface
+// serves from. A nil *Telemetry is a valid "fully disabled" instance:
+// every accessor is nil-safe and returns the nil-safe zero of its part.
+type Telemetry struct {
+	tracer   *Tracer
+	registry *Registry
+}
+
+// New builds a Telemetry with one ring of ringSize events per node (see
+// NewTracer) and an empty registry. Tracing starts enabled.
+func New(nodes []tx.NodeID, ringSize int) *Telemetry {
+	return &Telemetry{
+		tracer:   NewTracer(nodes, ringSize),
+		registry: NewRegistry(),
+	}
+}
+
+// Tracer returns the lifecycle tracer (nil when t is nil — still safe to
+// call Emit on).
+func (t *Telemetry) Tracer() *Tracer {
+	if t == nil {
+		return nil
+	}
+	return t.tracer
+}
+
+// Registry returns the metric registry, or nil when t is nil. Callers
+// registering gauges must guard for nil; read paths use Snapshot on a
+// non-nil registry only.
+func (t *Telemetry) Registry() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.registry
+}

@@ -34,6 +34,13 @@ go test -race -count=1 \
     -run 'Reliable|Crash|Recover|Checkpoint|LossAndCrash|LossySchedule|TCPTransport' \
     ./internal/network ./internal/engine ./internal/chaos .
 
+# Telemetry-equivalence gate: tracing fully on vs fully off must quiesce
+# to byte-identical node digests on every policy, including the lossy +
+# mid-run-crash schedule — telemetry is an observer, never a participant
+# (see docs/OBSERVABILITY.md). Pinned by name so it survives -short.
+echo "==> telemetry-equivalence gate (-race)"
+go test -race -count=1 -run 'TestTelemetryEquivalence' ./internal/chaos
+
 # Smoke-run the routing benchmark (1 iteration) so it can't silently rot;
 # scripts/bench.sh runs the full gated comparison against the baseline.
 echo "==> go test -bench=BenchmarkPrescientRouting -benchtime=1x ./internal/core"
