@@ -15,6 +15,9 @@
 //	owner <row>              current owner and home of a row
 //	addnode                  activate a standby node (scale-out)
 //	migrate <lo> <hi> <node> cold-migrate rows [lo,hi) to a node
+//	checkpoint               quiesce and snapshot (enables crash commands)
+//	killleader               crash the sequencer leader (standby promotes)
+//	restartleader            restart the killed replica as a standby
 //	stats                    throughput/latency/network counters
 //	quit
 package main
@@ -39,6 +42,7 @@ func main() {
 		rows    = flag.Uint64("rows", 10000, "table size")
 		policy  = flag.String("policy", "hermes", "routing policy (hermes|calvin|g-store|leap|t-part)")
 		reli    = flag.Bool("reliable", false, "enable the reliable-delivery layer (acks, retransmission, dedup)")
+		seqStby = flag.Int("seq-standbys", 0, "standby sequencer replicas (enables killleader; implies -reliable)")
 		addr    = flag.String("http", "", "serve /metrics, /trace and /debug/pprof on this address (implies telemetry)")
 	)
 	flag.Parse()
@@ -48,7 +52,8 @@ func main() {
 		StandbyNodes: *standby,
 		Rows:         *rows,
 		Policy:       hermes.Policy(*policy),
-		Reliable:     *reli,
+		Reliable:     *reli || *seqStby > 0,
+		SeqStandbys:  *seqStby,
 		Telemetry:    *addr != "",
 	})
 	if err != nil {
@@ -140,6 +145,16 @@ func main() {
 				}
 				report(db.Migrate(keys, hermes.NodeID(to), 500))
 			}
+		case "checkpoint":
+			if _, err := db.Checkpoint(30 * time.Second); err != nil {
+				report(err)
+			} else {
+				fmt.Println("ok")
+			}
+		case "killleader":
+			report(db.CrashLeader())
+		case "restartleader":
+			report(db.RestartLeader())
 		case "stats":
 			db.Drain(2 * time.Second)
 			st := db.Stats()
@@ -151,8 +166,10 @@ func main() {
 				st.RoutingBatches, st.RoutingPerBatch, st.RoutingPerTxn)
 			fmt.Printf("reliability: %d retransmits, %d dups dropped; crashes=%d recoveries=%d downtime=%v\n",
 				st.Retransmits, st.DupsDropped, st.Crashes, st.Recoveries, st.Downtime)
+			fmt.Printf("sequencer: leader=%d epoch=%d failovers=%d heartbeat-misses=%d\n",
+				st.SeqLeader, st.SeqEpoch, st.SeqFailovers, st.SeqHeartbeatMisses)
 		default:
-			fmt.Println("commands: get set inc owner addnode migrate stats quit")
+			fmt.Println("commands: get set inc owner addnode migrate checkpoint killleader restartleader stats quit")
 		}
 		fmt.Print("> ")
 	}

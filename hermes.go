@@ -114,6 +114,19 @@ type Options struct {
 	// BatchSize and BatchInterval configure the sequencer.
 	BatchSize     int
 	BatchInterval time.Duration
+	// SeqStandbys adds standby sequencer replicas that mirror the sealed
+	// batch stream before it is delivered, making the total-order service
+	// itself fault tolerant: CrashLeader kills the current leader and the
+	// lowest-rank live standby deterministically promotes itself (see
+	// docs/RECOVERY.md). 0 (the default) keeps the single-leader
+	// configuration with zero replication overhead.
+	SeqStandbys int
+	// SeqHeartbeat is the leader's heartbeat interval and
+	// SeqFailoverTimeout the silence threshold after which the first
+	// standby promotes itself (defaults 5ms / 50ms; only meaningful with
+	// SeqStandbys > 0).
+	SeqHeartbeat       time.Duration
+	SeqFailoverTimeout time.Duration
 	// NetLatency is the one-way network latency between nodes (0 = off);
 	// NetBandwidth in bytes/s adds a size-proportional term (0 = off).
 	NetLatency   time.Duration
@@ -195,7 +208,12 @@ func Open(opts Options) (*DB, error) {
 		Nodes:        ids,
 		Active:       ids[:opts.Nodes],
 		Policy:       pf,
-		Seq:          sequencer.Config{BatchSize: opts.BatchSize, Interval: opts.BatchInterval},
+		Seq: sequencer.Config{
+			BatchSize: opts.BatchSize, Interval: opts.BatchInterval,
+			Standbys:        opts.SeqStandbys,
+			Heartbeat:       opts.SeqHeartbeat,
+			FailoverTimeout: opts.SeqFailoverTimeout,
+		},
 		Latency:      lat,
 		StorageDelay: opts.StorageDelay,
 		Executors:    opts.Executors,
@@ -302,6 +320,20 @@ func (db *DB) CrashNode(id NodeID) error { return db.cluster.CrashNode(id) }
 // the last checkpoint, then rejoins it to live traffic.
 func (db *DB) RestartNode(id NodeID) error { return db.cluster.RestartNode(id) }
 
+// CrashLeader kills the current sequencer leader. The lowest-rank live
+// standby detects the silence, promotes itself into a new epoch, and
+// resumes sealing from its replicated high-water mark; in-flight
+// submissions are redirected and deduplicated so every transaction is
+// sequenced exactly once. Requires Options.Reliable, Options.SeqStandbys
+// ≥ 1, and a prior successful Checkpoint.
+func (db *DB) CrashLeader() error { return db.cluster.CrashLeader() }
+
+// RestartLeader restarts the replica killed by CrashLeader as a standby
+// of the new epoch, once a promotion has happened: it restores the
+// sequencing state from the last checkpoint, replays its logged delivery
+// stream, and rejoins the heartbeat/promotion order.
+func (db *DB) RestartLeader() error { return db.cluster.RestartLeader() }
+
 // Tail returns the logged batches with sequence ≥ seq — the post-checkpoint
 // input to hand to RecoverWithTail.
 func (db *DB) Tail(seq uint64) []*Batch { return db.cluster.TailSince(seq) }
@@ -336,6 +368,14 @@ type Stats struct {
 	Crashes    int64
 	Recoveries int64
 	Downtime   time.Duration
+	// SeqEpoch is the sequencer leadership epoch (0 until a failover);
+	// SeqLeader the replica currently sealing batches. SeqFailovers counts
+	// standby promotions and SeqHeartbeatMisses the heartbeat deadlines
+	// standbys saw pass in silence.
+	SeqEpoch           uint64
+	SeqLeader          NodeID
+	SeqFailovers       int64
+	SeqHeartbeatMisses int64
 	// RoutingBatches counts batch-routing invocations across all
 	// replicas; RoutingPerBatch / RoutingPerTxn are the mean prescient
 	// analysis cost (§3.2.4).
@@ -368,6 +408,10 @@ func (db *DB) Stats() Stats {
 		Crashes:            col.Crashes(),
 		Recoveries:         col.Recoveries(),
 		Downtime:           col.Downtime(),
+		SeqEpoch:           db.cluster.SeqEpoch(),
+		SeqLeader:          db.cluster.SeqLeader(),
+		SeqFailovers:       db.cluster.SeqFailovers(),
+		SeqHeartbeatMisses: db.cluster.SeqHeartbeatMisses(),
 		RoutingBatches:     routing.Batches,
 		RoutingPerBatch:    routing.PerBatch,
 		RoutingPerTxn:      routing.PerTxn,

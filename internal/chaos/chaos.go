@@ -65,6 +65,11 @@ type Schedule struct {
 	// the run. They also require the reliable layer (the delivery log is
 	// what the restarted node replays).
 	Crashes []Crash
+	// LeaderKills lists sequencer-leader kill/restart events: the current
+	// leader is crashed, a standby promotes itself, and the killed replica
+	// restarts as a standby of the new epoch. They require the reliable
+	// layer and a cluster with sequencer standbys (Spec.SeqStandbys).
+	LeaderKills []LeaderKill
 }
 
 // Crash is one seeded node kill: the victim is killed once its scheduler
@@ -78,6 +83,19 @@ type Crash struct {
 	// AfterFrac in [0,1) positions the kill within the batch stream.
 	AfterFrac float64
 	// Downtime is how long the node stays dead before restarting.
+	Downtime time.Duration
+}
+
+// LeaderKill is one seeded kill of the total-order leader: once node 0's
+// scheduler has consumed AfterFrac of the run's batches, the harness
+// crashes the current sequencer leader, waits Downtime, and restarts the
+// killed replica once a standby has taken over. Like Crash, the trigger
+// is a point in the deterministic batch stream.
+type LeaderKill struct {
+	// AfterFrac in [0,1) positions the kill within the batch stream.
+	AfterFrac float64
+	// Downtime is how long the killed replica stays dead before it
+	// restarts and rejoins as a standby.
 	Downtime time.Duration
 }
 
@@ -96,7 +114,7 @@ func (s Schedule) faulty() bool {
 // base Transport contract tolerates: message loss, duplication, or node
 // crashes all need the engine's reliable-delivery layer underneath.
 func (s Schedule) RequiresReliable() bool {
-	return s.DropProb > 0 || s.DupProb > 0 || len(s.Crashes) > 0
+	return s.DropProb > 0 || s.DupProb > 0 || len(s.Crashes) > 0 || len(s.LeaderKills) > 0
 }
 
 // Schedules returns the standard matrix of distinct fault schedules used
@@ -133,6 +151,24 @@ func LossySchedules(seed int64) []Schedule {
 		{Name: "lossy-crash", Seed: seed + 12, Jitter: 200 * time.Microsecond,
 			DropProb: 0.03, DupProb: 0.03,
 			Crashes: []Crash{{Node: 1, AfterFrac: 0.4, Downtime: 30 * time.Millisecond}}},
+	}
+}
+
+// LeaderKillSchedules returns the fault schedules that kill the
+// total-order leader mid-run: once on an otherwise clean network, and
+// once combined with the full lossy + worker-crash pattern — the
+// harshest schedule in the suite, where the reliable layer, the worker
+// replay path, and the sequencer failover protocol all fire in the same
+// run. Both must still quiesce byte-identical to the fault-free
+// baseline.
+func LeaderKillSchedules(seed int64) []Schedule {
+	return []Schedule{
+		{Name: "leader-kill", Seed: seed + 20, Jitter: 200 * time.Microsecond,
+			LeaderKills: []LeaderKill{{AfterFrac: 0.4, Downtime: 20 * time.Millisecond}}},
+		{Name: "leader-kill-lossy-crash", Seed: seed + 21, Jitter: 200 * time.Microsecond,
+			DropProb: 0.03, DupProb: 0.03,
+			Crashes:     []Crash{{Node: 1, AfterFrac: 0.3, Downtime: 30 * time.Millisecond}},
+			LeaderKills: []LeaderKill{{AfterFrac: 0.6, Downtime: 20 * time.Millisecond}}},
 	}
 }
 

@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"hermes/internal/core"
@@ -55,6 +56,12 @@ type Spec struct {
 	Batch int
 	// Seed drives the workload generator.
 	Seed int64
+	// SeqStandbys is the number of standby sequencer replicas. Schedules
+	// with LeaderKills require at least one; the harness then runs the
+	// group with tight failover timers so a kill resolves in tens of
+	// milliseconds. Standbys do not change the sealed batch stream, so a
+	// spec is byte-comparable across schedules regardless of this knob.
+	SeqStandbys int
 	// Timeout bounds one run (default 60s); hitting it is reported as a
 	// quiescence failure, which is itself a determinism-tooling finding.
 	Timeout time.Duration
@@ -108,6 +115,8 @@ type Result struct {
 	Retransmits     int64
 	// Crashes counts executed node kill/restart cycles.
 	Crashes int64
+	// Failovers counts sequencer leader promotions (epoch advances).
+	Failovers int64
 	// Traced and MetricSamples report telemetry activity (zero unless
 	// Spec.Telemetry): lifecycle events emitted and registry samples.
 	Traced        uint64
@@ -257,13 +266,30 @@ func Run(spec Spec, sched Schedule) (*Result, error) {
 	if spec.Telemetry {
 		tel = telemetry.New(ids, 1<<12)
 	}
+	if len(sched.LeaderKills) > 0 && spec.SeqStandbys < 1 {
+		return nil, fmt.Errorf("chaos: %v has leader kills but spec %v has no sequencer standbys (set Spec.SeqStandbys)", sched, spec)
+	}
+	seqCfg := sequencer.Config{BatchSize: spec.Batch, Interval: time.Hour}
+	if spec.SeqStandbys > 0 {
+		// Tight fault-tolerance timers: a leader kill must resolve well
+		// inside the run, and the front-end retry must outlive a failover.
+		seqCfg.Standbys = spec.SeqStandbys
+		// FailoverTimeout trades recovery latency for robustness against
+		// scheduler starvation: a race-enabled run under load can stall
+		// the leader's pulse goroutine for tens of milliseconds, and a
+		// fault-free baseline must never record a spurious promotion.
+		seqCfg.Heartbeat = 5 * time.Millisecond
+		seqCfg.FailoverTimeout = 150 * time.Millisecond
+		seqCfg.RetryTimeout = 10 * time.Millisecond
+		seqCfg.RetryCap = 100 * time.Millisecond
+	}
 	var chaosT *Transport
 	c, err := engine.New(engine.Config{
 		Nodes:     ids,
 		Policy:    pf,
 		Telemetry: tel,
 		// Interval far beyond any run: batches seal on size only.
-		Seq: sequencer.Config{BatchSize: spec.Batch, Interval: time.Hour},
+		Seq: seqCfg,
 		WrapTransport: func(inner network.Transport) network.Transport {
 			chaosT = Wrap(inner, sched, nil)
 			return chaosT
@@ -286,9 +312,9 @@ func Run(spec Spec, sched Schedule) (*Result, error) {
 		loadedBytes += int64(len(v))
 	}
 
-	// Crash schedules replay from the last checkpoint; take one at the
-	// loaded-but-idle cut so the whole trace is coverable.
-	if len(sched.Crashes) > 0 {
+	// Crash and leader-kill schedules replay from the last checkpoint;
+	// take one at the loaded-but-idle cut so the whole trace is coverable.
+	if len(sched.Crashes) > 0 || len(sched.LeaderKills) > 0 {
 		if _, err := c.Checkpoint(30 * time.Second); err != nil {
 			return nil, fmt.Errorf("chaos: %v under %v: initial checkpoint: %w", spec, sched, err)
 		}
@@ -301,40 +327,77 @@ func Run(spec Spec, sched Schedule) (*Result, error) {
 
 	deadline := time.Now().Add(spec.Timeout)
 
-	// The crash executor kills and restarts victims at their scheduled
-	// points in the batch stream while the trace is being submitted and
-	// executed. It runs concurrently with submission: a crash trigger can
-	// sit in the middle of the stream, and the stalled cluster must keep
-	// accepting input past it.
+	// The fault executor kills and restarts victims — worker nodes and the
+	// sequencer leader alike — at their scheduled points in the batch
+	// stream while the trace is being submitted and executed. It runs
+	// concurrently with submission: a trigger can sit in the middle of the
+	// stream, and the stalled cluster must keep accepting input past it.
+	// Events are merged and executed in stream order so a schedule that
+	// combines worker crashes with a leader kill is sequenced the same way
+	// in every run.
+	type faultEvent struct {
+		frac   float64
+		leader bool
+		node   int
+		down   time.Duration
+	}
+	events := make([]faultEvent, 0, len(sched.Crashes)+len(sched.LeaderKills))
+	for _, cr := range sched.Crashes {
+		events = append(events, faultEvent{frac: cr.AfterFrac, node: cr.Node, down: cr.Downtime})
+	}
+	for _, lk := range sched.LeaderKills {
+		events = append(events, faultEvent{frac: lk.AfterFrac, leader: true, down: lk.Downtime})
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].frac < events[j].frac })
 	crashErr := make(chan error, 1)
 	crashesDone := make(chan struct{})
 	go func() {
 		defer close(crashesDone)
 		totalBatches := uint64(len(procs) / spec.Batch)
-		for _, cr := range sched.Crashes {
-			victim := tx.NodeID(cr.Node % spec.Nodes)
-			trigger := uint64(float64(totalBatches) * cr.AfterFrac)
+		for _, ev := range events {
+			// Leader kills key their trigger off node 0's scheduler (the
+			// leader has no scheduler of its own); worker crashes off the
+			// victim's.
+			watch := tx.NodeID(0)
+			what := "leader kill"
+			if !ev.leader {
+				watch = tx.NodeID(ev.node % spec.Nodes)
+				what = fmt.Sprintf("crash of node %d", watch)
+			}
+			trigger := uint64(float64(totalBatches) * ev.frac)
 			if trigger < 1 {
 				trigger = 1
 			}
 			if trigger > totalBatches {
 				trigger = totalBatches
 			}
-			for c.Node(victim).Scheduled() < trigger {
+			for c.Node(watch).Scheduled() < trigger {
 				if time.Now().After(deadline) {
-					crashErr <- fmt.Errorf("chaos: %v under %v: node %d never reached crash trigger batch %d",
-						spec, sched, victim, trigger)
+					crashErr <- fmt.Errorf("chaos: %v under %v: node %d never reached trigger batch %d for %s",
+						spec, sched, watch, trigger, what)
 					return
 				}
 				time.Sleep(200 * time.Microsecond)
 			}
-			if err := c.CrashNode(victim); err != nil {
-				crashErr <- fmt.Errorf("chaos: %v under %v: crash node %d: %w", spec, sched, victim, err)
+			if ev.leader {
+				if err := c.CrashLeader(); err != nil {
+					crashErr <- fmt.Errorf("chaos: %v under %v: crash leader: %w", spec, sched, err)
+					return
+				}
+				time.Sleep(ev.down)
+				if err := c.RestartLeader(); err != nil {
+					crashErr <- fmt.Errorf("chaos: %v under %v: restart leader: %w", spec, sched, err)
+					return
+				}
+				continue
+			}
+			if err := c.CrashNode(watch); err != nil {
+				crashErr <- fmt.Errorf("chaos: %v under %v: crash node %d: %w", spec, sched, watch, err)
 				return
 			}
-			time.Sleep(cr.Downtime)
-			if err := c.RestartNode(victim); err != nil {
-				crashErr <- fmt.Errorf("chaos: %v under %v: restart node %d: %w", spec, sched, victim, err)
+			time.Sleep(ev.down)
+			if err := c.RestartNode(watch); err != nil {
+				crashErr <- fmt.Errorf("chaos: %v under %v: restart node %d: %w", spec, sched, watch, err)
 				return
 			}
 		}
@@ -388,6 +451,7 @@ func Run(spec Spec, sched Schedule) (*Result, error) {
 	res.Dropped, res.Dupped = chaosT.Loss()
 	res.Retransmits = c.ReliableStats().Retransmits
 	res.Crashes = c.Collector().Crashes()
+	res.Failovers = c.SeqFailovers()
 	if tel != nil {
 		res.Traced = tel.Tracer().Written()
 		res.MetricSamples = len(tel.Registry().Snapshot())

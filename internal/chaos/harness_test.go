@@ -254,6 +254,71 @@ func TestEquivalenceLossAndCrashAllPolicies(t *testing.T) {
 	}
 }
 
+// TestEquivalenceLeaderKillAllPolicies is the failover acceptance
+// property: killing the total-order leader mid-run — alone, and combined
+// with the lossy + worker-crash schedule — must still quiesce to node
+// digests byte-identical to a fault-free run, for every routing policy,
+// with every transaction sequenced exactly once. This is the named
+// leader-failover CI gate; it must NOT be skipped under -short.
+func TestEquivalenceLeaderKillAllPolicies(t *testing.T) {
+	scheds := append([]Schedule{{Name: "baseline", Seed: 6160}}, LeaderKillSchedules(6160)...)
+	for _, pol := range Policies() {
+		pol := pol
+		t.Run(pol, func(t *testing.T) {
+			t.Parallel()
+			spec := Spec{
+				Policy: pol, Workload: WorkloadYCSB,
+				Nodes: 3, Txns: 64, Batch: 8, Seed: 404,
+				SeqStandbys: 2,
+			}
+			results, err := Equivalence(spec, scheds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Prove the failover machinery actually fired: every leader-kill
+			// schedule promoted a standby, and the combined schedule also
+			// executed its worker crash over a lossy network.
+			var sawCombined bool
+			for _, r := range results[1:] {
+				if want := int64(len(r.Schedule.LeaderKills)); r.Failovers < want {
+					t.Errorf("%v recorded %d failovers, want at least %d", r.Schedule, r.Failovers, want)
+				}
+				if len(r.Schedule.Crashes) > 0 {
+					sawCombined = true
+					// The crash counter records leader kills too.
+					want := int64(len(r.Schedule.Crashes) + len(r.Schedule.LeaderKills))
+					if r.Crashes != want {
+						t.Errorf("%v executed %d crash cycles, want %d", r.Schedule, r.Crashes, want)
+					}
+					if r.Dropped == 0 {
+						t.Errorf("%v dropped no messages; the combined schedule is not lossy", r.Schedule)
+					}
+				}
+			}
+			if !sawCombined {
+				t.Error("leader-kill matrix lacks the combined lossy+worker-crash schedule")
+			}
+			if results[0].Failovers != 0 {
+				t.Errorf("fault-free baseline recorded %d failovers", results[0].Failovers)
+			}
+		})
+	}
+}
+
+// TestLeaderKillScheduleRequiresStandbys pins the harness error surface:
+// a leader-kill schedule on a spec without standbys must fail loudly
+// before the run starts, not wedge mid-stream.
+func TestLeaderKillScheduleRequiresStandbys(t *testing.T) {
+	sched := LeaderKillSchedules(1)[0]
+	_, err := Run(Spec{Policy: "hermes", Workload: WorkloadYCSB, Txns: 16, Batch: 8}, sched)
+	if err == nil {
+		t.Fatal("leader-kill schedule without standbys accepted")
+	}
+	if !strings.Contains(err.Error(), "SeqStandbys") {
+		t.Errorf("error %q does not point at Spec.SeqStandbys", err)
+	}
+}
+
 // TestLossyScheduleSeedReproducible: re-running a logged seed must reach
 // the identical quiesced state. (The raw drop/duplicate counts are NOT
 // bit-reproducible: retransmissions change how many messages cross the

@@ -34,8 +34,18 @@ type Checkpoint struct {
 	// at the cut (how many transport messages the node had consumed). A
 	// restarted node rewinds its delivery log to this watermark and
 	// re-receives everything after it. Nil when the cluster runs without
-	// the reliable layer.
+	// the reliable layer. With standbys configured it also covers the
+	// sequencer replica endpoints, so RestartLeader can replay them.
 	Delivered map[tx.NodeID]uint64
+	// SeqEpoch and SeqLeader snapshot the sequencer leadership view at the
+	// cut; a restarted sequencer replica starts from them before its
+	// replayed log catches it up with any later promotions.
+	SeqEpoch  uint64
+	SeqLeader tx.NodeID
+	// SeqClients records the leader's per-client sealed watermarks at the
+	// cut (the (Client, ClientSeq) dedup floor; everything at or below is
+	// sealed and must never be sequenced again).
+	SeqClients map[tx.NodeID]uint64
 }
 
 // Checkpoint quiesces the cluster (up to timeout) and snapshots it,
@@ -43,24 +53,32 @@ type Checkpoint struct {
 // behind the cut. It reports failure if in-flight transactions do not
 // drain in time.
 func (c *Cluster) Checkpoint(timeout time.Duration) (*Checkpoint, error) {
-	if !c.Drain(timeout) {
-		return nil, fmt.Errorf("engine: cluster did not quiesce for checkpoint")
+	if err := c.DrainDetail(timeout); err != nil {
+		return nil, fmt.Errorf("engine: cluster did not quiesce for checkpoint: %w", err)
 	}
 	nodes := c.nodeList()
-	seq, nextTxn := c.leader.Next()
+	seq, nextTxn := c.seq.Next()
 	cp := &Checkpoint{
-		Seq:     seq,
-		NextTxn: nextTxn,
-		Stores:  make(map[tx.NodeID]map[tx.Key][]byte, len(nodes)),
-		Routing: nodes[0].policy.Placement().Snapshot(),
+		Seq:        seq,
+		NextTxn:    nextTxn,
+		Stores:     make(map[tx.NodeID]map[tx.Key][]byte, len(nodes)),
+		Routing:    nodes[0].policy.Placement().Snapshot(),
+		SeqEpoch:   c.seq.Epoch(),
+		SeqLeader:  c.seq.LeaderID(),
+		SeqClients: c.seq.ClientHigh(),
 	}
 	for _, n := range nodes {
 		cp.Stores[n.id] = n.store.Checkpoint()
 	}
 	if c.rel != nil {
-		cp.Delivered = make(map[tx.NodeID]uint64, len(nodes))
+		cp.Delivered = make(map[tx.NodeID]uint64, len(nodes)+c.seq.Size())
 		for _, n := range nodes {
 			cp.Delivered[n.id] = c.rel.Delivered(n.id)
+		}
+		// The sequencer replicas' watermarks too: RestartLeader rewinds a
+		// killed replica's delivery log to the one recorded here.
+		for _, id := range c.seq.Nodes() {
+			cp.Delivered[id] = c.rel.Delivered(id)
 		}
 	}
 	// The snapshot covers everything before Seq / the watermarks, so the
@@ -72,8 +90,10 @@ func (c *Cluster) Checkpoint(timeout time.Duration) (*Checkpoint, error) {
 		for id, wm := range cp.Delivered {
 			c.rel.TruncateDelivered(id, wm)
 		}
-		c.rel.TruncateDelivered(LeaderNode, c.rel.Delivered(LeaderNode))
 	}
+	// Replicas may likewise drop retained sealed batches the checkpoint
+	// now covers — a promotion never needs to re-deliver below the cut.
+	c.seq.Prune(cp.Seq)
 	c.mu.Lock()
 	c.lastCP = cp
 	c.mu.Unlock()
@@ -136,7 +156,10 @@ func Recover(cfg Config, cp *Checkpoint, tail []*tx.Batch) (*Cluster, error) {
 			}
 		}
 	}
-	c.leader.SetNext(nextSeq, nextTxn)
+	// Every replica agrees on where the order resumes; the recovered
+	// cluster's sequencer starts a fresh epoch-0 group (client sessions do
+	// not survive whole-cluster recovery — the front-ends are new too).
+	c.seq.SetNext(nextSeq, nextTxn)
 	c.startAll()
 	if len(tail) > 0 {
 		if err := c.ReplayBatches(tail); err != nil {

@@ -44,7 +44,9 @@ type Config struct {
 	Active []tx.NodeID
 	// Policy builds each node's routing replica.
 	Policy PolicyFactory
-	// Seq configures request batching.
+	// Seq configures request batching and the total-order service's
+	// fault-tolerance profile (Seq.Standbys > 0 runs standby sequencer
+	// replicas with replicated delivery and automatic failover).
 	Seq sequencer.Config
 	// Latency is the network latency model (nil = immediate delivery).
 	Latency network.LatencyModel
@@ -105,8 +107,14 @@ type Cluster struct {
 	base *network.ChanTransport
 	// rel is the reliable-delivery layer when Config.Reliable is set (nil
 	// otherwise); crash/restart and lossy-link tolerance depend on it.
-	rel    *network.Reliable
-	leader *sequencer.Leader
+	rel *network.Reliable
+	// seq is the total-order service: the leader replica plus
+	// Config.Seq.Standbys standby replicas.
+	seq *sequencer.Group
+	// fes holds one persistent sequencer front-end per node; with
+	// standbys configured these are session front-ends that retry and
+	// redirect unacknowledged submissions across a leader failover.
+	fes map[tx.NodeID]*sequencer.Frontend
 	// nodesMu guards nodes: RestartNode swaps in a fresh *Node while the
 	// rest of the cluster keeps running.
 	nodesMu   sync.RWMutex
@@ -126,6 +134,9 @@ type Cluster struct {
 	stopped bool
 	// crashed maps a down node to when it was killed (Reliable mode only).
 	crashed map[tx.NodeID]time.Time
+	// seqCrashed is the killed sequencer replica while a leader crash is
+	// outstanding (NoNode otherwise).
+	seqCrashed tx.NodeID
 	// accounted dedups metric recording per transaction: replay after a
 	// restart re-commits transactions at the recovering node, and those
 	// must not count twice. Only consulted in Reliable mode.
@@ -160,7 +171,7 @@ func build(cfg Config) (*Cluster, error) {
 	if cfg.Window <= 0 {
 		cfg.Window = time.Second
 	}
-	all := append(append([]tx.NodeID(nil), cfg.Nodes...), LeaderNode)
+	all := append(append([]tx.NodeID(nil), cfg.Nodes...), sequencer.GroupNodes(LeaderNode, cfg.Seq.Standbys)...)
 	base := network.NewChanTransport(all, cfg.Latency)
 	var tr network.Transport = base
 	if cfg.WrapTransport != nil {
@@ -182,6 +193,7 @@ func build(cfg Config) (*Cluster, error) {
 		waiters:   make(map[*tx.Request]chan struct{}),
 		active:    append([]tx.NodeID(nil), cfg.Active...),
 		crashed:   make(map[tx.NodeID]time.Time),
+		seqCrashed: tx.NoNode,
 		accounted: make(map[tx.TxnID]struct{}),
 		start:     time.Now(),
 	}
@@ -189,7 +201,22 @@ func build(cfg Config) (*Cluster, error) {
 	c.tracer = cfg.Telemetry.Tracer()
 	// Every node (including standbys) receives the full batch stream so
 	// its routing replica stays in sync; only active nodes are routed to.
-	c.leader = sequencer.NewLeader(LeaderNode, c.tr, cfg.Nodes, cfg.Seq, nil)
+	c.seq = sequencer.NewGroup(LeaderNode, c.tr, cfg.Nodes, cfg.Seq, nil)
+	c.seq.SetOnFailover(func(leader tx.NodeID, epoch uint64) {
+		c.tracer.Emit(telemetry.ClusterNode, 0, telemetry.PhaseFailover, int64(epoch))
+		for _, fe := range c.fes {
+			fe.SetLeader(leader)
+		}
+	})
+	c.fes = make(map[tx.NodeID]*sequencer.Frontend, len(cfg.Nodes))
+	for _, id := range cfg.Nodes {
+		if cfg.Seq.Standbys > 0 {
+			c.fes[id] = sequencer.NewSessionFrontend(id, LeaderNode, c.tr, nil,
+				cfg.Seq.RetryTimeout, cfg.Seq.RetryCap)
+		} else {
+			c.fes[id] = sequencer.NewFrontend(id, LeaderNode, c.tr)
+		}
+	}
 	for _, id := range cfg.Nodes {
 		n := newNode(id, c, cfg.Policy(cfg.Active))
 		c.nodes[id] = n
@@ -233,11 +260,17 @@ func (c *Cluster) registerGauges() {
 		func() float64 { return float64(col.Routing().PerBatch) / 1e3 })
 
 	reg.Gauge("hermes_seq_batches_total", "batches sealed by the total-order leader",
-		func() float64 { return float64(c.leader.Stats().Batches) })
+		func() float64 { return float64(c.seq.Stats().Batches) })
 	reg.Gauge("hermes_seq_batch_fill", "last sealed batch size relative to the configured batch size",
-		func() float64 { return c.leader.Stats().LastFill })
+		func() float64 { return c.seq.Stats().LastFill })
 	reg.Gauge("hermes_seq_pending", "requests waiting at the leader for the next flush",
-		func() float64 { return float64(c.leader.Stats().Pending) })
+		func() float64 { return float64(c.seq.Stats().Pending) })
+	reg.Gauge("hermes_seq_epoch", "current sequencer leadership epoch",
+		func() float64 { return float64(c.seq.Epoch()) })
+	reg.Gauge("hermes_seq_failovers_total", "completed sequencer leader promotions",
+		func() float64 { return float64(c.seq.Failovers()) })
+	reg.Gauge("hermes_seq_heartbeat_misses_total", "leader heartbeat misses observed by standby sequencers",
+		func() float64 { return float64(c.seq.HeartbeatMisses()) })
 
 	netStats := c.base.Stats()
 	reg.Gauge("hermes_net_messages_total", "transport messages sent",
@@ -302,7 +335,18 @@ func (c *Cluster) startAll() {
 	for _, n := range c.nodeList() {
 		n.start()
 	}
-	c.leader.Start()
+	c.seq.Start()
+}
+
+// noteLeader folds a sequencer epoch announcement observed by a node
+// into the cluster view; when the view advances, every front-end is
+// redirected (and resends its unacknowledged queue to the new leader).
+func (c *Cluster) noteLeader(leader tx.NodeID, epoch uint64) {
+	if c.seq.ObserveEpoch(leader, epoch) {
+		for _, fe := range c.fes {
+			fe.SetLeader(leader)
+		}
+	}
 }
 
 // node returns the current *Node for id (nil if unknown) under the swap
@@ -358,6 +402,21 @@ func (c *Cluster) ConfigCopy() Config { return c.cfg }
 // Collector exposes the cluster's metrics.
 func (c *Cluster) Collector() *metrics.Collector { return c.collector }
 
+// SeqEpoch returns the current sequencer leadership epoch (0 until the
+// first failover).
+func (c *Cluster) SeqEpoch() uint64 { return c.seq.Epoch() }
+
+// SeqLeader returns the transport node id of the current sequencer
+// leader replica (LeaderNode until the first failover).
+func (c *Cluster) SeqLeader() tx.NodeID { return c.seq.LeaderID() }
+
+// SeqFailovers returns how many sequencer leader promotions completed.
+func (c *Cluster) SeqFailovers() int64 { return c.seq.Failovers() }
+
+// SeqHeartbeatMisses returns how many leader heartbeat misses the standby
+// sequencers have observed.
+func (c *Cluster) SeqHeartbeatMisses() int64 { return c.seq.HeartbeatMisses() }
+
 // Telemetry exposes the telemetry handle the cluster was built with (nil
 // when telemetry is off).
 func (c *Cluster) Telemetry() *telemetry.Telemetry { return c.cfg.Telemetry }
@@ -404,7 +463,13 @@ func (c *Cluster) Submit(via tx.NodeID, proc tx.Procedure) (<-chan struct{}, err
 	}
 	c.waiters[req] = done
 	c.mu.Unlock()
-	fe := sequencer.NewFrontend(via, LeaderNode, c.tr)
+	fe := c.fes[via]
+	if fe == nil {
+		c.mu.Lock()
+		delete(c.waiters, req)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("engine: submit via unknown node %d", via)
+	}
 	if err := fe.Submit(req); err != nil {
 		c.mu.Lock()
 		delete(c.waiters, req)
@@ -470,14 +535,25 @@ func (c *Cluster) complete(id tx.TxnID) {
 // Exactly one node (the master candidate's registration is identical on
 // all nodes) performs the registration — it is idempotent.
 func (c *Cluster) registerAssigned(req *tx.Request) {
+	// Session front-ends transmit private copies of each submission (so
+	// two sequencer leaders never write one shared object); the waiter
+	// was registered under the queued original, which the delivered copy
+	// names via Origin. The lookup uses the pointer as a value only —
+	// the original is never dereferenced here.
+	key := req.Origin()
 	c.mu.Lock()
-	_, found := c.waiters[req]
+	ch, found := c.waiters[key]
 	if found {
-		ch := c.waiters[req]
-		delete(c.waiters, req)
+		delete(c.waiters, key)
 		c.pending[req.ID] = ch
 	}
 	c.mu.Unlock()
+	// The sealed batch acknowledges the submission to its front-end's
+	// retry queue (idempotent; replayed batches from other sessions hit
+	// an empty queue).
+	if fe := c.fes[req.Client]; fe != nil {
+		fe.Sequenced(req)
+	}
 	if found {
 		// Exactly one registration finds the waiter, so these cluster-scope
 		// events are emitted once per transaction: the submit time (known
@@ -500,44 +576,79 @@ func (c *Cluster) Pending() int {
 // in-flight transactions have completed *everywhere* — not just at their
 // committing node: every node's lock table must be empty, so all remote
 // writers, write-backs, and migrations have been applied. It reports
-// whether the cluster drained.
+// whether the cluster drained; DrainDetail explains a failure.
 func (c *Cluster) Drain(timeout time.Duration) bool {
+	return c.DrainDetail(timeout) == nil
+}
+
+// DrainDetail is Drain with a diagnosis: on timeout the error names what
+// the quiesce is stuck behind — the node and the batch sequence its
+// scheduler has not consumed, a non-empty lock queue, in-flight
+// transactions, or a front-end still holding unacknowledged submissions.
+func (c *Cluster) DrainDetail(timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
+	var stuck error
 	for {
-		c.leader.Flush()
-		if c.Pending() == 0 {
-			// Quiescence needs more than "no client is waiting": every
-			// replica's scheduler must also have consumed the full sealed
-			// batch stream. A transaction completes when its committer
-			// finishes, so a node that merely observes a batch can still be
-			// routing it — and its policy replica (fusion table, placement)
-			// would be a batch behind anything that fingerprints it now.
-			nextSeq, _ := c.leader.Next()
-			c.mu.Lock()
-			down := make(map[tx.NodeID]bool, len(c.crashed))
-			for id := range c.crashed {
-				down[id] = true
-			}
-			c.mu.Unlock()
-			quiesced := true
-			for _, n := range c.nodeList() {
-				if down[n.id] {
-					continue // frozen until RestartNode catches it up
-				}
-				if n.locks.QueuedKeys() != 0 || n.Scheduled() != nextSeq {
-					quiesced = false
-					break
-				}
-			}
-			if quiesced {
-				return true
-			}
+		c.seq.Flush()
+		if stuck = c.quiesceCheck(); stuck == nil {
+			return nil
 		}
 		if time.Now().After(deadline) {
-			return false
+			return fmt.Errorf("engine: drain timed out after %v: %w", timeout, stuck)
 		}
 		time.Sleep(time.Millisecond)
 	}
+}
+
+// quiesceCheck reports why the cluster is not quiescent (nil when it is).
+// The per-node diagnosis comes first because it is the most actionable: a
+// scheduler that stopped consuming the sealed stream explains whatever
+// transactions are still in flight behind it.
+func (c *Cluster) quiesceCheck() error {
+	// Quiescence needs more than "no client is waiting": every
+	// replica's scheduler must also have consumed the full sealed
+	// batch stream. A transaction completes when its committer
+	// finishes, so a node that merely observes a batch can still be
+	// routing it — and its policy replica (fusion table, placement)
+	// would be a batch behind anything that fingerprints it now.
+	nextSeq, _ := c.seq.Next()
+	c.mu.Lock()
+	down := make(map[tx.NodeID]bool, len(c.crashed))
+	for id := range c.crashed {
+		down[id] = true
+	}
+	c.mu.Unlock()
+	for _, n := range c.nodeList() {
+		if down[n.id] {
+			continue // frozen until RestartNode catches it up
+		}
+		if got := n.Scheduled(); got != nextSeq {
+			return fmt.Errorf("node %d stuck at batch %d (sealed stream at %d)", n.id, got, nextSeq)
+		}
+		if q := n.locks.QueuedKeys(); q != 0 {
+			return fmt.Errorf("node %d still holds %d queued lock keys at batch %d", n.id, q, nextSeq)
+		}
+	}
+	if p := c.Pending(); p != 0 {
+		// A crashed straggler is exempt from the scheduler check above (it
+		// is frozen by design), but when it is what the in-flight work
+		// waits on, the diagnosis should say so.
+		for _, n := range c.nodeList() {
+			if down[n.id] && n.Scheduled() != nextSeq {
+				return fmt.Errorf("%d transactions still in flight; node %d is crashed and stuck at batch %d (sealed stream at %d)",
+					p, n.id, n.Scheduled(), nextSeq)
+			}
+		}
+		return fmt.Errorf("%d transactions still in flight", p)
+	}
+	for _, id := range c.order {
+		if fe := c.fes[id]; fe != nil {
+			if u := fe.Unacked(); u != 0 {
+				return fmt.Errorf("front-end %d holds %d unacknowledged submissions", id, u)
+			}
+		}
+	}
+	return nil
 }
 
 // Stop shuts the cluster down. In-flight transactions are abandoned;
@@ -550,7 +661,10 @@ func (c *Cluster) Stop() {
 	}
 	c.stopped = true
 	c.mu.Unlock()
-	c.leader.Stop()
+	for _, fe := range c.fes {
+		fe.Stop()
+	}
+	c.seq.Stop()
 	nodes := c.nodeList()
 	for _, n := range nodes {
 		n.stop()

@@ -361,7 +361,7 @@ func TestScaleOutProvisioning(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.leader.Flush()
+	c.seq.Flush()
 	select {
 	case <-done:
 	case <-time.After(5 * time.Second):
@@ -423,7 +423,7 @@ func TestConsolidationRemovesNode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.leader.Flush()
+	c.seq.Flush()
 	select {
 	case <-done:
 	case <-time.After(5 * time.Second):

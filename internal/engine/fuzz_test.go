@@ -137,16 +137,27 @@ var fuzzPolicies = []string{"hermes", "calvin", "gstore", "leap", "tpart"}
 // through node 0's front-end so one FIFO link fixes arrival order, and the
 // sequencer's interval flush is disabled so batches seal only on the size
 // trigger.
+//
+// A non-zero faultSel turns the second run into a leader-failover replay:
+// the cluster gets sequencer standbys and the reliable layer, and the
+// total-order leader is killed and restarted mid-stream. The failover run
+// must still fingerprint identically to the undisturbed one — the fuzzer
+// hunts for workload shapes where promotion, redirect, or dedup lose or
+// duplicate a transaction.
 func FuzzDeterministicReplay(f *testing.F) {
-	f.Add(int64(1), int64(0))
-	f.Add(int64(2), int64(1))
-	f.Add(int64(42), int64(4))
+	f.Add(int64(1), int64(0), int64(0))
+	f.Add(int64(2), int64(1), int64(0))
+	f.Add(int64(42), int64(4), int64(0))
 	// Negative seeds confine every key to node 0's half of the key space,
 	// so step 1 routes the whole batch to one node and step 3 must relax
 	// δ to rebalance — the path the early-exit optimization rewrote.
-	f.Add(int64(-42), int64(0))
-	f.Fuzz(func(t *testing.T, seed, polSel int64) {
+	f.Add(int64(-42), int64(0), int64(0))
+	// Leader-failover seed: the same replay property with a mid-stream
+	// leader kill in the second run.
+	f.Add(int64(23), int64(0), int64(1))
+	f.Fuzz(func(t *testing.T, seed, polSel, faultSel int64) {
 		pol := fuzzPolicies[int(uint64(polSel)%uint64(len(fuzzPolicies)))]
+		failover := faultSel != 0
 		const (
 			nodes = 2
 			rows  = 24
@@ -177,18 +188,37 @@ func FuzzDeterministicReplay(f *testing.F) {
 			shapes[i] = shape{keys: tx.NormalizeKeys(keys), abort: rng.Intn(8) == 0}
 		}
 
-		run := func() uint64 {
+		run := func(kill bool) uint64 {
 			base := partition.NewUniformRange(0, rows, nodes)
-			c, err := New(Config{
+			cfg := Config{
 				Nodes:  []tx.NodeID{0, 1},
 				Policy: tpccPolicy(pol, base),
 				Seq:    sequencer.Config{BatchSize: batch, Interval: time.Hour},
-			})
+			}
+			if failover {
+				// Both runs get the fault-tolerant group so the only
+				// difference between them is the kill itself.
+				cfg.Seq.Standbys = 2
+				cfg.Seq.Heartbeat = 5 * time.Millisecond
+				cfg.Seq.FailoverTimeout = 60 * time.Millisecond
+				cfg.Seq.RetryTimeout = 10 * time.Millisecond
+				cfg.Seq.RetryCap = 100 * time.Millisecond
+				cfg.Reliable = true
+			}
+			c, err := New(cfg)
 			if err != nil {
 				t.Fatal(err)
 			}
 			defer c.Stop()
 			loadCounters(c, rows)
+			var cpSeq uint64
+			if kill {
+				cp, err := c.Checkpoint(10 * time.Second)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cpSeq = cp.Seq
+			}
 			dones := make([]<-chan struct{}, 0, txns)
 			for i, s := range shapes {
 				proc := incProc(s.keys...)
@@ -205,6 +235,23 @@ func FuzzDeterministicReplay(f *testing.F) {
 				dones = append(dones, done)
 			}
 			deadline := time.After(30 * time.Second)
+			if kill {
+				for c.Node(0).Scheduled() < cpSeq+1 {
+					select {
+					case <-deadline:
+						t.Fatal("node 0 never reached the kill trigger")
+					default:
+						time.Sleep(200 * time.Microsecond)
+					}
+				}
+				if err := c.CrashLeader(); err != nil {
+					t.Fatal(err)
+				}
+				time.Sleep(5 * time.Millisecond)
+				if err := c.RestartLeader(); err != nil {
+					t.Fatal(err)
+				}
+			}
 			for i, done := range dones {
 				select {
 				case <-done:
@@ -217,9 +264,9 @@ func FuzzDeterministicReplay(f *testing.F) {
 			}
 			return c.Fingerprint()
 		}
-		if a, b := run(), run(); a != b {
-			t.Fatalf("seed=%d policy=%s: replay fingerprints differ: %x vs %x",
-				seed, pol, a, b)
+		if a, b := run(false), run(failover); a != b {
+			t.Fatalf("seed=%d policy=%s failover=%v: replay fingerprints differ: %x vs %x",
+				seed, pol, failover, a, b)
 		}
 	})
 }

@@ -137,7 +137,9 @@ func (n *Node) recvLoop() {
 				if err := n.cmdlog.Append(m.Batch); err != nil {
 					continue
 				}
-				sequencer.Ack(n.id, LeaderNode, n.cluster.tr, m.Seq)
+				// Ack the sender, not a fixed leader id: after a failover
+				// the batch stream comes from the promoted standby.
+				sequencer.Ack(n.id, m.From, n.cluster.tr, m.Seq)
 				if n.cluster.tracer.Enabled() {
 					for _, req := range m.Batch.Txns {
 						n.cluster.tracer.Emit(n.id, req.ID, telemetry.PhaseBatched, int64(m.Batch.Seq))
@@ -148,6 +150,8 @@ func (n *Node) recvLoop() {
 				case <-n.quit:
 					return
 				}
+			case network.MsgSeqEpoch:
+				n.cluster.noteLeader(m.From, m.Epoch)
 			case network.MsgRecordPush, network.MsgReadBroadcast, network.MsgWriteBack, network.MsgMigrationChunk:
 				n.mailboxFor(m.Txn).put(m.Records)
 			}

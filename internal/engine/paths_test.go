@@ -120,7 +120,7 @@ func TestRepeatedProvisionCycle(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		c.leader.Flush()
+		c.seq.Flush()
 		select {
 		case <-done:
 		case <-time.After(5 * time.Second):
@@ -135,7 +135,7 @@ func TestRepeatedProvisionCycle(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		c.leader.Flush()
+		c.seq.Flush()
 		select {
 		case <-done:
 		case <-time.After(5 * time.Second):

@@ -43,6 +43,19 @@ const (
 	// sequence). It never reaches the engine: the receiving side's pump
 	// consumes it.
 	MsgLinkAck
+	// MsgSeqReplicate carries a sealed batch from the sequencer leader to a
+	// standby sequencer. A batch is delivered to the cluster only after
+	// every live standby has appended and acknowledged it.
+	MsgSeqReplicate
+	// MsgSeqReplicateAck acknowledges a replicated batch (Seq) back to the
+	// leader that sealed it.
+	MsgSeqReplicateAck
+	// MsgSeqHeartbeat is the leader's liveness pulse to standby sequencers.
+	MsgSeqHeartbeat
+	// MsgSeqEpoch announces a sequencer leadership epoch: From is the
+	// leader of Epoch. Sent by a freshly promoted standby to every node and
+	// replica, and in reply to messages carrying a stale epoch.
+	MsgSeqEpoch
 )
 
 // String implements fmt.Stringer.
@@ -66,6 +79,14 @@ func (t MsgType) String() string {
 		return "Control"
 	case MsgLinkAck:
 		return "LinkAck"
+	case MsgSeqReplicate:
+		return "SeqReplicate"
+	case MsgSeqReplicateAck:
+		return "SeqReplicateAck"
+	case MsgSeqHeartbeat:
+		return "SeqHeartbeat"
+	case MsgSeqEpoch:
+		return "SeqEpoch"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -85,6 +106,11 @@ type Message struct {
 	Seq      uint64
 	Records  []Record
 	Payload  []byte
+
+	// Epoch is the sequencer leadership epoch the message was sent under
+	// (sequencer control-plane messages only; 0 before the first failover).
+	// Receivers drop or bounce messages from stale epochs.
+	Epoch uint64
 
 	// Link is the reliable layer's per-(From,To)-link sequence number
 	// (first message = 1; 0 = unsequenced). On MsgLinkAck it instead

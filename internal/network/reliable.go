@@ -380,9 +380,15 @@ func (r *Reliable) feedLoop(ds *destState) {
 		case ds.out <- m:
 		case <-sig:
 			// Paused mid-handoff: nobody took the message, so put the
-			// cursor back — unless a Rewind already repositioned it.
+			// cursor back — unless a Rewind already repositioned it, or a
+			// checkpoint truncation already advanced the base past the
+			// message (its log entry is gone; the consumer — only ever
+			// the sequencer leader, whose feed stays live across a
+			// checkpoint — is being killed, and the protocol re-derives
+			// anything a dying leader never processed via front-end
+			// retries and re-replication).
 			ds.mu.Lock()
-			if ds.gen == gen {
+			if ds.gen == gen && ds.next > ds.base {
 				ds.next--
 			}
 			ds.mu.Unlock()
@@ -432,22 +438,43 @@ func (r *Reliable) Pause(node tx.NodeID) {
 }
 
 // Rewind moves node's delivery cursor back to absolute position since
-// (clamped to the truncation base; never moved forward). Call while
-// paused: the restarted consumer then re-receives everything after since.
-func (r *Reliable) Rewind(node tx.NodeID, since uint64) {
+// (never moved forward). The destination must be paused — rewinding a live
+// feed would interleave replayed and fresh messages — and since must not
+// fall below the truncation base: the prefix is gone, so replaying from
+// the base would silently hand the consumer a gapped suffix. Both
+// conditions fail loudly instead.
+func (r *Reliable) Rewind(node tx.NodeID, since uint64) error {
 	ds := r.dests[node]
 	if ds == nil {
-		return
+		return fmt.Errorf("network: rewind: unknown destination %d", node)
 	}
 	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if !ds.paused {
+		return fmt.Errorf("network: rewind node %d: destination is not paused", node)
+	}
 	if since < ds.base {
-		since = ds.base
+		return fmt.Errorf("network: rewind node %d to %d: log truncated at %d, replay would skip %d messages",
+			node, since, ds.base, ds.base-since)
 	}
 	if since < ds.next {
 		ds.next = since
 	}
 	ds.gen++
-	ds.mu.Unlock()
+	return nil
+}
+
+// Backlog reports node's receiver-side delivery backlog: messages logged
+// for it but not yet handed to its consumer. A restarted consumer has
+// caught up with history once its backlog reaches zero.
+func (r *Reliable) Backlog(node tx.NodeID) int64 {
+	ds := r.dests[node]
+	if ds == nil {
+		return 0
+	}
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return int64(ds.base + uint64(len(ds.log)) - ds.next)
 }
 
 // Resume restarts node's feed after a Pause.

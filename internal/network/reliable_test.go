@@ -2,6 +2,7 @@ package network
 
 import (
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -128,7 +129,9 @@ func TestReliablePauseRewindResumeRedelivers(t *testing.T) {
 		}
 	}
 	const watermark = 5
-	r.Rewind(1, watermark)
+	if err := r.Rewind(1, watermark); err != nil {
+		t.Fatal(err)
+	}
 	r.Resume(1)
 	for i := watermark; i < total+3; i++ {
 		if got, want := recv().Txn, tx.TxnID(i+1); got != want {
@@ -161,7 +164,22 @@ func TestReliableTruncateDeliveredBoundsRewind(t *testing.T) {
 	}
 	r.TruncateDelivered(1, 6)
 	r.Pause(1)
-	r.Rewind(1, 2) // below the truncation base: clamps to 6
+	// Rewinding below the truncation base would silently skip the four
+	// dropped messages — the replay would be incomplete, which for a
+	// restarted node means divergent state. It must fail loudly instead.
+	err := r.Rewind(1, 2)
+	if err == nil {
+		t.Fatal("Rewind below the truncation base succeeded; replay would silently skip truncated messages")
+	}
+	for _, want := range []string{"truncated at 6", "skip 4 messages"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("Rewind error %q does not mention %q", err, want)
+		}
+	}
+	// A rewind at (or above) the truncation base is still fine.
+	if err := r.Rewind(1, 6); err != nil {
+		t.Fatal(err)
+	}
 	r.Resume(1)
 	for i := 6; i < total; i++ {
 		select {
@@ -177,6 +195,29 @@ func TestReliableTruncateDeliveredBoundsRewind(t *testing.T) {
 	case m := <-inbox:
 		t.Fatalf("unexpected delivery %+v after truncated redelivery", m)
 	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+func TestReliableRewindGuards(t *testing.T) {
+	defer leaktest.Check(t)()
+	r, closeR := reliablePair(t, false)
+	defer closeR()
+
+	// Rewinding a destination that was never paused must fail loudly: the
+	// feeder would race the rewound cursor and replay messages into a node
+	// that is still consuming live traffic.
+	err := r.Rewind(1, 0)
+	if err == nil {
+		t.Fatal("Rewind of a running destination succeeded")
+	}
+	if !strings.Contains(err.Error(), "not paused") {
+		t.Fatalf("Rewind error %q does not say the destination is not paused", err)
+	}
+	// Unknown destinations are reported too, pause state notwithstanding.
+	if err := r.Rewind(99, 0); err == nil {
+		t.Fatal("Rewind of an unknown destination succeeded")
+	} else if !strings.Contains(err.Error(), "unknown destination 99") {
+		t.Fatalf("Rewind error %q does not name the unknown destination", err)
 	}
 }
 

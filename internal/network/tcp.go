@@ -3,6 +3,7 @@ package network
 import (
 	"encoding/gob"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -45,6 +46,10 @@ type TCPTransport struct {
 	dialBackoff    time.Duration
 	dialBackoffCap time.Duration
 	sendTimeout    time.Duration
+
+	// dialSleepHook, when set (tests), observes each jittered retry wait
+	// just before it is slept.
+	dialSleepHook func(time.Duration)
 }
 
 type tcpConn struct {
@@ -207,6 +212,7 @@ func (t *TCPTransport) dial(node tx.NodeID) (*tcpConn, error) {
 	}
 	addr, ok := t.addrs[node]
 	attempts, backoff, maxBackoff := t.dialAttempts, t.dialBackoff, t.dialBackoffCap
+	hook := t.dialSleepHook
 	t.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("network: unknown node %d", node)
@@ -218,8 +224,17 @@ func (t *TCPTransport) dial(node tx.NodeID) (*tcpConn, error) {
 	var err error
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
+			// Full backoff would make every reconnector that lost the same
+			// peer at the same moment retry in lockstep and stampede the
+			// restarting listener. Jitter the wait uniformly over
+			// [backoff/2, backoff] so the herd spreads out while the cap
+			// still bounds the worst case.
+			wait := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
+			if hook != nil {
+				hook(wait)
+			}
 			select {
-			case <-time.After(backoff):
+			case <-time.After(wait):
 			case <-t.quit:
 				return nil, fmt.Errorf("network: transport closed")
 			}

@@ -2,6 +2,7 @@ package network
 
 import (
 	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -81,6 +82,58 @@ func TestTCPTransportDialGivesUp(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
 		t.Fatalf("retry budget not capped: %v", elapsed)
+	}
+}
+
+// TestTCPTransportDialRetryJitter pins the reconnect backoff's jitter:
+// every observed retry wait must stay within the configured cap, and the
+// waits must not all be identical — a fixed schedule would make every
+// reconnector that lost the same peer hammer it in lockstep.
+func TestTCPTransportDialRetryJitter(t *testing.T) {
+	dead := reservePort(t)
+	t0, err := NewTCPTransport(0, map[tx.NodeID]string{0: "127.0.0.1:0", 1: dead})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t0.Close()
+	const (
+		attempts = 12
+		base     = time.Millisecond
+		cap      = 4 * time.Millisecond
+	)
+	var waits []time.Duration
+	var mu sync.Mutex
+	t0.mu.Lock()
+	t0.dialSleepHook = func(d time.Duration) {
+		mu.Lock()
+		waits = append(waits, d)
+		mu.Unlock()
+	}
+	t0.mu.Unlock()
+	t0.SetDialRetry(attempts, base, cap)
+	if err := t0.Send(Message{From: 0, To: 1}); err == nil {
+		t.Fatal("send to dead peer succeeded")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(waits) != attempts-1 {
+		t.Fatalf("observed %d retry waits, want %d", len(waits), attempts-1)
+	}
+	allSame := true
+	for i, w := range waits {
+		if w <= 0 || w > cap {
+			t.Fatalf("retry wait %d = %v outside (0, %v]", i, w, cap)
+		}
+		if w != waits[0] {
+			allSame = false
+		}
+	}
+	// Most waits draw from [cap/2, cap] once the backoff doubles past the
+	// cap; 11 identical draws from a 2ms+1 window happen with probability
+	// ~(1/2001)^10 — if they are all equal, the jitter is not being
+	// applied.
+	if allSame {
+		t.Fatalf("all %d retry waits identical (%v); backoff is not jittered", len(waits), waits[0])
 	}
 }
 

@@ -59,6 +59,9 @@ const (
 	// beginning deterministic replay (Aux = replay watermark batch seq).
 	PhaseCrash
 	PhaseReplay
+	// PhaseFailover marks a sequencer leadership change: a standby
+	// promoted itself after the leader fell silent (Aux = new epoch).
+	PhaseFailover
 )
 
 // String implements fmt.Stringer.
@@ -88,6 +91,8 @@ func (p Phase) String() string {
 		return "crash"
 	case PhaseReplay:
 		return "replay"
+	case PhaseFailover:
+		return "failover"
 	default:
 		return fmt.Sprintf("phase(%d)", uint8(p))
 	}

@@ -89,10 +89,47 @@ type Request struct {
 	// latency accounting, never for execution decisions.
 	SubmitTime time.Time
 
+	// Client and ClientSeq identify the submitting front-end and its
+	// per-client submission number (first = 1; 0 = no client session).
+	// The sequencer leader uses the pair to deduplicate retried
+	// submissions across a failover so a request is never sequenced
+	// twice. They are set by the front-end, not by callers.
+	Client    NodeID
+	ClientSeq uint64
+
 	// reads/writes cache the (deduplicated, sorted) declared sets so the
 	// router does not re-derive them for every candidate route.
 	reads  []Key
 	writes []Key
+
+	// origin, when non-nil, points at the caller's queued request this
+	// transmission copy was made from. Session front-ends send a private
+	// copy on every (re)transmission so no two sequencer replicas ever
+	// write the same Request — concurrent leaders of different epochs
+	// each seal their own copy — while the engine can still correlate
+	// whichever copy the total order delivers back to the submitted
+	// original. In-process only: unexported, so a copy crossing a real
+	// network drops it like the cached key sets.
+	origin *Request
+}
+
+// SendCopy returns a private copy of r for one transmission to the
+// sequencer, remembering r as its origin. The sealing leader writes the
+// assigned transaction ID into the copy, never into r.
+func (r *Request) SendCopy() *Request {
+	cp := *r
+	cp.origin = r
+	return &cp
+}
+
+// Origin returns the submitted request a delivered request correlates
+// back to: the queued original for a SendCopy transmission, r itself
+// otherwise.
+func (r *Request) Origin() *Request {
+	if r.origin != nil {
+		return r.origin
+	}
+	return r
 }
 
 // NewRequest builds a request around proc, caching its normalized read- and

@@ -34,6 +34,16 @@ go test -race -count=1 \
     -run 'Reliable|Crash|Recover|Checkpoint|LossAndCrash|LossySchedule|TCPTransport' \
     ./internal/network ./internal/engine ./internal/chaos .
 
+# Leader-failover gate: killing the total-order leader — alone and
+# combined with the lossy + worker-crash schedule — must quiesce to node
+# digests byte-identical to a fault-free run for every policy, with every
+# transaction sequenced exactly once (see docs/RECOVERY.md, "Leader
+# failover"). Pinned by name so it survives -short.
+echo "==> leader-failover gate (-race)"
+go test -race -count=1 \
+    -run 'TestEquivalenceLeaderKill|TestLeaderKillSchedule|TestLeaderFailover|TestLeaderCrashValidation|TestGroup|TestFrontend' \
+    ./internal/chaos ./internal/engine ./internal/sequencer .
+
 # Telemetry-equivalence gate: tracing fully on vs fully off must quiesce
 # to byte-identical node digests on every policy, including the lossy +
 # mid-run-crash schedule — telemetry is an observer, never a participant
