@@ -1,0 +1,156 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"hermes/internal/experiments"
+	"hermes/internal/harness"
+)
+
+// clusterOpts parameterizes one -cluster bench run.
+type clusterOpts struct {
+	workers  int
+	rows     uint64
+	txns     int
+	batch    int
+	policy   string
+	workload string
+	seed     int64
+	out      string
+}
+
+// runClusterBench boots a real multi-process cluster over TCP, drives the
+// workload through the closed-loop client, quiesces, compares the final
+// node digests against the in-process twin, and writes the merged
+// BENCH_cluster.json report. Returns false on a gate failure.
+func runClusterBench(o clusterOpts) bool {
+	dir, err := os.MkdirTemp("", "hermes-cluster-bench-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cluster:", err)
+		return false
+	}
+	defer os.RemoveAll(dir)
+
+	ccfg := harness.ClusterConfig{
+		Workers:   o.workers,
+		Policy:    o.policy,
+		Rows:      o.rows,
+		Payload:   64,
+		BatchSize: o.batch,
+		Dir:       dir,
+	}
+	spec := harness.WorkloadSpec{
+		Kind:       o.workload,
+		Seed:       o.seed,
+		Txns:       o.txns,
+		Rows:       o.rows,
+		KeysPerTxn: 3,
+		Payload:    64,
+		Theta:      0.8,
+		Window:     2 * o.batch,
+	}
+	rep := &experiments.ClusterReport{
+		Policy:    o.policy,
+		Workload:  o.workload,
+		Workers:   o.workers,
+		Rows:      o.rows,
+		Txns:      o.txns,
+		BatchSize: o.batch,
+		Seed:      o.seed,
+	}
+	fail := func(format string, args ...any) bool {
+		rep.Gate = experiments.ClusterGate{Pass: false, Reason: fmt.Sprintf(format, args...)}
+		fmt.Fprintln(os.Stderr, "cluster:", rep.Gate.Reason)
+		writeClusterReport(o.out, rep)
+		return false
+	}
+
+	start := time.Now()
+	c, err := harness.StartCluster(ccfg)
+	if err != nil {
+		return fail("start: %v", err)
+	}
+	defer c.Close()
+	if err := c.Seed(); err != nil {
+		return fail("seed: %v", err)
+	}
+	if err := c.Run(spec); err != nil {
+		return fail("run: %v", err)
+	}
+	res, err := c.WaitRun(3 * time.Minute)
+	if err != nil {
+		return fail("wait: %v", err)
+	}
+	if err := c.Quiesce(30 * time.Second); err != nil {
+		return fail("quiesce: %v", err)
+	}
+	digests, err := c.Digests()
+	if err != nil {
+		return fail("digests: %v", err)
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		return fail("stats: %v", err)
+	}
+	fmt.Printf("cluster: %d workers, %d txns in %.1fs — %.0f txn/s, avg %.2fms, p95 %.2fms\n",
+		o.workers, res.Committed, time.Since(start).Seconds(), res.QPS, res.AvgMs, res.P95Ms)
+
+	rep.Committed = res.Committed
+	rep.QPS = res.QPS
+	rep.AvgMs = res.AvgMs
+	rep.P95Ms = res.P95Ms
+	var netBytes int64
+	for _, st := range stats {
+		rep.Processes = append(rep.Processes, experiments.ClusterProcess(st))
+		netBytes += st.NetBytes
+	}
+	if res.Committed > 0 {
+		rep.BytesPerTxn = float64(netBytes) / float64(res.Committed)
+	}
+
+	twin, err := harness.RunTwin(harness.TwinConfig{
+		Workers: o.workers, Policy: o.policy, Rows: o.rows, Payload: 64,
+		BatchSize: o.batch,
+	}, spec)
+	if err != nil {
+		return fail("twin: %v", err)
+	}
+	rep.TwinMatch = len(digests) == len(twin.Digests)
+	for i := range digests {
+		if !rep.TwinMatch || digests[i] != twin.Digests[i] {
+			rep.TwinMatch = false
+			break
+		}
+	}
+	switch {
+	case res.Committed != int64(o.txns):
+		rep.Gate = experiments.ClusterGate{Pass: false,
+			Reason: fmt.Sprintf("committed %d of %d transactions", res.Committed, o.txns)}
+	case !rep.TwinMatch:
+		rep.Gate = experiments.ClusterGate{Pass: false,
+			Reason: fmt.Sprintf("cluster digests diverge from the in-process twin: %v vs %v",
+				digests, twin.Digests)}
+	default:
+		rep.Gate = experiments.ClusterGate{Pass: true}
+	}
+	writeClusterReport(o.out, rep)
+	if !rep.Gate.Pass {
+		fmt.Fprintln(os.Stderr, "cluster: GATE FAIL:", rep.Gate.Reason)
+		return false
+	}
+	fmt.Printf("cluster: digests match the in-process twin across %d workers\n", o.workers)
+	return true
+}
+
+func writeClusterReport(path string, rep *experiments.ClusterReport) {
+	if path == "" {
+		return
+	}
+	if err := experiments.WriteClusterReport(path, rep); err != nil {
+		fmt.Fprintln(os.Stderr, "cluster report:", err)
+		return
+	}
+	fmt.Printf("cluster report -> %s\n", path)
+}

@@ -39,8 +39,32 @@ func main() {
 		phase   = flag.Duration("phase", 0, "override measured duration per system run")
 		seed    = flag.Int64("seed", 0, "override random seed")
 		report  = flag.String("report", "", "write a JSON run report (per-window series, breakdowns, telemetry gauges) to this file")
+
+		cluster  = flag.Bool("cluster", false, "run the multi-process cluster bench (real hermesd processes over TCP) instead of an experiment")
+		cTxns    = flag.Int("cluster-txns", 1200, "cluster bench: transactions")
+		cBatch   = flag.Int("cluster-batch", 25, "cluster bench: sequencer batch size")
+		cPolicy  = flag.String("cluster-policy", "hermes", "cluster bench: routing policy")
+		cLoad    = flag.String("cluster-workload", "ycsb", "cluster bench: workload kind (ycsb|hotspot)")
+		cWorkers = flag.Int("cluster-workers", 3, "cluster bench: worker processes")
 	)
 	flag.Parse()
+
+	if *cluster {
+		o := clusterOpts{
+			workers: *cWorkers, rows: 4000, txns: *cTxns, batch: *cBatch,
+			policy: *cPolicy, workload: *cLoad, seed: 42, out: *report,
+		}
+		if *rows > 0 {
+			o.rows = *rows
+		}
+		if *seed != 0 {
+			o.seed = *seed
+		}
+		if !runClusterBench(o) {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		fmt.Println("experiments:", strings.Join(experiments.Names(), " "))

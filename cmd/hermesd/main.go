@@ -20,6 +20,10 @@
 //	restartleader            restart the killed replica as a standby
 //	stats                    throughput/latency/network counters
 //	quit
+//
+// With -node N it instead runs as one worker process of a multi-process
+// cluster over TCP, spawned and driven by internal/harness (see
+// docs/CLUSTER.md).
 package main
 
 import (
@@ -44,8 +48,27 @@ func main() {
 		reli    = flag.Bool("reliable", false, "enable the reliable-delivery layer (acks, retransmission, dedup)")
 		seqStby = flag.Int("seq-standbys", 0, "standby sequencer replicas (enables killleader; implies -reliable)")
 		addr    = flag.String("http", "", "serve /metrics, /trace and /debug/pprof on this address (implies telemetry)")
+
+		// Cluster node mode (spawned by internal/harness; see runNode).
+		node      = flag.Int("node", -1, "cluster worker id; >= 0 switches to node mode")
+		workers   = flag.Int("workers", 0, "node mode: total worker count")
+		peers     = flag.String("peers", "", "node mode: id=addr,... transport address map incl. the leader")
+		seqHost   = flag.Bool("seq-host", false, "node mode: host the standalone sequencer leader (fd 5)")
+		fusionCap = flag.Int("fusioncap", 0, "node mode: fusion table capacity")
+		alpha     = flag.Float64("alpha", 0, "node mode: load-imbalance tolerance")
+		batch     = flag.Int("batch", 0, "node mode: sequencer batch size")
+		dir       = flag.String("dir", "", "node mode: journal and seed-spec directory")
+		recov     = flag.Bool("recover", false, "node mode: recovering restart (re-seed and replay the journal)")
 	)
 	flag.Parse()
+	if *node >= 0 {
+		runNode(nodeFlags{
+			node: *node, workers: *workers, peers: *peers, policy: *policy,
+			rows: *rows, fusionCap: *fusionCap, alpha: *alpha, batch: *batch,
+			dir: *dir, seqHost: *seqHost, recover: *recov,
+		})
+		return
+	}
 
 	db, err := hermes.Open(hermes.Options{
 		Nodes:        *nodes,

@@ -228,6 +228,16 @@ func Open(opts Options) (*DB, error) {
 	return &DB{cluster: cl, opts: opts, base: base}, nil
 }
 
+// PolicyFactoryFor builds the engine policy factory for a routing policy
+// over an explicit base partitioning — the identical construction Open
+// uses. Multi-process cluster workers call it so every process (and the
+// in-process emulation their digests are compared against) builds the same
+// replica: alpha is the imbalance tolerance, fusionCapacity bounds
+// Hermes's fusion table (Open defaults it to Rows/40).
+func PolicyFactoryFor(p Policy, base Partitioner, alpha float64, fusionCapacity int) (engine.PolicyFactory, error) {
+	return policyFactory(p, base, Options{Alpha: alpha, FusionCapacity: fusionCapacity})
+}
+
 func policyFactory(p Policy, base Partitioner, opts Options) (engine.PolicyFactory, error) {
 	switch p {
 	case PolicyHermes:

@@ -126,12 +126,39 @@ type Cluster struct {
 	// every Emit through a nil tracer is a single-branch no-op.
 	tracer *telemetry.Tracer
 
+	// distributed marks a single-node cluster process (NewWorker): the
+	// total-order leader and the other nodes live in other OS processes,
+	// seq is nil, and client completion crosses the wire as MsgTxnDone.
+	distributed bool
+	// self is the local node id in distributed mode.
+	self tx.NodeID
+	// netStats is the byte/message accounting source: the in-process
+	// channel transport's in emulation, the socket transport's in a
+	// distributed worker.
+	netStats *network.Stats
+
 	mu      sync.Mutex
 	pending map[tx.TxnID]chan struct{}
 	// submitted tracks requests by pointer until the leader assigns IDs.
 	waiters map[*tx.Request]chan struct{}
-	active  []tx.NodeID
-	stopped bool
+	// seqWaiters tracks distributed submissions by front-end ClientSeq
+	// instead: pointer identity does not survive serialization, while the
+	// (Client, ClientSeq) stamp travels with the request.
+	seqWaiters map[uint64]chan struct{}
+	// earlyDone holds completion notices that outran the local scheduler:
+	// in a multi-process cluster a fast peer can execute a single-home
+	// transaction and send MsgTxnDone before this process has consumed the
+	// sealed batch that would register the waiter. The registration path
+	// consumes these instead of parking a waiter that would never fire.
+	earlyDone map[tx.TxnID]struct{}
+	// lastAssigned is the highest transaction ID the local scheduler has
+	// passed to registration. IDs are assigned densely in total order and
+	// registered in that order, so a completion notice for id <=
+	// lastAssigned with no pending entry is a duplicate, while one for a
+	// higher id arrived early and must be stashed in earlyDone.
+	lastAssigned tx.TxnID
+	active       []tx.NodeID
+	stopped    bool
 	// crashed maps a down node to when it was killed (Reliable mode only).
 	crashed map[tx.NodeID]time.Time
 	// seqCrashed is the killed sequencer replica while a leader crash is
@@ -197,6 +224,7 @@ func build(cfg Config) (*Cluster, error) {
 		accounted: make(map[tx.TxnID]struct{}),
 		start:     time.Now(),
 	}
+	c.netStats = base.Stats()
 	c.collector = metrics.NewCollector(c.start, cfg.Window)
 	c.tracer = cfg.Telemetry.Tracer()
 	// Every node (including standbys) receives the full batch stream so
@@ -259,20 +287,22 @@ func (c *Cluster) registerGauges() {
 	reg.Gauge("hermes_routing_us_per_batch", "mean prescient-routing cost per batch (microseconds)",
 		func() float64 { return float64(col.Routing().PerBatch) / 1e3 })
 
-	reg.Gauge("hermes_seq_batches_total", "batches sealed by the total-order leader",
-		func() float64 { return float64(c.seq.Stats().Batches) })
-	reg.Gauge("hermes_seq_batch_fill", "last sealed batch size relative to the configured batch size",
-		func() float64 { return c.seq.Stats().LastFill })
-	reg.Gauge("hermes_seq_pending", "requests waiting at the leader for the next flush",
-		func() float64 { return float64(c.seq.Stats().Pending) })
-	reg.Gauge("hermes_seq_epoch", "current sequencer leadership epoch",
-		func() float64 { return float64(c.seq.Epoch()) })
-	reg.Gauge("hermes_seq_failovers_total", "completed sequencer leader promotions",
-		func() float64 { return float64(c.seq.Failovers()) })
-	reg.Gauge("hermes_seq_heartbeat_misses_total", "leader heartbeat misses observed by standby sequencers",
-		func() float64 { return float64(c.seq.HeartbeatMisses()) })
+	if c.seq != nil {
+		reg.Gauge("hermes_seq_batches_total", "batches sealed by the total-order leader",
+			func() float64 { return float64(c.seq.Stats().Batches) })
+		reg.Gauge("hermes_seq_batch_fill", "last sealed batch size relative to the configured batch size",
+			func() float64 { return c.seq.Stats().LastFill })
+		reg.Gauge("hermes_seq_pending", "requests waiting at the leader for the next flush",
+			func() float64 { return float64(c.seq.Stats().Pending) })
+		reg.Gauge("hermes_seq_epoch", "current sequencer leadership epoch",
+			func() float64 { return float64(c.seq.Epoch()) })
+		reg.Gauge("hermes_seq_failovers_total", "completed sequencer leader promotions",
+			func() float64 { return float64(c.seq.Failovers()) })
+		reg.Gauge("hermes_seq_heartbeat_misses_total", "leader heartbeat misses observed by standby sequencers",
+			func() float64 { return float64(c.seq.HeartbeatMisses()) })
+	}
 
-	netStats := c.base.Stats()
+	netStats := c.netStats
 	reg.Gauge("hermes_net_messages_total", "transport messages sent",
 		func() float64 { m, _ := netStats.Totals(); return float64(m) })
 	reg.Gauge("hermes_net_bytes_total", "transport payload bytes sent",
@@ -335,13 +365,18 @@ func (c *Cluster) startAll() {
 	for _, n := range c.nodeList() {
 		n.start()
 	}
-	c.seq.Start()
+	if c.seq != nil {
+		c.seq.Start()
+	}
 }
 
 // noteLeader folds a sequencer epoch announcement observed by a node
 // into the cluster view; when the view advances, every front-end is
 // redirected (and resends its unacknowledged queue to the new leader).
 func (c *Cluster) noteLeader(leader tx.NodeID, epoch uint64) {
+	if c.seq == nil {
+		return // distributed worker: the leader process manages its own epoch
+	}
 	if c.seq.ObserveEpoch(leader, epoch) {
 		for _, fe := range c.fes {
 			fe.SetLeader(leader)
@@ -404,18 +439,38 @@ func (c *Cluster) Collector() *metrics.Collector { return c.collector }
 
 // SeqEpoch returns the current sequencer leadership epoch (0 until the
 // first failover).
-func (c *Cluster) SeqEpoch() uint64 { return c.seq.Epoch() }
+func (c *Cluster) SeqEpoch() uint64 {
+	if c.seq == nil {
+		return 0
+	}
+	return c.seq.Epoch()
+}
 
 // SeqLeader returns the transport node id of the current sequencer
 // leader replica (LeaderNode until the first failover).
-func (c *Cluster) SeqLeader() tx.NodeID { return c.seq.LeaderID() }
+func (c *Cluster) SeqLeader() tx.NodeID {
+	if c.seq == nil {
+		return LeaderNode
+	}
+	return c.seq.LeaderID()
+}
 
 // SeqFailovers returns how many sequencer leader promotions completed.
-func (c *Cluster) SeqFailovers() int64 { return c.seq.Failovers() }
+func (c *Cluster) SeqFailovers() int64 {
+	if c.seq == nil {
+		return 0
+	}
+	return c.seq.Failovers()
+}
 
 // SeqHeartbeatMisses returns how many leader heartbeat misses the standby
 // sequencers have observed.
-func (c *Cluster) SeqHeartbeatMisses() int64 { return c.seq.HeartbeatMisses() }
+func (c *Cluster) SeqHeartbeatMisses() int64 {
+	if c.seq == nil {
+		return 0
+	}
+	return c.seq.HeartbeatMisses()
+}
 
 // Telemetry exposes the telemetry handle the cluster was built with (nil
 // when telemetry is off).
@@ -431,7 +486,7 @@ func (c *Cluster) ReliableDepths() (unacked, backlog int64) {
 }
 
 // NetStats exposes transport byte/message accounting.
-func (c *Cluster) NetStats() *network.Stats { return c.base.Stats() }
+func (c *Cluster) NetStats() *network.Stats { return c.netStats }
 
 // Start returns the cluster start time (metrics epoch).
 func (c *Cluster) Start() time.Time { return c.start }
@@ -453,6 +508,9 @@ func (c *Cluster) Active() []tx.NodeID {
 // returning a channel closed when the transaction commits (or aborts —
 // the client gets an answer either way).
 func (c *Cluster) Submit(via tx.NodeID, proc tx.Procedure) (<-chan struct{}, error) {
+	if c.distributed {
+		return c.submitDistributed(proc)
+	}
 	req := tx.NewRequest(0, proc)
 	req.SubmitTime = time.Now()
 	done := make(chan struct{})
@@ -516,6 +574,56 @@ func (c *Cluster) Provision(add, remove []tx.NodeID) (<-chan struct{}, error) {
 	return c.Submit(c.order[0], &tx.ProvisionProc{Add: add, Remove: remove})
 }
 
+// submitDistributed enqueues a transaction through the local session
+// front-end of a distributed worker. The waiter is keyed by the front-end's
+// ClientSeq stamp — assigned and registered atomically with respect to
+// transmission, so a delivered batch can always correlate back, and the
+// leader's gapless per-client dedup never sees a reordered stream.
+func (c *Cluster) submitDistributed(proc tx.Procedure) (<-chan struct{}, error) {
+	if _, ok := proc.(tx.WireSafe); !ok {
+		return nil, fmt.Errorf("engine: %T is not wire-safe: procedures with closures cannot cross process boundaries (gob drops func fields silently)", proc)
+	}
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("engine: cluster stopped")
+	}
+	c.mu.Unlock()
+	req := tx.NewRequest(0, proc)
+	req.SubmitTime = time.Now()
+	done := make(chan struct{})
+	fe := c.fes[c.self]
+	var stamped uint64
+	err := fe.SubmitTracked(req, func(seq uint64) {
+		stamped = seq
+		c.mu.Lock()
+		c.seqWaiters[seq] = done
+		c.mu.Unlock()
+	})
+	if err != nil {
+		c.mu.Lock()
+		delete(c.seqWaiters, stamped)
+		c.mu.Unlock()
+		return nil, err
+	}
+	return done, nil
+}
+
+// completeTxn releases a finished transaction's client: locally when the
+// submitting front-end lives in this process, with a MsgTxnDone notice to
+// the submitting node otherwise. Delivery of the notice rides the reliable
+// layer; a duplicate (replay after a committer restart) finds no pending
+// entry and is a no-op.
+func (c *Cluster) completeTxn(req *tx.Request) {
+	if c.distributed && req.ClientSeq != 0 && req.Client != c.self {
+		_ = c.tr.Send(network.Message{
+			From: c.self, To: req.Client, Type: network.MsgTxnDone, Txn: req.ID,
+		})
+		return
+	}
+	c.complete(req.ID)
+}
+
 // complete is called by the committing master (or by the provision path)
 // to release the client.
 func (c *Cluster) complete(id tx.TxnID) {
@@ -523,6 +631,13 @@ func (c *Cluster) complete(id tx.TxnID) {
 	ch, ok := c.pending[id]
 	if ok {
 		delete(c.pending, id)
+	} else if c.distributed && id > c.lastAssigned {
+		// The notice beat the local scheduler to the batch that assigns
+		// this ID; registration will find it here and release the client.
+		if c.earlyDone == nil {
+			c.earlyDone = make(map[tx.TxnID]struct{})
+		}
+		c.earlyDone[id] = struct{}{}
 	}
 	c.mu.Unlock()
 	if ok {
@@ -535,6 +650,10 @@ func (c *Cluster) complete(id tx.TxnID) {
 // Exactly one node (the master candidate's registration is identical on
 // all nodes) performs the registration — it is idempotent.
 func (c *Cluster) registerAssigned(req *tx.Request) {
+	if c.distributed {
+		c.registerAssignedDistributed(req)
+		return
+	}
 	// Session front-ends transmit private copies of each submission (so
 	// two sequencer leaders never write one shared object); the waiter
 	// was registered under the queued original, which the delivered copy
@@ -565,11 +684,54 @@ func (c *Cluster) registerAssigned(req *tx.Request) {
 	}
 }
 
+// registerAssignedDistributed correlates a delivered request with the
+// local waiter by its (Client, ClientSeq) stamp — the delivered object is
+// a deserialized copy, so pointer identity is useless here. Requests
+// submitted by other processes pass through untouched; their own engines
+// perform the same correlation.
+func (c *Cluster) registerAssignedDistributed(req *tx.Request) {
+	found := false
+	var done chan struct{}
+	c.mu.Lock()
+	if req.ID > c.lastAssigned {
+		c.lastAssigned = req.ID
+	}
+	if req.Client == c.self && req.ClientSeq != 0 {
+		ch, ok := c.seqWaiters[req.ClientSeq]
+		if ok {
+			delete(c.seqWaiters, req.ClientSeq)
+			found = true
+			if _, early := c.earlyDone[req.ID]; early {
+				// The committer already finished this transaction and its
+				// MsgTxnDone arrived before this batch was scheduled here;
+				// release the client now instead of parking the waiter.
+				delete(c.earlyDone, req.ID)
+				done = ch
+			} else {
+				c.pending[req.ID] = ch
+			}
+		}
+	}
+	c.mu.Unlock()
+	if done != nil {
+		close(done)
+	}
+	if fe := c.fes[req.Client]; fe != nil {
+		fe.Sequenced(req)
+	}
+	if found {
+		if !req.SubmitTime.IsZero() {
+			c.tracer.EmitAt(req.SubmitTime, telemetry.ClusterNode, req.ID, telemetry.PhaseEnqueued, 0)
+		}
+		c.tracer.Emit(telemetry.ClusterNode, req.ID, telemetry.PhaseSequenced, 0)
+	}
+}
+
 // Pending reports the number of in-flight transactions.
 func (c *Cluster) Pending() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.pending) + len(c.waiters)
+	return len(c.pending) + len(c.waiters) + len(c.seqWaiters)
 }
 
 // Drain flushes the sequencer and waits (up to timeout) until all
@@ -586,6 +748,9 @@ func (c *Cluster) Drain(timeout time.Duration) bool {
 // scheduler has not consumed, a non-empty lock queue, in-flight
 // transactions, or a front-end still holding unacknowledged submissions.
 func (c *Cluster) DrainDetail(timeout time.Duration) error {
+	if c.seq == nil {
+		return fmt.Errorf("engine: drain needs the in-process sequencer; distributed workers quiesce via WorkerQuiesce")
+	}
 	deadline := time.Now().Add(timeout)
 	var stuck error
 	for {
@@ -664,7 +829,9 @@ func (c *Cluster) Stop() {
 	for _, fe := range c.fes {
 		fe.Stop()
 	}
-	c.seq.Stop()
+	if c.seq != nil {
+		c.seq.Stop()
+	}
 	nodes := c.nodeList()
 	for _, n := range nodes {
 		n.stop()
@@ -719,6 +886,24 @@ func (c *Cluster) NodeDigests() []NodeDigest {
 		out = append(out, d)
 	}
 	return out
+}
+
+// SeqStats snapshots the in-process total-order leader's counters (zero
+// value when the cluster runs without its own sequencer, i.e. distributed
+// worker mode).
+func (c *Cluster) SeqStats() sequencer.LeaderStats {
+	if c.seq == nil {
+		return sequencer.LeaderStats{}
+	}
+	return c.seq.Stats()
+}
+
+// SeqFlush seals the in-process leader's pending requests into one batch
+// (no-op without a sequencer).
+func (c *Cluster) SeqFlush() {
+	if c.seq != nil {
+		c.seq.Flush()
+	}
 }
 
 // TotalRecords sums the record counts across all nodes; migration must

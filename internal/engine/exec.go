@@ -174,7 +174,7 @@ func (n *Node) run(rt *router.Route, role *role, grant *lock.Grant, arrival time
 		if aborted {
 			n.cluster.tracer.Emit(n.id, rt.Txn.ID, telemetry.PhaseAborted, 0)
 		}
-		n.cluster.complete(rt.Txn.ID)
+		n.cluster.completeTxn(rt.Txn)
 	}
 }
 

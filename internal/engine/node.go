@@ -152,6 +152,11 @@ func (n *Node) recvLoop() {
 				}
 			case network.MsgSeqEpoch:
 				n.cluster.noteLeader(m.From, m.Epoch)
+			case network.MsgTxnDone:
+				// A remote committer finished a transaction this process
+				// submitted (distributed mode only). At-least-once delivery:
+				// a duplicate finds no pending entry.
+				n.cluster.complete(m.Txn)
 			case network.MsgRecordPush, network.MsgReadBroadcast, network.MsgWriteBack, network.MsgMigrationChunk:
 				n.mailboxFor(m.Txn).put(m.Records)
 			}
@@ -198,7 +203,7 @@ func (n *Node) schedule(rt *router.Route, arrival time.Time) {
 		// every replica; acknowledge the client here. Any attached
 		// eviction migrations still execute below under locks.
 		if n.isCommitter(rt) {
-			n.cluster.complete(rt.Txn.ID)
+			n.cluster.completeTxn(rt.Txn)
 		}
 		if len(rt.Migrations) == 0 {
 			return

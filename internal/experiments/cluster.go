@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"time"
+)
+
+// ClusterProcess is one hermesd process's counter snapshot folded into the
+// cluster report. It mirrors the harness's /stats payload but is declared
+// here so the experiments layer stays free of the process-spawning code.
+type ClusterProcess struct {
+	Node              int64  `json:"node"`
+	Incarnation       uint64 `json:"incarnation"`
+	Committed         int64  `json:"committed"`
+	Aborted           int64  `json:"aborted"`
+	NetMsgs           int64  `json:"net_msgs"`
+	NetBytes          int64  `json:"net_bytes"`
+	Retransmits       int64  `json:"retransmits"`
+	DupsDropped       int64  `json:"dups_dropped"`
+	HandshakeFailures int64  `json:"handshake_failures"`
+}
+
+// ClusterGate is the pass/fail verdict CI keys on.
+type ClusterGate struct {
+	Pass   bool   `json:"pass"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// ClusterReport is the merged result of one multi-process cluster bench
+// run, written as BENCH_cluster.json: the workload parameters, end-to-end
+// throughput and latency from the closed-loop driver, the wire cost per
+// transaction summed across every process transport, the per-process
+// snapshots, and whether the cluster's final digests matched the
+// in-process twin's.
+type ClusterReport struct {
+	Policy    string `json:"policy"`
+	Workload  string `json:"workload"`
+	Workers   int    `json:"workers"`
+	Rows      uint64 `json:"rows"`
+	Txns      int    `json:"txns"`
+	BatchSize int    `json:"batch_size"`
+	Seed      int64  `json:"seed"`
+
+	Committed   int64   `json:"committed"`
+	QPS         float64 `json:"qps"`
+	AvgMs       float64 `json:"avg_ms"`
+	P95Ms       float64 `json:"p95_ms"`
+	BytesPerTxn float64 `json:"net_bytes_per_txn"`
+
+	TwinMatch bool             `json:"twin_match"`
+	Processes []ClusterProcess `json:"processes"`
+	Gate      ClusterGate      `json:"gate"`
+	Written   time.Time        `json:"written"`
+}
+
+// WriteClusterReport stamps and writes the report as indented JSON.
+func WriteClusterReport(path string, r *ClusterReport) error {
+	r.Written = time.Now().UTC()
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

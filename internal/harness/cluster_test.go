@@ -1,0 +1,150 @@
+package harness
+
+import (
+	"os"
+	"syscall"
+	"testing"
+	"time"
+
+	"hermes/internal/engine"
+)
+
+// startTestCluster boots a 3-process cluster for the in-package tests.
+func startTestCluster(t *testing.T, policy string) *Cluster {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("multi-process cluster tests skipped in -short mode")
+	}
+	if _, err := HermesdBinary(); err != nil {
+		t.Fatalf("building hermesd: %v", err)
+	}
+	c, err := StartCluster(ClusterConfig{
+		Workers: 3, Policy: policy, Rows: 4000, Payload: 64, BatchSize: 25,
+		Dir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	if err := c.Seed(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// dumpClusterState logs every worker's quiesce/stats snapshot, the leader
+// sequencer state, the run status and the process logs — the first thing
+// to read when a cluster run wedges.
+func dumpClusterState(t *testing.T, c *Cluster) {
+	t.Helper()
+	for i := range c.procs {
+		var q engine.WorkerQuiesceInfo
+		if e := c.get(i, "/quiesce", &q); e != nil {
+			t.Logf("worker %d quiesce: %v", i, e)
+		} else {
+			t.Logf("worker %d quiesce: %+v", i, q)
+		}
+		var ps ProcStats
+		if e := c.get(i, "/stats", &ps); e != nil {
+			t.Logf("worker %d stats: %v", i, e)
+		} else {
+			t.Logf("worker %d stats: %+v", i, ps)
+		}
+	}
+	var nx leaderNext
+	if e := c.get(0, "/next", &nx); e == nil {
+		t.Logf("leader: %+v", nx)
+	}
+	if st, e := c.Status(); e == nil {
+		t.Logf("status: %+v", st)
+	}
+	for i := range c.procs {
+		b, _ := os.ReadFile(c.LogPath(i))
+		t.Logf("node %d log:\n%s", i, b)
+	}
+}
+
+// TestClusterKillRestart is the harness-level half of the root e2e suite:
+// it drives a run across three real processes, SIGKILLs a worker mid-run,
+// restarts it, and requires every transaction to commit. On a wedge it
+// dumps the full cluster state before failing.
+func TestClusterKillRestart(t *testing.T) {
+	c := startTestCluster(t, "hermes")
+	spec := WorkloadSpec{
+		Kind: WorkloadYCSB, Seed: 42, Txns: 1200, Rows: 4000,
+		KeysPerTxn: 3, Payload: 64, Theta: 0.8, Window: 50,
+	}
+	if err := c.Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st, err := c.Status()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Completed >= int64(spec.Txns*2/5) || st.Done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run never reached the kill point: %+v", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := c.KillWorker(2); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	if err := c.RestartWorker(2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.WaitRun(60 * time.Second)
+	if err != nil {
+		dumpClusterState(t, c)
+		t.Fatal(err)
+	}
+	if res.Committed != int64(spec.Txns) {
+		t.Fatalf("committed %d of %d", res.Committed, spec.Txns)
+	}
+	if err := c.Quiesce(30 * time.Second); err != nil {
+		dumpClusterState(t, c)
+		t.Fatal(err)
+	}
+}
+
+// TestClusterSIGTERMDrains covers hermesd's signal path: after a completed
+// run, SIGTERM must drain each process and exit it with status 0 — the
+// same graceful teardown /shutdown performs, reachable without the control
+// plane.
+func TestClusterSIGTERMDrains(t *testing.T) {
+	c := startTestCluster(t, "calvin")
+	spec := WorkloadSpec{
+		Kind: WorkloadYCSB, Seed: 7, Txns: 200, Rows: 4000,
+		KeysPerTxn: 3, Payload: 64, Theta: 0.8, Window: 50,
+	}
+	if err := c.Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitRun(60 * time.Second); err != nil {
+		dumpClusterState(t, c)
+		t.Fatal(err)
+	}
+	// Workers before the leader host (worker 0): peers drain their session
+	// front-ends against a live leader.
+	for i := len(c.procs) - 1; i >= 0; i-- {
+		p := c.procs[i]
+		if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatalf("signalling worker %d: %v", i, err)
+		}
+		select {
+		case err := <-p.done:
+			if err != nil {
+				b, _ := os.ReadFile(c.LogPath(i))
+				t.Fatalf("worker %d exited non-zero after SIGTERM: %v\nlog:\n%s", i, err, b)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("worker %d did not exit within 10s of SIGTERM", i)
+		}
+		c.procs[i] = nil
+	}
+}

@@ -1,0 +1,457 @@
+package harness
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"hermes"
+	"hermes/internal/engine"
+	"hermes/internal/network"
+	"hermes/internal/partition"
+	"hermes/internal/sequencer"
+	"hermes/internal/telemetry"
+	"hermes/internal/tx"
+)
+
+// Cluster-process transport tuning. A dead peer's listener stays bound in
+// the parent, so a dial to it succeeds at the TCP level and then hangs in
+// the version handshake; the short send timeout turns that hang into a
+// bounded error the reliable layer's retransmission repairs once the peer
+// is back.
+const (
+	procSendTimeout  = time.Second
+	procDialAttempts = 2
+	procDialBackoff  = 25 * time.Millisecond
+	procDialCap      = 100 * time.Millisecond
+
+	// drainTimeout bounds the graceful-shutdown quiesce attempt (SIGTERM,
+	// /shutdown): in-flight work gets this long to land before teardown.
+	drainTimeout = 2 * time.Second
+	// runTimeout bounds a single /run workload from the process's side;
+	// the orchestrator normally enforces a tighter one.
+	runTimeout = 5 * time.Minute
+)
+
+// NodeConfig assembles one hermesd cluster process.
+type NodeConfig struct {
+	// Self is this process's worker id; Workers the total worker count
+	// (ids 0..Workers-1).
+	Self    tx.NodeID
+	Workers int
+	// Addrs maps every data-plane transport id — each worker plus
+	// engine.LeaderNode — to its address. The orchestrator bound all the
+	// listeners, so it knows every address before any process starts.
+	Addrs map[tx.NodeID]string
+	// DataLn and ControlLn are this process's inherited listeners; LeaderLn
+	// is non-nil only on the process that hosts the sequencer leader.
+	DataLn    net.Listener
+	ControlLn net.Listener
+	LeaderLn  net.Listener
+	// Policy, Rows, FusionCap, Alpha parameterize the routing replica;
+	// they must be identical in every process and in the twin.
+	Policy    string
+	Rows      uint64
+	FusionCap int
+	Alpha     float64
+	// BatchSize is the sequencer batch size (sealing is size-only).
+	BatchSize int
+	// Dir holds the process's delivery journal, incarnation counter, and
+	// seed spec.
+	Dir string
+	// Recover marks a restarted process: it re-seeds from the persisted
+	// seed spec and starts replaying its journal immediately instead of
+	// waiting for /seed.
+	Recover bool
+}
+
+// seedSpec is the record-stream description persisted at seeding time so a
+// restarted process can rebuild its shard without the orchestrator's help.
+type seedSpec struct {
+	Rows    uint64 `json:"rows"`
+	Payload int    `json:"payload"`
+}
+
+const seedFile = "seed.json"
+
+// NodeServer is the in-process runtime of one hermesd cluster process: a
+// single engine worker over TCP, the optional co-hosted sequencer leader,
+// and the control-plane HTTP server the orchestrator drives.
+type NodeServer struct {
+	cfg     NodeConfig
+	workers []tx.NodeID
+	jr      *network.Journal
+	tr      *network.TCPTransport
+	cluster *engine.Cluster
+	tel     *telemetry.Telemetry
+	drv     *driver
+
+	// Leader-host half (nil-fields on plain workers). The leader is a
+	// standalone sequencer replica on its own transport node; it is not
+	// restartable (see docs/CLUSTER.md), so it has no journal.
+	leader    *sequencer.Leader
+	leaderTr  *network.TCPTransport
+	leaderRel *network.Reliable
+	leaderClk *stopClock
+
+	srv *http.Server
+
+	mu      sync.Mutex
+	started bool
+	closed  bool
+}
+
+// NewNodeServer assembles the process runtime. A recovering process seeds
+// its shard from the persisted spec and starts replaying its journal
+// before this returns; a fresh process stays idle until /seed.
+func NewNodeServer(cfg NodeConfig) (*NodeServer, error) {
+	if cfg.Workers <= 0 || cfg.Self < 0 || int(cfg.Self) >= cfg.Workers {
+		return nil, fmt.Errorf("harness: node %d outside worker set of %d", cfg.Self, cfg.Workers)
+	}
+	if cfg.DataLn == nil || cfg.ControlLn == nil {
+		return nil, fmt.Errorf("harness: node %d: missing inherited listener", cfg.Self)
+	}
+	if cfg.BatchSize <= 0 {
+		return nil, fmt.Errorf("harness: node %d: batch size must be positive", cfg.Self)
+	}
+	workers := make([]tx.NodeID, cfg.Workers)
+	for i := range workers {
+		workers[i] = tx.NodeID(i)
+	}
+	pf, err := hermes.PolicyFactoryFor(hermes.Policy(cfg.Policy),
+		partition.NewUniformRange(0, cfg.Rows, cfg.Workers), cfg.Alpha, cfg.FusionCap)
+	if err != nil {
+		return nil, err
+	}
+
+	jr, err := network.OpenJournal(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	tel := telemetry.New([]tx.NodeID{cfg.Self}, 4096)
+	tr := network.NewTCPTransportListener(cfg.Self, cfg.Addrs, cfg.DataLn)
+	tuneTransport(tr)
+	cluster, err := engine.NewWorker(engine.WorkerConfig{
+		Self:        cfg.Self,
+		Workers:     workers,
+		Leader:      engine.LeaderNode,
+		Transport:   tr,
+		NetStats:    tr.Stats(),
+		Policy:      pf,
+		Incarnation: jr.Incarnation(),
+		Journal:     jr.Append,
+		Recovered:   jr.Recovered(),
+		Telemetry:   tel,
+	})
+	if err != nil {
+		tr.Close()
+		jr.Close()
+		return nil, err
+	}
+
+	s := &NodeServer{
+		cfg:     cfg,
+		workers: workers,
+		jr:      jr,
+		tr:      tr,
+		cluster: cluster,
+		tel:     tel,
+		drv:     newDriver(),
+	}
+	if cfg.LeaderLn != nil {
+		s.leaderTr = network.NewTCPTransportListener(engine.LeaderNode, cfg.Addrs, cfg.LeaderLn)
+		tuneTransport(s.leaderTr)
+		s.leaderRel = network.NewReliableWith(s.leaderTr, network.ReliableOpts{
+			RecvFor: []tx.NodeID{engine.LeaderNode},
+			SendTo:  workers,
+		})
+		s.leaderClk = newStopClock()
+		// Size-only sealing: the interval is effectively infinite so batch
+		// boundaries are a function of the request stream alone, and the
+		// driver flushes the tail deterministically.
+		s.leader = sequencer.NewLeader(engine.LeaderNode, s.leaderRel, workers,
+			sequencer.Config{BatchSize: cfg.BatchSize, Interval: time.Hour}, s.leaderClk)
+		s.leader.Start()
+	}
+	s.srv = &http.Server{Handler: s.mux()}
+
+	if cfg.Recover {
+		if err := s.seedFromFile(); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func tuneTransport(tr *network.TCPTransport) {
+	tr.SetSendTimeout(procSendTimeout)
+	tr.SetDialRetry(procDialAttempts, procDialBackoff, procDialCap)
+}
+
+// Serve runs the control-plane HTTP server until Close.
+func (s *NodeServer) Serve() error {
+	err := s.srv.Serve(s.cfg.ControlLn)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Cluster exposes the worker engine (tests).
+func (s *NodeServer) Cluster() *engine.Cluster { return s.cluster }
+
+// seed writes the local shard of the deterministic record stream and
+// starts the worker. Every process runs the identical loop; the routing
+// replicas agree on placement, so each record lands in exactly one.
+func (s *NodeServer) seed(spec seedSpec) (int, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("harness: node %d is shut down", s.cfg.Self)
+	}
+	if s.started {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("harness: node %d already seeded", s.cfg.Self)
+	}
+	s.mu.Unlock()
+	if spec.Rows == 0 || spec.Rows != s.cfg.Rows {
+		return 0, fmt.Errorf("harness: seed rows %d do not match the partitioning's %d rows",
+			spec.Rows, s.cfg.Rows)
+	}
+	val := SeedValue(spec.Payload)
+	n := 0
+	for r := uint64(0); r < spec.Rows; r++ {
+		if s.cluster.SeedLocal(tx.MakeKey(0, r), append([]byte(nil), val...)) {
+			n++
+		}
+	}
+	data, err := json.Marshal(spec)
+	if err != nil {
+		return 0, err
+	}
+	if err := os.WriteFile(filepath.Join(s.cfg.Dir, seedFile), append(data, '\n'), 0o644); err != nil {
+		return 0, err
+	}
+	s.startWorker()
+	return n, nil
+}
+
+func (s *NodeServer) seedFromFile() error {
+	data, err := os.ReadFile(filepath.Join(s.cfg.Dir, seedFile))
+	if err != nil {
+		return fmt.Errorf("harness: node %d recovering without a seed spec: %w", s.cfg.Self, err)
+	}
+	var spec seedSpec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return fmt.Errorf("harness: node %d: corrupt seed spec: %w", s.cfg.Self, err)
+	}
+	val := SeedValue(spec.Payload)
+	for r := uint64(0); r < spec.Rows; r++ {
+		s.cluster.SeedLocal(tx.MakeKey(0, r), append([]byte(nil), val...))
+	}
+	// Seeding must complete before the worker starts: the reliable layer
+	// replays the journal the moment the node consumes its feed, and
+	// replayed batches must execute over the seeded store.
+	s.startWorker()
+	return nil
+}
+
+func (s *NodeServer) startWorker() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started || s.closed {
+		return
+	}
+	s.started = true
+	s.cluster.StartWorker()
+}
+
+// ProcStats is one process's counter snapshot, served at /stats.
+type ProcStats struct {
+	Node              int64  `json:"node"`
+	Incarnation       uint64 `json:"incarnation"`
+	Committed         int64  `json:"committed"`
+	Aborted           int64  `json:"aborted"`
+	NetMsgs           int64  `json:"net_msgs"`
+	NetBytes          int64  `json:"net_bytes"`
+	Retransmits       int64  `json:"retransmits"`
+	DupsDropped       int64  `json:"dups_dropped"`
+	HandshakeFailures int64  `json:"handshake_failures"`
+}
+
+func (s *NodeServer) stats() ProcStats {
+	st := ProcStats{
+		Node:              int64(s.cfg.Self),
+		Incarnation:       s.jr.Incarnation(),
+		Committed:         s.cluster.Collector().Committed(),
+		Aborted:           s.cluster.Collector().Aborted(),
+		HandshakeFailures: s.tr.HandshakeFailures(),
+	}
+	st.NetMsgs, st.NetBytes = s.tr.Stats().Totals()
+	rs := s.cluster.Reliable().Stats()
+	st.Retransmits, st.DupsDropped = rs.Retransmits, rs.DupsDropped
+	if s.leaderTr != nil {
+		m, b := s.leaderTr.Stats().Totals()
+		st.NetMsgs += m
+		st.NetBytes += b
+		st.HandshakeFailures += s.leaderTr.HandshakeFailures()
+		lrs := s.leaderRel.Stats()
+		st.Retransmits += lrs.Retransmits
+		st.DupsDropped += lrs.DupsDropped
+	}
+	return st
+}
+
+// leaderNext is the /next response: where the sealed stream stands.
+type leaderNext struct {
+	Seq     uint64 `json:"seq"`
+	Sealed  int64  `json:"sealed_txns"`
+	Pending int    `json:"pending"`
+}
+
+// seqLeaderControl adapts the standalone leader to the driver's
+// leaderControl.
+type seqLeaderControl struct{ l *sequencer.Leader }
+
+func (c seqLeaderControl) SealedAndPending() (int64, int) {
+	st := c.l.Stats()
+	return st.Txns, st.Pending
+}
+func (c seqLeaderControl) Flush() { c.l.Flush() }
+
+func (s *NodeServer) mux() http.Handler {
+	mux := http.NewServeMux()
+	// Telemetry first: /metrics, /trace, /debug/pprof and the index ride
+	// the full observability handler; control routes override below.
+	mux.Handle("/", s.tel.Handler())
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/seed", func(w http.ResponseWriter, r *http.Request) {
+		var spec seedSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		n, err := s.seed(spec)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		writeJSON(w, map[string]any{"seeded": n, "incarnation": s.jr.Incarnation()})
+	})
+	mux.HandleFunc("/run", func(w http.ResponseWriter, r *http.Request) {
+		if s.leader == nil {
+			http.Error(w, "not the driver process", http.StatusBadRequest)
+			return
+		}
+		var spec WorkloadSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := spec.Validate(s.cfg.BatchSize); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		procs, err := spec.Procs()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if !s.drv.start(len(procs)) {
+			http.Error(w, "a run is already in progress or finished", http.StatusConflict)
+			return
+		}
+		go s.drv.run(
+			func(p tx.Procedure) (<-chan struct{}, error) { return s.cluster.Submit(s.cfg.Self, p) },
+			procs, spec.Window, seqLeaderControl{s.leader}, runTimeout)
+		writeJSON(w, map[string]any{"started": true, "total": len(procs)})
+	})
+	mux.HandleFunc("/runstatus", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.drv.status())
+	})
+	mux.HandleFunc("/flush", func(w http.ResponseWriter, r *http.Request) {
+		if s.leader == nil {
+			http.Error(w, "no leader here", http.StatusBadRequest)
+			return
+		}
+		s.leader.Flush()
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/next", func(w http.ResponseWriter, r *http.Request) {
+		if s.leader == nil {
+			http.Error(w, "no leader here", http.StatusBadRequest)
+			return
+		}
+		seq, _ := s.leader.Next()
+		st := s.leader.Stats()
+		writeJSON(w, leaderNext{Seq: seq, Sealed: st.Txns, Pending: st.Pending})
+	})
+	mux.HandleFunc("/quiesce", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.cluster.WorkerQuiesce())
+	})
+	mux.HandleFunc("/digest", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.cluster.NodeDigests()[0])
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.stats())
+	})
+	mux.HandleFunc("/shutdown", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "shutting down")
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		go s.Close()
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// Close shuts the process runtime down: it aborts any wedged driver,
+// gives in-flight work a bounded drain, then tears down the leader, the
+// engine, the transports, the journal, and the control server. Idempotent.
+func (s *NodeServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	started := s.started
+	s.mu.Unlock()
+
+	s.drv.stop()
+	if started {
+		// Graceful drain: wait (bounded) for local in-flight work to land
+		// so a SIGTERM between batches loses nothing.
+		deadline := time.Now().Add(drainTimeout)
+		for time.Now().Before(deadline) {
+			q := s.cluster.WorkerQuiesce()
+			if q.Pending == 0 && q.Unacked == 0 && q.Backlog == 0 && q.QueuedLockKeys == 0 {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if s.leader != nil {
+		s.leader.Stop()
+		s.leaderClk.Stop()
+		s.leaderRel.Close()
+	}
+	s.cluster.Stop()
+	s.jr.Close()
+	return s.srv.Close()
+}

@@ -1,0 +1,581 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"hermes/internal/engine"
+	"hermes/internal/tx"
+)
+
+// ClusterConfig describes a multi-process cluster to boot.
+type ClusterConfig struct {
+	// Workers is the number of hermesd processes (one engine worker each).
+	Workers int
+	// Policy is the routing policy name ("hermes" or "calvin").
+	Policy string
+	// Rows is the uniformly pre-partitioned key space.
+	Rows uint64
+	// Payload is the seeded/written value size in bytes.
+	Payload int
+	// BatchSize is the sequencer batch size.
+	BatchSize int
+	// Alpha and FusionCap tune the Hermes policy; FusionCap 0 defaults to
+	// Rows/40, matching hermes.Open.
+	Alpha     float64
+	FusionCap int
+	// Dir is the scratch directory for journals, seed specs and process
+	// logs. Required.
+	Dir string
+	// BinPath is the hermesd binary to spawn. Empty means build it from
+	// the enclosing module (cached per test process).
+	BinPath string
+}
+
+// proc tracks one spawned hermesd and its reaper.
+type proc struct {
+	cmd  *exec.Cmd
+	done chan error
+}
+
+// Cluster is the orchestrator's handle on a running multi-process cluster.
+// The parent holds every listener for the cluster's lifetime: the children
+// serve on dup'd fds, so a killed worker's ports stay bound (dials to it
+// land in the kernel backlog and get repaired by retransmission once the
+// worker is back) and a restarted worker reclaims the exact same address.
+type Cluster struct {
+	cfg       ClusterConfig
+	bin       string
+	addrs     map[tx.NodeID]string
+	dataLns   []*net.TCPListener
+	ctrlLns   []*net.TCPListener
+	leaderLn  *net.TCPListener
+	ctrlAddrs []string
+	logs      []*os.File
+	procs     []*proc
+	client    *http.Client
+
+	mu     sync.Mutex
+	closed bool
+}
+
+var (
+	buildOnce sync.Once
+	buildPath string
+	buildErr  error
+)
+
+// HermesdBinary builds ./cmd/hermesd once per test process and returns the
+// binary path.
+func HermesdBinary() (string, error) {
+	buildOnce.Do(func() {
+		root, err := moduleRoot()
+		if err != nil {
+			buildErr = err
+			return
+		}
+		dir, err := os.MkdirTemp("", "hermesd-bin-")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		out := filepath.Join(dir, "hermesd")
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/hermesd")
+		cmd.Dir = root
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			buildErr = fmt.Errorf("harness: building hermesd: %v\n%s", err, msg)
+			return
+		}
+		buildPath = out
+	})
+	return buildPath, buildErr
+}
+
+// moduleRoot walks up from the working directory to the enclosing go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("harness: no go.mod above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// StartCluster binds every cluster port on loopback, spawns one hermesd
+// per worker (worker 0's process additionally hosts the sequencer leader),
+// and waits for every control plane to answer /healthz.
+func StartCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Workers < 2 {
+		return nil, fmt.Errorf("harness: a cluster needs at least 2 workers, got %d", cfg.Workers)
+	}
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("harness: ClusterConfig.Dir is required")
+	}
+	if cfg.FusionCap == 0 {
+		cfg.FusionCap = int(cfg.Rows / 40)
+	}
+	bin := cfg.BinPath
+	if bin == "" {
+		var err error
+		if bin, err = HermesdBinary(); err != nil {
+			return nil, err
+		}
+	}
+	c := &Cluster{
+		cfg:       cfg,
+		bin:       bin,
+		addrs:     make(map[tx.NodeID]string, cfg.Workers+1),
+		dataLns:   make([]*net.TCPListener, cfg.Workers),
+		ctrlLns:   make([]*net.TCPListener, cfg.Workers),
+		ctrlAddrs: make([]string, cfg.Workers),
+		logs:      make([]*os.File, cfg.Workers),
+		procs:     make([]*proc, cfg.Workers),
+		client:    &http.Client{Timeout: 3 * time.Second},
+	}
+	fail := func(err error) (*Cluster, error) {
+		c.Close()
+		return nil, err
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		ln, err := listenLoopback()
+		if err != nil {
+			return fail(err)
+		}
+		c.dataLns[i] = ln
+		c.addrs[tx.NodeID(i)] = ln.Addr().String()
+		if c.ctrlLns[i], err = listenLoopback(); err != nil {
+			return fail(err)
+		}
+		c.ctrlAddrs[i] = c.ctrlLns[i].Addr().String()
+	}
+	ln, err := listenLoopback()
+	if err != nil {
+		return fail(err)
+	}
+	c.leaderLn = ln
+	c.addrs[engine.LeaderNode] = ln.Addr().String()
+
+	for i := 0; i < cfg.Workers; i++ {
+		if err := c.spawn(i, false); err != nil {
+			return fail(err)
+		}
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		if err := c.waitHealthy(i, 10*time.Second); err != nil {
+			return fail(err)
+		}
+	}
+	return c, nil
+}
+
+func listenLoopback() (*net.TCPListener, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	return ln.(*net.TCPListener), nil
+}
+
+// peersFlag renders the id=addr map for the child command line.
+func (c *Cluster) peersFlag() string {
+	parts := make([]string, 0, len(c.addrs))
+	for id, addr := range c.addrs {
+		parts = append(parts, fmt.Sprintf("%d=%s", id, addr))
+	}
+	return strings.Join(parts, ",")
+}
+
+// spawn launches worker i's process, inheriting its listeners as fd 3
+// (data), fd 4 (control) and — on the leader host — fd 5 (leader).
+func (c *Cluster) spawn(i int, recover bool) error {
+	nodeDir := filepath.Join(c.cfg.Dir, fmt.Sprintf("node%d", i))
+	if err := os.MkdirAll(nodeDir, 0o755); err != nil {
+		return err
+	}
+	if c.logs[i] == nil {
+		f, err := os.OpenFile(filepath.Join(c.cfg.Dir, fmt.Sprintf("node%d.log", i)),
+			os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		c.logs[i] = f
+	}
+	args := []string{
+		"-node", fmt.Sprint(i),
+		"-workers", fmt.Sprint(c.cfg.Workers),
+		"-peers", c.peersFlag(),
+		"-policy", c.cfg.Policy,
+		"-rows", fmt.Sprint(c.cfg.Rows),
+		"-fusioncap", fmt.Sprint(c.cfg.FusionCap),
+		"-alpha", fmt.Sprint(c.cfg.Alpha),
+		"-batch", fmt.Sprint(c.cfg.BatchSize),
+		"-dir", nodeDir,
+	}
+	if i == 0 {
+		args = append(args, "-seq-host")
+	}
+	if recover {
+		args = append(args, "-recover")
+	}
+	cmd := exec.Command(c.bin, args...)
+	cmd.Stdout = c.logs[i]
+	cmd.Stderr = c.logs[i]
+
+	var files []*os.File
+	dataF, err := c.dataLns[i].File()
+	if err != nil {
+		return err
+	}
+	files = append(files, dataF)
+	ctrlF, err := c.ctrlLns[i].File()
+	if err != nil {
+		dataF.Close()
+		return err
+	}
+	files = append(files, ctrlF)
+	if i == 0 {
+		leaderF, err := c.leaderLn.File()
+		if err != nil {
+			dataF.Close()
+			ctrlF.Close()
+			return err
+		}
+		files = append(files, leaderF)
+	}
+	cmd.ExtraFiles = files
+	err = cmd.Start()
+	for _, f := range files {
+		f.Close() // the child holds its own dups now
+	}
+	if err != nil {
+		return fmt.Errorf("harness: spawning worker %d: %w", i, err)
+	}
+	p := &proc{cmd: cmd, done: make(chan error, 1)}
+	go func() { p.done <- cmd.Wait() }()
+	c.procs[i] = p
+	return nil
+}
+
+func (c *Cluster) waitHealthy(i int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		var out string
+		err := c.get(i, "/healthz", &out)
+		if err == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("harness: worker %d control plane never came up: %v", i, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// Seed streams the deterministic record set into every process; each seeds
+// the rows its routing replica places locally, then starts its worker.
+func (c *Cluster) Seed() error {
+	spec := seedSpec{Rows: c.cfg.Rows, Payload: c.cfg.Payload}
+	total := 0
+	for i := range c.procs {
+		var resp struct {
+			Seeded int `json:"seeded"`
+		}
+		if err := c.post(i, "/seed", spec, &resp); err != nil {
+			return fmt.Errorf("harness: seeding worker %d: %w", i, err)
+		}
+		total += resp.Seeded
+	}
+	if uint64(total) != c.cfg.Rows {
+		return fmt.Errorf("harness: seeded %d rows across the cluster, want %d", total, c.cfg.Rows)
+	}
+	return nil
+}
+
+// Run starts the workload on the driver process (worker 0) and returns
+// immediately; poll Status or WaitRun for progress.
+func (c *Cluster) Run(spec WorkloadSpec) error {
+	return c.post(0, "/run", spec, nil)
+}
+
+// Status fetches the driver's live run progress.
+func (c *Cluster) Status() (RunStatus, error) {
+	var st RunStatus
+	err := c.get(0, "/runstatus", &st)
+	return st, err
+}
+
+// WaitRun polls until the driver reports the run done, returning its
+// result. Transient status errors (e.g. while the driver host is briefly
+// overloaded) are retried until the deadline.
+func (c *Cluster) WaitRun(timeout time.Duration) (*RunResult, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := c.Status()
+		if err == nil && st.Done {
+			if st.Err != "" {
+				return st.Result, fmt.Errorf("harness: run failed: %s", st.Err)
+			}
+			return st.Result, nil
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return nil, fmt.Errorf("harness: run did not finish within %v (last status error: %v)", timeout, err)
+			}
+			return nil, fmt.Errorf("harness: run did not finish within %v (%d/%d completed)",
+				timeout, st.Completed, st.Total)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// KillWorker SIGKILLs worker i's process and reaps it. The worker's ports
+// stay bound in the parent, so peers keep retransmitting into the backlog
+// until RestartWorker brings it back.
+func (c *Cluster) KillWorker(i int) error {
+	p := c.procs[i]
+	if p == nil {
+		return fmt.Errorf("harness: worker %d is not running", i)
+	}
+	if err := p.cmd.Process.Kill(); err != nil {
+		return err
+	}
+	select {
+	case <-p.done:
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("harness: worker %d did not die after SIGKILL", i)
+	}
+	c.procs[i] = nil
+	return nil
+}
+
+// RestartWorker respawns a killed worker in recovery mode: it re-seeds
+// from its persisted seed spec, bumps its incarnation, replays its journal
+// and rejoins on the same ports.
+func (c *Cluster) RestartWorker(i int) error {
+	if c.procs[i] != nil {
+		return fmt.Errorf("harness: worker %d is still running", i)
+	}
+	if err := c.spawn(i, true); err != nil {
+		return err
+	}
+	return c.waitHealthy(i, 10*time.Second)
+}
+
+// Quiesce drives the cluster to a provably settled state: the leader has
+// nothing pending, and in a single sweep every worker has scheduled the
+// full sealed stream with no queued work, no in-flight transactions, no
+// unacked sends and no undelivered backlog.
+func (c *Cluster) Quiesce(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		ok, err := c.quiesceOnce()
+		if ok {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			if err == nil {
+				err = fmt.Errorf("workers never settled")
+			}
+			return fmt.Errorf("harness: cluster did not quiesce within %v: %w", timeout, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func (c *Cluster) quiesceOnce() (bool, error) {
+	var next leaderNext
+	if err := c.get(0, "/next", &next); err != nil {
+		return false, err
+	}
+	if next.Pending != 0 {
+		return false, fmt.Errorf("leader still holds %d pending", next.Pending)
+	}
+	for i := range c.procs {
+		var q engine.WorkerQuiesceInfo
+		if err := c.get(i, "/quiesce", &q); err != nil {
+			return false, fmt.Errorf("worker %d: %w", i, err)
+		}
+		if q.Scheduled != next.Seq || q.QueuedLockKeys != 0 || q.Pending != 0 ||
+			q.Unacked != 0 || q.Backlog != 0 {
+			return false, fmt.Errorf("worker %d not settled: %+v (leader seq %d)", i, q, next.Seq)
+		}
+	}
+	return true, nil
+}
+
+// Digests fetches every worker's state digest, in worker order.
+func (c *Cluster) Digests() ([]engine.NodeDigest, error) {
+	out := make([]engine.NodeDigest, len(c.procs))
+	for i := range c.procs {
+		if err := c.get(i, "/digest", &out[i]); err != nil {
+			return nil, fmt.Errorf("harness: digest of worker %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// Stats fetches every process's counter snapshot, in worker order.
+func (c *Cluster) Stats() ([]ProcStats, error) {
+	out := make([]ProcStats, len(c.procs))
+	for i := range c.procs {
+		if err := c.get(i, "/stats", &out[i]); err != nil {
+			return nil, fmt.Errorf("harness: stats of worker %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// Metrics scrapes and parses each process's Prometheus /metrics page,
+// keyed "name{labels}".
+func (c *Cluster) Metrics() ([]map[string]float64, error) {
+	out := make([]map[string]float64, len(c.procs))
+	for i := range c.procs {
+		body, err := c.getRaw(i, "/metrics")
+		if err != nil {
+			return nil, fmt.Errorf("harness: metrics of worker %d: %w", i, err)
+		}
+		out[i] = ParseMetrics(body)
+	}
+	return out, nil
+}
+
+// LogPath returns worker i's process log file path.
+func (c *Cluster) LogPath(i int) string {
+	return filepath.Join(c.cfg.Dir, fmt.Sprintf("node%d.log", i))
+}
+
+// ControlAddr returns worker i's control-plane address.
+func (c *Cluster) ControlAddr(i int) string { return c.ctrlAddrs[i] }
+
+// Close shuts every process down (gracefully where possible), then
+// releases the parent-held listeners and log files. Idempotent.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+
+	var firstErr error
+	for i, p := range c.procs {
+		if p == nil {
+			continue
+		}
+		_ = c.post(i, "/shutdown", struct{}{}, nil)
+	}
+	for i, p := range c.procs {
+		if p == nil {
+			continue
+		}
+		select {
+		case <-p.done:
+		case <-time.After(5 * time.Second):
+			_ = p.cmd.Process.Kill()
+			select {
+			case <-p.done:
+			case <-time.After(5 * time.Second):
+				if firstErr == nil {
+					firstErr = fmt.Errorf("harness: worker %d would not exit", i)
+				}
+			}
+		}
+		c.procs[i] = nil
+	}
+	for _, ln := range c.dataLns {
+		if ln != nil {
+			ln.Close()
+		}
+	}
+	for _, ln := range c.ctrlLns {
+		if ln != nil {
+			ln.Close()
+		}
+	}
+	if c.leaderLn != nil {
+		c.leaderLn.Close()
+	}
+	for _, f := range c.logs {
+		if f != nil {
+			f.Close()
+		}
+	}
+	return firstErr
+}
+
+func (c *Cluster) url(i int, path string) string {
+	return "http://" + c.ctrlAddrs[i] + path
+}
+
+func (c *Cluster) get(i int, path string, out any) error {
+	body, err := c.getRaw(i, path)
+	if err != nil {
+		return err
+	}
+	if out == nil {
+		return nil
+	}
+	if s, ok := out.(*string); ok {
+		*s = string(body)
+		return nil
+	}
+	return json.Unmarshal(body, out)
+}
+
+func (c *Cluster) getRaw(i int, path string) ([]byte, error) {
+	resp, err := c.client.Get(c.url(i, path))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s: %s", path, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return body, nil
+}
+
+func (c *Cluster) post(i int, path string, in, out any) error {
+	payload, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client.Post(c.url(i, path), "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s: %s", path, resp.Status, strings.TrimSpace(string(body)))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(body, out)
+}

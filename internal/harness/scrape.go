@@ -1,0 +1,50 @@
+package harness
+
+import (
+	"strconv"
+	"strings"
+)
+
+// ParseMetrics parses a Prometheus text-format exposition into a flat map
+// keyed "name" or "name{labels}" exactly as written. It is deliberately
+// minimal — enough for the harness to fold each process's /metrics page
+// into the merged cluster report — and skips comments, blank lines, and
+// anything it cannot parse as `key value`.
+func ParseMetrics(body []byte) map[string]float64 {
+	out := make(map[string]float64)
+	for _, line := range strings.Split(string(body), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// The value is the last space-separated field; the key is
+		// everything before it (label values may themselves contain
+		// spaces, so split from the right).
+		idx := strings.LastIndexByte(line, ' ')
+		if idx <= 0 {
+			continue
+		}
+		key := strings.TrimSpace(line[:idx])
+		val, err := strconv.ParseFloat(line[idx+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[key] = val
+	}
+	return out
+}
+
+// MetricSum sums one metric across per-process scrapes, matching either the
+// bare name or any labeled variant ("name{...}").
+func MetricSum(scrapes []map[string]float64, name string) float64 {
+	var sum float64
+	prefix := name + "{"
+	for _, m := range scrapes {
+		for k, v := range m {
+			if k == name || strings.HasPrefix(k, prefix) {
+				sum += v
+			}
+		}
+	}
+	return sum
+}

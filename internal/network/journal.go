@@ -1,0 +1,144 @@
+package network
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Journal is the durable form of Reliable's delivery log for a cluster
+// process: every message accepted for the local node is appended before it
+// is acknowledged, so after the process is killed, the journal holds a
+// superset of the input the dead node had consumed. A restarted process
+// replays the journal through ReliableOpts.Recovered and deterministically
+// regenerates its state.
+//
+// Records are length-prefixed gob frames, so a crash mid-append leaves at
+// most one torn record at the tail; recovery stops at the first damaged
+// frame and truncates it away. A torn record was never acknowledged (the
+// journal write happens before the ack), so the peer still holds it in its
+// retransmission window and will deliver it again. Durability target is
+// process death, not host death: writes go straight to the file (no
+// user-space buffering) but are not fsynced — the OS page cache survives a
+// SIGKILL, which is the failure the cluster harness injects.
+//
+// The journal also owns the process incarnation counter (see Message.Inc):
+// each OpenJournal on the same directory observes a strictly higher
+// incarnation than the last, persisted atomically so a crash between runs
+// can never hand two lives of the process the same incarnation.
+type Journal struct {
+	f           *os.File
+	dir         string
+	recovered   []Message
+	incarnation uint64
+}
+
+const (
+	journalFile     = "journal.log"
+	incarnationFile = "incarnation"
+)
+
+// OpenJournal opens (creating if needed) the delivery journal in dir,
+// recovers its intact prefix, truncates any torn tail, and claims the next
+// incarnation.
+func OpenJournal(dir string) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: mkdir %s: %w", dir, err)
+	}
+	inc, err := bumpIncarnation(filepath.Join(dir, incarnationFile))
+	if err != nil {
+		return nil, err
+	}
+	path := filepath.Join(dir, journalFile)
+	raw, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("journal: read %s: %w", path, err)
+	}
+	msgs, good := replayJournal(raw)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: open %s: %w", path, err)
+	}
+	if err := f.Truncate(int64(good)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: truncate torn tail of %s: %w", path, err)
+	}
+	if _, err := f.Seek(int64(good), 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: seek %s: %w", path, err)
+	}
+	return &Journal{f: f, dir: dir, recovered: msgs, incarnation: inc}, nil
+}
+
+// replayJournal decodes the intact record prefix of raw, returning the
+// messages and the byte offset the next append should start at.
+func replayJournal(raw []byte) ([]Message, int) {
+	var msgs []Message
+	off := 0
+	for {
+		if len(raw)-off < 4 {
+			return msgs, off
+		}
+		n := int(binary.BigEndian.Uint32(raw[off : off+4]))
+		if len(raw)-off-4 < n {
+			return msgs, off // torn frame
+		}
+		var m Message
+		if err := gob.NewDecoder(bytes.NewReader(raw[off+4 : off+4+n])).Decode(&m); err != nil {
+			return msgs, off // damaged frame: treat it and everything after as torn
+		}
+		msgs = append(msgs, m)
+		off += 4 + n
+	}
+}
+
+// bumpIncarnation atomically advances the persisted incarnation counter
+// and returns the claimed value (first life = 1).
+func bumpIncarnation(path string) (uint64, error) {
+	var prev uint64
+	if b, err := os.ReadFile(path); err == nil {
+		prev, _ = strconv.ParseUint(strings.TrimSpace(string(b)), 10, 64)
+	}
+	next := prev + 1
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(strconv.FormatUint(next, 10)), 0o644); err != nil {
+		return 0, fmt.Errorf("journal: write incarnation: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return 0, fmt.Errorf("journal: commit incarnation: %w", err)
+	}
+	return next, nil
+}
+
+// Recovered returns the journaled history in delivery order.
+func (j *Journal) Recovered() []Message { return j.recovered }
+
+// Incarnation returns the incarnation claimed by this open (≥ 1, strictly
+// increasing per open of the same directory).
+func (j *Journal) Incarnation() uint64 { return j.incarnation }
+
+// Append persists one delivered message. It is called from the reliable
+// layer's pump goroutine, which is single-threaded per destination, so
+// appends need no lock. A failed append panics: continuing would let the
+// pump ack input that is not durable, silently breaking the recovery
+// contract.
+func (j *Journal) Append(m Message) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 0}) // length patched below
+	if err := gob.NewEncoder(&buf).Encode(&m); err != nil {
+		panic(fmt.Sprintf("journal: encode message: %v", err))
+	}
+	b := buf.Bytes()
+	binary.BigEndian.PutUint32(b[:4], uint32(len(b)-4))
+	if _, err := j.f.Write(b); err != nil {
+		panic(fmt.Sprintf("journal: append: %v", err))
+	}
+}
+
+// Close closes the journal file.
+func (j *Journal) Close() error { return j.f.Close() }

@@ -56,6 +56,10 @@ const (
 	// leader of Epoch. Sent by a freshly promoted standby to every node and
 	// replica, and in reply to messages carrying a stale epoch.
 	MsgSeqEpoch
+	// MsgTxnDone notifies the front-end that submitted transaction Txn
+	// that its committer finished it. Only distributed deployments use it:
+	// in-process clusters complete waiters through shared memory.
+	MsgTxnDone
 )
 
 // String implements fmt.Stringer.
@@ -87,6 +91,8 @@ func (t MsgType) String() string {
 		return "SeqHeartbeat"
 	case MsgSeqEpoch:
 		return "SeqEpoch"
+	case MsgTxnDone:
+		return "TxnDone"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -117,6 +123,16 @@ type Message struct {
 	// carries the cumulative acknowledged sequence. The header estimate in
 	// WireSize already covers it.
 	Link uint64
+
+	// Inc is the sender's incarnation for the reliable layer: a restarted
+	// process replays its deterministic input and regenerates its sends,
+	// but executor interleaving makes per-link send order nondeterministic,
+	// so replayed link sequences cannot be trusted against a peer's old
+	// watermark. Each process restart bumps Inc; a receiver seeing a higher
+	// incarnation resets the link and accepts the replayed stream from 1
+	// (deliveries are idempotent), while lower incarnations are dropped as
+	// stale. Always 0 on in-process transports.
+	Inc uint64
 
 	// Batch carries a totally ordered request batch by reference on the
 	// in-process transport (MsgSeqForward / MsgSeqDeliver). WireSize

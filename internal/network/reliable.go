@@ -59,6 +59,16 @@ type Reliable struct {
 	// dests is built once at construction and never mutated after.
 	dests map[tx.NodeID]*destState
 
+	// seqTo is the set of destinations sends are sequenced to. In-process
+	// clusters use one Reliable for every node, so it equals the dests set;
+	// a cluster process receives only for itself but must still sequence
+	// its sends to every peer, so the two sets diverge there.
+	seqTo map[tx.NodeID]bool
+
+	// inc is this sender's incarnation, stamped on every sequenced send.
+	// See Message.Inc. Immutable after construction.
+	inc uint64
+
 	quit chan struct{}
 	wg   sync.WaitGroup
 
@@ -79,6 +89,7 @@ type sendLink struct {
 // recvLink is the receiver half of one (from,to) link. It is owned by the
 // destination's pump goroutine, so it needs no lock.
 type recvLink struct {
+	inc      uint64 // sender incarnation the link numbering belongs to
 	expected uint64 // sequence of the next in-order message
 	future   map[uint64]Message
 }
@@ -97,24 +108,89 @@ type destState struct {
 	pauseSig chan struct{} // closed while paused; fresh channel when running
 	notify   chan struct{} // cap-1 feeder kick
 	out      chan Message  // unbuffered consumer channel (Recv)
+
+	// journal, when set, persists each accepted message before it becomes
+	// acknowledgeable. Called from the pump goroutine only, in delivery
+	// order, *before* the message is appended to the in-memory log — so by
+	// the time the peer sees an ack, the message is on disk and a process
+	// crash cannot lose acknowledged input.
+	journal func(Message)
 }
 
 // NewReliable wraps inner with reliable delivery for the given nodes.
 // Messages to destinations outside the set pass through unsequenced.
 func NewReliable(inner Transport, nodes []tx.NodeID) *Reliable {
+	return NewReliableWith(inner, ReliableOpts{RecvFor: nodes, SendTo: nodes})
+}
+
+// ReliableOpts configures NewReliableWith beyond the symmetric in-process
+// default.
+type ReliableOpts struct {
+	// RecvFor lists the destinations whose inboxes this layer consumes and
+	// delivers for (one per in-process node; just the local node in a
+	// cluster process).
+	RecvFor []tx.NodeID
+	// SendTo lists the peers sends are sequenced and retransmitted to.
+	// Sends to other destinations pass through unsequenced.
+	SendTo []tx.NodeID
+	// Incarnation is stamped on every sequenced send (see Message.Inc).
+	// A cluster process bumps it on each restart; in-process it stays 0.
+	Incarnation uint64
+	// Journal, when set, persists each accepted message for the RecvFor
+	// destinations before it is acknowledged.
+	Journal func(Message)
+	// Recovered preloads a RecvFor destination's delivery log with its
+	// journaled history: the feeder replays it to the consumer from the
+	// start, and per-sender dedup watermarks are initialized to the highest
+	// journaled (incarnation, link) so live retransmissions of already
+	// journaled messages are dropped rather than re-delivered out of place.
+	Recovered []Message
+}
+
+// NewReliableWith wraps inner with reliable delivery under explicit
+// receive/send sets, an incarnation, and optional journaling/recovery.
+func NewReliableWith(inner Transport, o ReliableOpts) *Reliable {
 	r := &Reliable{
 		inner: inner,
 		sends: make(map[[2]tx.NodeID]*sendLink),
-		dests: make(map[tx.NodeID]*destState, len(nodes)),
+		dests: make(map[tx.NodeID]*destState, len(o.RecvFor)),
+		seqTo: make(map[tx.NodeID]bool, len(o.SendTo)),
+		inc:   o.Incarnation,
 		quit:  make(chan struct{}),
 	}
-	for _, n := range nodes {
+	for _, n := range o.SendTo {
+		r.seqTo[n] = true
+	}
+	for _, n := range o.RecvFor {
 		ds := &destState{
 			node:     n,
 			recv:     make(map[tx.NodeID]*recvLink),
 			pauseSig: make(chan struct{}),
 			notify:   make(chan struct{}, 1),
 			out:      make(chan Message),
+			journal:  o.Journal,
+		}
+		for _, m := range o.Recovered {
+			if m.To != n {
+				continue
+			}
+			ds.log = append(ds.log, m)
+			if m.Link == 0 {
+				continue
+			}
+			rl := ds.recv[m.From]
+			if rl == nil {
+				rl = &recvLink{inc: m.Inc, expected: m.Link + 1, future: make(map[uint64]Message)}
+				ds.recv[m.From] = rl
+				continue
+			}
+			switch {
+			case m.Inc > rl.inc:
+				rl.inc = m.Inc
+				rl.expected = m.Link + 1
+			case m.Inc == rl.inc && m.Link >= rl.expected:
+				rl.expected = m.Link + 1
+			}
 		}
 		r.dests[n] = ds
 		r.wg.Add(2)
@@ -170,8 +246,8 @@ func (r *Reliable) Send(m Message) error {
 		r.mu.Unlock()
 		return fmt.Errorf("network: reliable transport closed")
 	}
-	if _, ok := r.dests[m.To]; !ok {
-		// Unknown destination: stay transparent.
+	if !r.seqTo[m.To] {
+		// Destination outside the sequenced set: stay transparent.
 		r.mu.Unlock()
 		return r.inner.Send(m)
 	}
@@ -188,6 +264,7 @@ func (r *Reliable) Send(m Message) error {
 	sl.mu.Lock()
 	sl.nextSeq++
 	m.Link = sl.nextSeq
+	m.Inc = r.inc
 	sl.unacked = append(sl.unacked, m)
 	sl.mu.Unlock()
 	select {
@@ -278,7 +355,12 @@ func (r *Reliable) pumpLoop(ds *destState) {
 func (r *Reliable) handle(ds *destState, m Message) {
 	switch {
 	case m.Type == MsgLinkAck:
-		// m acknowledges data we (ds.node) sent to m.From.
+		// m acknowledges data we (ds.node) sent to m.From. An ack for a
+		// different incarnation of us is about a previous (or future) life
+		// of this process and says nothing about the current window.
+		if m.Inc != r.inc {
+			return
+		}
 		r.mu.Lock()
 		sl := r.sends[[2]tx.NodeID{ds.node, m.From}]
 		r.mu.Unlock()
@@ -304,8 +386,25 @@ func (r *Reliable) handle(ds *destState, m Message) {
 	default:
 		rl := ds.recv[m.From]
 		if rl == nil {
-			rl = &recvLink{expected: 1, future: make(map[uint64]Message)}
+			rl = &recvLink{inc: m.Inc, expected: 1, future: make(map[uint64]Message)}
 			ds.recv[m.From] = rl
+		}
+		if m.Inc != rl.inc {
+			if m.Inc < rl.inc {
+				// A straggler from the sender's previous life (a retransmit
+				// in flight across its restart): its numbering is dead.
+				r.dupDropped.Add(1)
+				return
+			}
+			// The sender restarted and is replaying its deterministic sends
+			// under fresh numbering. Its replayed link order need not match
+			// the pre-crash order, so the old watermark is meaningless:
+			// reset the link and accept the stream from 1. Re-deliveries
+			// this causes are idempotent at the engine layer (mailbox puts
+			// overwrite by key, completion notices are at-least-once).
+			rl.inc = m.Inc
+			rl.expected = 1
+			rl.future = make(map[uint64]Message)
 		}
 		switch {
 		case m.Link < rl.expected:
@@ -335,14 +434,18 @@ func (r *Reliable) handle(ds *destState, m Message) {
 		// ack may have been the casualty).
 		r.acks.Add(1)
 		_ = r.inner.Send(Message{
-			From: ds.node, To: m.From, Type: MsgLinkAck, Link: rl.expected - 1,
+			From: ds.node, To: m.From, Type: MsgLinkAck, Link: rl.expected - 1, Inc: rl.inc,
 		})
 	}
 }
 
 // deliver appends an accepted message to the delivery log and kicks the
-// feeder.
+// feeder. The journal write comes first: once deliver returns, the caller
+// may ack, and an acked message must already be durable.
 func (ds *destState) deliver(m Message) {
+	if ds.journal != nil {
+		ds.journal(m)
+	}
 	ds.mu.Lock()
 	ds.log = append(ds.log, m)
 	ds.mu.Unlock()

@@ -1,11 +1,15 @@
 package network
 
 import (
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"io"
+	"log"
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hermes/internal/tx"
@@ -20,6 +24,38 @@ const (
 	defaultDialBackoffCap = 320 * time.Millisecond
 	defaultSendTimeout    = 10 * time.Second
 )
+
+// Wire handshake. Every TCP connection opens with a fixed 16-byte header
+// (magic, framing version, sender node id) exchanged in both directions
+// before the gob stream starts, so a cluster accidentally started from
+// mixed builds fails loudly at connect time instead of corrupting batches
+// mid-run.
+const (
+	handshakeMagic = 0x48524D53 // "HRMS"
+	// wireVersion is the TCP framing version. Bump it whenever the gob
+	// message schema changes incompatibly.
+	wireVersion             = 1
+	defaultHandshakeTimeout = 3 * time.Second
+	handshakeLen            = 16
+)
+
+func handshakeHeader(self tx.NodeID) [handshakeLen]byte {
+	var h [handshakeLen]byte
+	binary.BigEndian.PutUint32(h[0:4], handshakeMagic)
+	binary.BigEndian.PutUint32(h[4:8], wireVersion)
+	binary.BigEndian.PutUint64(h[8:16], uint64(int64(self)))
+	return h
+}
+
+func checkHandshake(h [handshakeLen]byte) (tx.NodeID, error) {
+	if m := binary.BigEndian.Uint32(h[0:4]); m != handshakeMagic {
+		return 0, fmt.Errorf("bad handshake magic %#x: peer is not a compatible transport", m)
+	}
+	if v := binary.BigEndian.Uint32(h[4:8]); v != wireVersion {
+		return 0, fmt.Errorf("wire version mismatch: peer speaks v%d, this build speaks v%d", v, wireVersion)
+	}
+	return tx.NodeID(int64(binary.BigEndian.Uint64(h[8:16]))), nil
+}
 
 // TCPTransport is a real-socket implementation of Transport for a single
 // node: it listens on its own address and lazily dials peers, framing
@@ -47,9 +83,16 @@ type TCPTransport struct {
 	dialBackoffCap time.Duration
 	sendTimeout    time.Duration
 
+	handshakeFails atomic.Int64
+
 	// dialSleepHook, when set (tests), observes each jittered retry wait
 	// just before it is slept.
 	dialSleepHook func(time.Duration)
+
+	// wrapConn, when set (tests), wraps every freshly dialed connection
+	// before the gob encoder is attached — fault-injection tests use it to
+	// split and tear writes at the byte level.
+	wrapConn func(net.Conn) net.Conn
 }
 
 type tcpConn struct {
@@ -69,6 +112,18 @@ func NewTCPTransport(self tx.NodeID, addrs map[tx.NodeID]string) (*TCPTransport,
 	if err != nil {
 		return nil, fmt.Errorf("network: listen %s: %w", addr, err)
 	}
+	return NewTCPTransportListener(self, addrs, ln), nil
+}
+
+// NewTCPTransportListener starts a transport for node self on an already
+// bound listener. The cluster harness binds every listener in the parent
+// process and passes them to child processes as inherited files, which
+// gives each process a race-free port and lets the parent know every
+// address before any child starts.
+func NewTCPTransportListener(self tx.NodeID, addrs map[tx.NodeID]string, ln net.Listener) *TCPTransport {
+	if addrs == nil {
+		addrs = make(map[tx.NodeID]string)
+	}
 	t := &TCPTransport{
 		self:           self,
 		addrs:          addrs,
@@ -83,7 +138,7 @@ func NewTCPTransport(self tx.NodeID, addrs map[tx.NodeID]string) (*TCPTransport,
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
-	return t, nil
+	return t
 }
 
 // Addr returns the address the transport is listening on (useful when the
@@ -113,6 +168,11 @@ func (t *TCPTransport) acceptLoop() {
 func (t *TCPTransport) readLoop(c net.Conn) {
 	defer t.wg.Done()
 	defer c.Close()
+	if err := t.handshakeAccept(c); err != nil {
+		t.handshakeFails.Add(1)
+		log.Printf("network: node %d rejected connection from %s: %v", t.self, c.RemoteAddr(), err)
+		return
+	}
 	dec := gob.NewDecoder(c)
 	for {
 		var m Message
@@ -126,6 +186,57 @@ func (t *TCPTransport) readLoop(c net.Conn) {
 		}
 	}
 }
+
+// handshakeAccept validates the dialer's header and replies with ours. It
+// runs before any gob traffic, so a peer from an incompatible build (or a
+// stray client that is not a transport at all) is turned away with a
+// logged error instead of corrupting the stream.
+func (t *TCPTransport) handshakeAccept(c net.Conn) error {
+	c.SetReadDeadline(time.Now().Add(defaultHandshakeTimeout))
+	var h [handshakeLen]byte
+	if _, err := io.ReadFull(c, h[:]); err != nil {
+		return fmt.Errorf("reading handshake: %w", err)
+	}
+	if _, err := checkHandshake(h); err != nil {
+		return err
+	}
+	c.SetReadDeadline(time.Time{})
+	reply := handshakeHeader(t.self)
+	c.SetWriteDeadline(time.Now().Add(defaultHandshakeTimeout))
+	if _, err := c.Write(reply[:]); err != nil {
+		return fmt.Errorf("writing handshake reply: %w", err)
+	}
+	c.SetWriteDeadline(time.Time{})
+	return nil
+}
+
+// handshakeDial sends our header and validates the acceptor's reply.
+// timeout bounds the exchange so a wedged peer cannot hold dial forever.
+func (t *TCPTransport) handshakeDial(c net.Conn, timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = defaultHandshakeTimeout
+	}
+	h := handshakeHeader(t.self)
+	c.SetWriteDeadline(time.Now().Add(timeout))
+	if _, err := c.Write(h[:]); err != nil {
+		return fmt.Errorf("writing handshake: %w", err)
+	}
+	c.SetWriteDeadline(time.Time{})
+	c.SetReadDeadline(time.Now().Add(timeout))
+	var reply [handshakeLen]byte
+	if _, err := io.ReadFull(c, reply[:]); err != nil {
+		return fmt.Errorf("reading handshake reply: %w", err)
+	}
+	c.SetReadDeadline(time.Time{})
+	if _, err := checkHandshake(reply); err != nil {
+		return err
+	}
+	return nil
+}
+
+// HandshakeFailures reports how many inbound connections were rejected for
+// a bad or missing handshake.
+func (t *TCPTransport) HandshakeFailures() int64 { return t.handshakeFails.Load() }
 
 // SetSendTimeout overrides the per-message write deadline (0 disables).
 func (t *TCPTransport) SetSendTimeout(d time.Duration) {
@@ -250,7 +361,19 @@ func (t *TCPTransport) dial(node tx.NodeID) (*tcpConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("network: dial node %d at %s after %d attempts: %w", node, addr, attempts, err)
 	}
-	conn := &tcpConn{c: raw, enc: gob.NewEncoder(raw)}
+	t.mu.Lock()
+	hsTimeout := t.sendTimeout
+	wrap := t.wrapConn
+	t.mu.Unlock()
+	if err := t.handshakeDial(raw, hsTimeout); err != nil {
+		raw.Close()
+		return nil, fmt.Errorf("network: handshake with node %d at %s: %w", node, addr, err)
+	}
+	wc := raw
+	if wrap != nil {
+		wc = wrap(raw)
+	}
+	conn := &tcpConn{c: wc, enc: gob.NewEncoder(wc)}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.closed {

@@ -76,6 +76,18 @@ func NewSessionFrontend(node, leader tx.NodeID, tr network.Transport, clk clock.
 // Submit forwards a client request to the leader. The returned error is
 // non-nil only if the transport is closed.
 func (f *Frontend) Submit(req *tx.Request) error {
+	return f.SubmitTracked(req, nil)
+}
+
+// SubmitTracked is Submit with a pre-transmission hook: on a session
+// front-end, pre (if non-nil) observes the assigned ClientSeq after the
+// request is stamped but before it is transmitted, still under the send
+// lock. Distributed engines use it to register a completion waiter keyed
+// by ClientSeq with no window in which a sequenced batch could arrive
+// first — and without stamping outside the send lock, which could let two
+// concurrent submissions reach the leader out of ClientSeq order and trip
+// its gapless per-client dedup.
+func (f *Frontend) SubmitTracked(req *tx.Request, pre func(clientSeq uint64)) error {
 	if !f.session {
 		return f.tr.Send(network.Message{
 			From: f.node, To: f.leader, Type: network.MsgSeqForward,
@@ -91,6 +103,9 @@ func (f *Frontend) Submit(req *tx.Request) error {
 	f.unacked = append(f.unacked, req)
 	leader := f.leader
 	f.mu.Unlock()
+	if pre != nil {
+		pre(req.ClientSeq)
+	}
 	if err := f.forward(req, leader); err != nil {
 		// Transport closed: the request will never be sequenced, so drop
 		// it from the queue and report.

@@ -1,0 +1,133 @@
+package tx
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"time"
+)
+
+// WireSafe marks procedures whose full behavior survives serialization:
+// every field that influences Execute is exported data, with no closures.
+// gob silently ignores func-typed struct fields, so a closure-bearing
+// procedure (OpProc with Mutate, FuncProc) would decode on a remote node
+// as a different transaction and the replicas would diverge. Distributed
+// deployments refuse to submit procedures that do not implement WireSafe.
+type WireSafe interface {
+	WireSafe()
+}
+
+// CounterProc is the wire-safe read-modify-write transaction used by
+// distributed workloads: read all declared keys, then overwrite each
+// written key with a payload whose leading 8-byte little-endian counter is
+// the previous value's counter plus one (the same invariant as
+// workload.IncrementProc, expressed without a closure).
+type CounterProc struct {
+	Reads  []Key
+	Writes []Key
+	// Payload is the size of the written value; values shorter than the
+	// 8-byte counter are padded up to it.
+	Payload int
+}
+
+// ReadSet implements Procedure.
+func (p *CounterProc) ReadSet() []Key { return p.Reads }
+
+// WriteSet implements Procedure.
+func (p *CounterProc) WriteSet() []Key { return p.Writes }
+
+// Execute implements Procedure.
+func (p *CounterProc) Execute(ctx ExecCtx) {
+	read := make(map[Key][]byte, len(p.Reads))
+	for _, k := range p.Reads {
+		read[k] = ctx.Read(k)
+	}
+	size := p.Payload
+	if size < 8 {
+		size = 8
+	}
+	for _, k := range p.Writes {
+		cur, ok := read[k]
+		if !ok {
+			cur = ctx.Read(k)
+		}
+		var c uint64
+		if len(cur) >= 8 {
+			c = binary.LittleEndian.Uint64(cur)
+		}
+		v := make([]byte, size)
+		binary.LittleEndian.PutUint64(v, c+1)
+		ctx.Write(k, v)
+	}
+}
+
+// WireSafe implements WireSafe.
+func (p *CounterProc) WireSafe() {}
+
+// WireSafe implements WireSafe: a migration is pure data.
+func (p *MigrationProc) WireSafe() {}
+
+// WireSafe implements WireSafe: a provisioning transaction is pure data.
+func (p *ProvisionProc) WireSafe() {}
+
+// requestWire is the on-the-wire shape of a Request: only the fields that
+// are meaningful across a process boundary. The key-set caches are
+// rebuilt on decode and the in-process origin pointer is dropped.
+type requestWire struct {
+	ID         TxnID
+	Proc       Procedure
+	SubmitTime time.Time
+	Client     NodeID
+	ClientSeq  uint64
+}
+
+// GobEncode implements gob.GobEncoder. Without it gob would refuse the
+// struct outright (unexported fields only confuse it when a struct has
+// both), and more importantly the decoded Request would carry nil key-set
+// caches; encoding explicitly keeps the wire format a deliberate contract.
+func (r *Request) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(requestWire{
+		ID:         r.ID,
+		Proc:       r.Proc,
+		SubmitTime: r.SubmitTime,
+		Client:     r.Client,
+		ClientSeq:  r.ClientSeq,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder, rebuilding the normalized read- and
+// write-set caches exactly as NewRequest does so routing on the receiving
+// node sees the same sets as routing on the sender.
+func (r *Request) GobDecode(b []byte) error {
+	var w requestWire
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
+		return err
+	}
+	*r = Request{
+		ID:         w.ID,
+		Proc:       w.Proc,
+		SubmitTime: w.SubmitTime,
+		Client:     w.Client,
+		ClientSeq:  w.ClientSeq,
+	}
+	if w.Proc != nil {
+		r.reads = NormalizeKeys(append([]Key(nil), w.Proc.ReadSet()...))
+		r.writes = NormalizeKeys(append([]Key(nil), w.Proc.WriteSet()...))
+	}
+	return nil
+}
+
+func init() {
+	// Register the wire-safe procedure implementations so they can travel
+	// inside Request.Proc. Closure-bearing procedures (OpProc, FuncProc)
+	// are deliberately not registered: encoding them fails loudly instead
+	// of silently dropping their behavior.
+	gob.Register(&CounterProc{})
+	gob.Register(&MigrationProc{})
+	gob.Register(&ProvisionProc{})
+}

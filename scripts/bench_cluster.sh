@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Multi-process cluster benchmark gate (docs/CLUSTER.md).
+#
+# Boots 3 real hermesd processes over loopback TCP via `hermes-bench
+# -cluster`, drives the deterministic YCSB stream through them, replays
+# the same stream on the in-process twin, and writes BENCH_cluster.json
+# at the repo root: QPS, avg/p95 latency, wire bytes per transaction,
+# per-process transport counters, and the gate verdict. The gate requires
+# every transaction committed AND the final node digests byte-identical
+# to the twin; the script exits non-zero when it fails.
+#
+# Usage:
+#   scripts/bench_cluster.sh                          # 3 workers, ycsb, hermes
+#   scripts/bench_cluster.sh -cluster-policy calvin   # extra hermes-bench flags
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=BENCH_cluster.json
+echo "==> go run ./cmd/hermes-bench -cluster -report $out $*"
+go run ./cmd/hermes-bench -cluster -report "$out" "$@"
+echo "==> wrote $out"

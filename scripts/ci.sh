@@ -51,6 +51,18 @@ go test -race -count=1 \
 echo "==> telemetry-equivalence gate (-race)"
 go test -race -count=1 -run 'TestTelemetryEquivalence' ./internal/chaos
 
+# Multi-process cluster e2e gate: boots real hermesd processes over
+# loopback TCP, SIGKILLs and restarts a worker mid-run, and requires the
+# final node digests byte-identical to the in-process twin for the same
+# seed (see docs/CLUSTER.md). The tests skip themselves under -short —
+# they spawn OS processes — so this step honors the quick pre-push mode.
+# Set CLUSTER_E2E_ARTIFACTS to a directory to keep process logs from a
+# failing run.
+echo "==> cluster e2e gate (multi-process, TCP)"
+go test -count=1 -timeout 10m ${short_flag} \
+    -run 'TestClusterE2E|TestClusterKillRestart|TestClusterSIGTERMDrains|TestNodeServer|TestRunTwin' \
+    . ./internal/harness
+
 # Smoke-run the routing benchmark (1 iteration) so it can't silently rot;
 # scripts/bench.sh runs the full gated comparison against the baseline.
 echo "==> go test -bench=BenchmarkPrescientRouting -benchtime=1x ./internal/core"
