@@ -1,0 +1,318 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"time"
+
+	"hermes"
+	"hermes/internal/engine"
+	"hermes/internal/partition"
+	"hermes/internal/sequencer"
+	"hermes/internal/tx"
+)
+
+// execBenchOpts parameterizes one -execbench run.
+type execBenchOpts struct {
+	nodes        int
+	rows         uint64
+	txns         int
+	batch        int
+	trials       int
+	hotFraction  float64
+	seed         int64
+	minSpeedup   float64
+	minReduction float64
+	out          string
+}
+
+// execModeStats is one mode's measured half of the lock-vs-queue twin.
+type execModeStats struct {
+	Mode        string  `json:"mode"`
+	Committed   int64   `json:"committed"`
+	ElapsedS    float64 `json:"elapsed_s"`
+	QPS         float64 `json:"qps"`
+	P95Ms       float64 `json:"p95_ms"`
+	LockWaitMs  float64 `json:"lock_wait_ms"`
+	QueuePlanMs float64 `json:"queue_plan_ms"`
+	QueueWaitMs float64 `json:"queue_wait_ms"`
+	SchedMs     float64 `json:"scheduling_ms"`
+}
+
+// execBenchGate is the pass/fail verdict: the twin digests must match and
+// the speedup/lock-wait thresholds must hold.
+type execBenchGate struct {
+	Pass   bool   `json:"pass"`
+	Reason string `json:"reason,omitempty"`
+	// Speedup is queue commit QPS over lock commit QPS.
+	Speedup float64 `json:"speedup"`
+	// LockWaitReduction is lock-mode LockWait over queue-mode LockWait;
+	// null when queue-mode LockWait is exactly zero (no lock manager
+	// exists in queue mode, so the reduction is unbounded).
+	LockWaitReduction *float64 `json:"lock_wait_reduction"`
+	TwinMatch         bool     `json:"twin_match"`
+}
+
+// execBenchReport is the BENCH_exec.json shape.
+type execBenchReport struct {
+	Nodes        int           `json:"nodes"`
+	Rows         uint64        `json:"rows"`
+	Txns         int           `json:"txns"`
+	BatchSize    int           `json:"batch_size"`
+	Trials       int           `json:"trials"`
+	HotFraction  float64       `json:"hot_fraction"`
+	Policy       string        `json:"policy"`
+	Seed         int64         `json:"seed"`
+	MinSpeedup   float64       `json:"min_speedup"`
+	MinReduction float64       `json:"min_lock_wait_reduction"`
+	Lock         execModeStats `json:"lock"`
+	Queue        execModeStats `json:"queue"`
+	Gate         execBenchGate `json:"gate"`
+	Written      time.Time     `json:"written"`
+}
+
+// hotPerNode is how many hot rows each node's range contributes: several
+// independent serial dependency chains per node, so the conservative lock
+// manager's per-node admission mutex and per-grant goroutine wakeups are
+// contended the way a real hotspot contends them, while queue mode drains
+// each chain inline on its bucket worker with no shared state.
+const hotPerNode = 8
+
+// execBenchTrace builds the deterministic high-contention hotspot trace:
+// hotFraction of the transactions are single-key increments on one of the
+// nodes*hotPerNode hot rows, the rest are cross-node two-key increments.
+// The identical trace drives both modes, so the digests must match.
+func execBenchTrace(o execBenchOpts) []tx.Procedure {
+	rng := rand.New(rand.NewSource(o.seed))
+	span := o.rows / uint64(o.nodes)
+	hot := make([]tx.Key, 0, o.nodes*hotPerNode)
+	for i := 0; i < o.nodes; i++ {
+		for j := 0; j < hotPerNode; j++ {
+			hot = append(hot, tx.MakeKey(0, uint64(i)*span+uint64(j)*(span/hotPerNode)))
+		}
+	}
+	procs := make([]tx.Procedure, o.txns)
+	for i := range procs {
+		if rng.Float64() < o.hotFraction {
+			k := hot[rng.Intn(len(hot))]
+			procs[i] = &tx.CounterProc{Reads: []tx.Key{k}, Writes: []tx.Key{k}, Payload: 8}
+			continue
+		}
+		n1 := rng.Intn(o.nodes)
+		n2 := (n1 + 1 + rng.Intn(o.nodes-1)) % o.nodes
+		k1 := tx.MakeKey(0, uint64(n1)*span+1+uint64(rng.Int63n(int64(span-1))))
+		k2 := tx.MakeKey(0, uint64(n2)*span+1+uint64(rng.Int63n(int64(span-1))))
+		procs[i] = &tx.CounterProc{Reads: []tx.Key{k1, k2}, Writes: []tx.Key{k1, k2}, Payload: 8}
+	}
+	return procs
+}
+
+// medianByQPS returns the trial with median commit throughput (the lower
+// middle for an even count).
+func medianByQPS(trials []execModeStats) execModeStats {
+	s := append([]execModeStats(nil), trials...)
+	sort.Slice(s, func(i, j int) bool { return s[i].QPS < s[j].QPS })
+	return s[(len(s)-1)/2]
+}
+
+func digestsEqual(a, b []engine.NodeDigest) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// runExecMode executes the trace on a fresh single-process cluster in the
+// given mode and returns its stats and node digests.
+func runExecMode(o execBenchOpts, mode string, procs []tx.Procedure) (execModeStats, []engine.NodeDigest, error) {
+	st := execModeStats{Mode: mode}
+	workers := make([]tx.NodeID, o.nodes)
+	for i := range workers {
+		workers[i] = tx.NodeID(i)
+	}
+	pf, err := hermes.PolicyFactoryFor(hermes.PolicyHermes,
+		partition.NewUniformRange(0, o.rows, o.nodes), 0, int(o.rows/40))
+	if err != nil {
+		return st, nil, err
+	}
+	db, err := engine.New(engine.Config{
+		Nodes:  workers,
+		Policy: pf,
+		// Size-only sealing: txns is a batch multiple, so the batch stream
+		// is a function of the trace alone and identical across modes.
+		Seq:      sequencer.Config{BatchSize: o.batch, Interval: time.Hour},
+		ExecMode: mode,
+	})
+	if err != nil {
+		return st, nil, err
+	}
+	defer db.Stop()
+	for r := uint64(0); r < o.rows; r++ {
+		db.LoadRecord(tx.MakeKey(0, r), make([]byte, 8))
+	}
+
+	// HERMES_EXECBENCH_CPUPROFILE=<prefix> writes <prefix>-lock.pb.gz and
+	// <prefix>-queue.pb.gz CPU profiles, one per mode, for comparing where
+	// the two execution paths actually spend their cycles.
+	if prefix := os.Getenv("HERMES_EXECBENCH_CPUPROFILE"); prefix != "" {
+		f, _ := os.Create(prefix + "-" + mode + ".pb.gz")
+		pprof.StartCPUProfile(f)
+		defer func() { pprof.StopCPUProfile(); f.Close() }()
+	}
+	start := time.Now()
+	dones := make([]<-chan struct{}, len(procs))
+	for i, p := range procs {
+		done, err := db.Submit(workers[0], p)
+		if err != nil {
+			return st, nil, fmt.Errorf("submit %d: %w", i, err)
+		}
+		dones[i] = done
+	}
+	for _, done := range dones {
+		<-done
+	}
+	elapsed := time.Since(start)
+	if err := db.DrainDetail(time.Minute); err != nil {
+		return st, nil, fmt.Errorf("drain: %w", err)
+	}
+
+	col := db.Collector()
+	bd := col.AvgBreakdown()
+	st.Committed = col.Committed()
+	st.ElapsedS = elapsed.Seconds()
+	st.QPS = float64(st.Committed) / elapsed.Seconds()
+	st.P95Ms = ms(col.LatencyQuantile(0.95))
+	st.LockWaitMs = ms(bd.LockWait)
+	st.QueuePlanMs = ms(bd.QueuePlan)
+	st.QueueWaitMs = ms(bd.QueueWait)
+	st.SchedMs = ms(bd.Scheduling)
+	return st, db.NodeDigests(), nil
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// runExecBench drives the identical hotspot trace through a lock-mode and
+// a queue-mode cluster, requires byte-identical node digests, and gates on
+// commit-throughput speedup and Fig. 7 lock-wait reduction. Returns false
+// on a gate failure.
+func runExecBench(o execBenchOpts) bool {
+	if o.txns%o.batch != 0 {
+		o.txns += o.batch - o.txns%o.batch
+	}
+	if o.trials < 1 {
+		o.trials = 1
+	}
+	rep := &execBenchReport{
+		Nodes: o.nodes, Rows: o.rows, Txns: o.txns, BatchSize: o.batch,
+		Trials: o.trials, HotFraction: o.hotFraction, Policy: "hermes",
+		Seed: o.seed, MinSpeedup: o.minSpeedup, MinReduction: o.minReduction,
+	}
+	fail := func(format string, args ...any) bool {
+		rep.Gate.Pass = false
+		rep.Gate.Reason = fmt.Sprintf(format, args...)
+		fmt.Fprintln(os.Stderr, "execbench:", rep.Gate.Reason)
+		writeExecBenchReport(o.out, rep)
+		return false
+	}
+
+	procs := execBenchTrace(o)
+	// Median-of-N per mode, with the modes interleaved pairwise: on a
+	// loaded or single-core host a single wall-clock trial swings far more
+	// than the effect under test, and drift (heap growth, background load)
+	// would otherwise bias whichever mode runs last. The median — not the
+	// best — trial is reported, because the two modes have very different
+	// variance: best-of-N converges on the lucky tail of the noisier mode
+	// and misstates the typical ratio. Every trial's digests must still
+	// agree — across trials and across modes.
+	var lockTrials, queueTrials []execModeStats
+	var lockDigests, queueDigests []engine.NodeDigest
+	for t := 0; t < o.trials; t++ {
+		l, ld, err := runExecMode(o, engine.ExecModeLock, procs)
+		if err != nil {
+			return fail("lock mode trial %d: %v", t, err)
+		}
+		runtime.GC()
+		q, qd, err := runExecMode(o, engine.ExecModeQueue, procs)
+		if err != nil {
+			return fail("queue mode trial %d: %v", t, err)
+		}
+		runtime.GC()
+		if t == 0 {
+			lockDigests, queueDigests = ld, qd
+		} else if !digestsEqual(ld, lockDigests) || !digestsEqual(qd, queueDigests) {
+			return fail("trial %d digests diverge from trial 0", t)
+		}
+		lockTrials = append(lockTrials, l)
+		queueTrials = append(queueTrials, q)
+	}
+	lock := medianByQPS(lockTrials)
+	queue := medianByQPS(queueTrials)
+	rep.Lock = lock
+	rep.Queue = queue
+	for _, st := range []execModeStats{lock, queue} {
+		fmt.Printf("execbench: %-5s %6d txns in %5.2fs — %8.0f txn/s, p95 %6.2fms, lock-wait %6.3fms, queue plan+wait %.3f+%.3fms\n",
+			st.Mode, st.Committed, st.ElapsedS, st.QPS, st.P95Ms, st.LockWaitMs, st.QueuePlanMs, st.QueueWaitMs)
+	}
+
+	rep.Gate.TwinMatch = len(lockDigests) == len(queueDigests)
+	for i := range lockDigests {
+		if !rep.Gate.TwinMatch || lockDigests[i] != queueDigests[i] {
+			rep.Gate.TwinMatch = false
+			break
+		}
+	}
+	if lock.QPS > 0 {
+		rep.Gate.Speedup = queue.QPS / lock.QPS
+	}
+	if queue.LockWaitMs > 0 {
+		r := lock.LockWaitMs / queue.LockWaitMs
+		rep.Gate.LockWaitReduction = &r
+	}
+	switch {
+	case !rep.Gate.TwinMatch:
+		return fail("queue digests diverge from lock mode: %v vs %v", queueDigests, lockDigests)
+	case lock.Committed != int64(o.txns) || queue.Committed != int64(o.txns):
+		return fail("committed lock=%d queue=%d of %d transactions", lock.Committed, queue.Committed, o.txns)
+	case rep.Gate.Speedup < o.minSpeedup:
+		return fail("queue/lock commit speedup %.2fx below the %.2fx gate", rep.Gate.Speedup, o.minSpeedup)
+	case rep.Gate.LockWaitReduction != nil && *rep.Gate.LockWaitReduction < o.minReduction:
+		return fail("lock-wait reduction %.1fx below the %.1fx gate", *rep.Gate.LockWaitReduction, o.minReduction)
+	}
+	rep.Gate.Pass = true
+	writeExecBenchReport(o.out, rep)
+	if rep.Gate.LockWaitReduction == nil {
+		fmt.Printf("execbench: GATE PASS — %.2fx commit speedup, lock wait %.3fms -> 0 (no lock manager), digests identical\n",
+			rep.Gate.Speedup, lock.LockWaitMs)
+	} else {
+		fmt.Printf("execbench: GATE PASS — %.2fx commit speedup, %.1fx lock-wait reduction, digests identical\n",
+			rep.Gate.Speedup, *rep.Gate.LockWaitReduction)
+	}
+	return true
+}
+
+func writeExecBenchReport(path string, rep *execBenchReport) {
+	if path == "" {
+		return
+	}
+	rep.Written = time.Now()
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "execbench report:", err)
+		return
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "execbench report:", err)
+		return
+	}
+	fmt.Printf("execbench report -> %s\n", path)
+}

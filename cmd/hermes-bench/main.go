@@ -38,6 +38,7 @@ func main() {
 		clients = flag.Int("clients", 0, "override closed-loop client count")
 		phase   = flag.Duration("phase", 0, "override measured duration per system run")
 		seed    = flag.Int64("seed", 0, "override random seed")
+		exec    = flag.String("exec", "", "execution backend for experiments: lock, queue, or both (fig7 prints modes side by side)")
 		report  = flag.String("report", "", "write a JSON run report (per-window series, breakdowns, telemetry gauges) to this file")
 
 		cluster  = flag.Bool("cluster", false, "run the multi-process cluster bench (real hermesd processes over TCP) instead of an experiment")
@@ -46,8 +47,36 @@ func main() {
 		cPolicy  = flag.String("cluster-policy", "hermes", "cluster bench: routing policy")
 		cLoad    = flag.String("cluster-workload", "ycsb", "cluster bench: workload kind (ycsb|hotspot)")
 		cWorkers = flag.Int("cluster-workers", 3, "cluster bench: worker processes")
+
+		execBench = flag.Bool("execbench", false, "run the lock-vs-queue hotspot twin bench instead of an experiment")
+		ebTxns    = flag.Int("execbench-txns", 65536, "execbench: transactions (rounded up to a batch multiple)")
+		ebTrials  = flag.Int("execbench-trials", 5, "execbench: trials per mode (the median-throughput trial is reported)")
+		ebHot     = flag.Float64("execbench-hot", 0.98, "execbench: fraction of single-hot-key transactions")
+		ebSpeedup = flag.Float64("execbench-min-speedup", 1.5, "execbench: minimum queue/lock commit-throughput ratio")
+		ebReduce  = flag.Float64("execbench-min-reduction", 5, "execbench: minimum lock-wait reduction (lock/queue)")
 	)
 	flag.Parse()
+
+	if *execBench {
+		o := execBenchOpts{
+			nodes: 4, rows: 4096, txns: *ebTxns, batch: 256,
+			trials: *ebTrials, hotFraction: *ebHot, seed: 7,
+			minSpeedup: *ebSpeedup, minReduction: *ebReduce, out: *report,
+		}
+		if *nodes > 0 {
+			o.nodes = *nodes
+		}
+		if *rows > 0 {
+			o.rows = *rows
+		}
+		if *seed != 0 {
+			o.seed = *seed
+		}
+		if !runExecBench(o) {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *cluster {
 		o := clusterOpts{
@@ -92,6 +121,16 @@ func main() {
 	}
 	if *seed != 0 {
 		sc.Seed = *seed
+	}
+	switch *exec {
+	case "":
+	case "both":
+		sc.ExecModes = []string{"lock", "queue"}
+	case "lock", "queue":
+		sc.ExecMode = *exec
+	default:
+		fmt.Fprintf(os.Stderr, "bad -exec %q (want lock, queue, or both)\n", *exec)
+		os.Exit(2)
 	}
 
 	names := []string{*exp}

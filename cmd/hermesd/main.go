@@ -45,6 +45,7 @@ func main() {
 		standby = flag.Int("standby", 2, "standby nodes for scale-out")
 		rows    = flag.Uint64("rows", 10000, "table size")
 		policy  = flag.String("policy", "hermes", "routing policy (hermes|calvin|g-store|leap|t-part)")
+		exec    = flag.String("exec", "", "execution backend: lock (conservative lock manager, default) or queue (per-key operation queues)")
 		reli    = flag.Bool("reliable", false, "enable the reliable-delivery layer (acks, retransmission, dedup)")
 		seqStby = flag.Int("seq-standbys", 0, "standby sequencer replicas (enables killleader; implies -reliable)")
 		addr    = flag.String("http", "", "serve /metrics, /trace and /debug/pprof on this address (implies telemetry)")
@@ -65,7 +66,7 @@ func main() {
 		runNode(nodeFlags{
 			node: *node, workers: *workers, peers: *peers, policy: *policy,
 			rows: *rows, fusionCap: *fusionCap, alpha: *alpha, batch: *batch,
-			dir: *dir, seqHost: *seqHost, recover: *recov,
+			dir: *dir, seqHost: *seqHost, recover: *recov, exec: *exec,
 		})
 		return
 	}
@@ -78,6 +79,7 @@ func main() {
 		Reliable:     *reli || *seqStby > 0,
 		SeqStandbys:  *seqStby,
 		Telemetry:    *addr != "",
+		ExecMode:     *exec,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -26,6 +26,7 @@ type nodeFlags struct {
 	dir       string
 	seqHost   bool
 	recover   bool
+	exec      string
 }
 
 // runNode is hermesd's cluster-process mode: spawned by the harness
@@ -65,6 +66,7 @@ func runNode(nf nodeFlags) {
 		FusionCap: nf.fusionCap,
 		Alpha:     nf.alpha,
 		BatchSize: nf.batch,
+		ExecMode:  nf.exec,
 		Dir:       nf.dir,
 		Recover:   nf.recover,
 	})

@@ -139,6 +139,12 @@ type Options struct {
 	// node's saturation throughput.
 	Executors int
 	ExecCost  time.Duration
+	// ExecMode selects the admission engine: "lock" (default, the
+	// conservative ordered lock manager) or "queue" (queue-oriented
+	// zero-lock execution — per-key operation queues planned at schedule
+	// time and drained by bucket-owner workers; see docs/PERF.md). Final
+	// state is byte-identical across modes for the same input.
+	ExecMode string
 	// StatsWindow is the throughput window (default 1s).
 	StatsWindow time.Duration
 	// Reliable interposes the reliable-delivery layer (sequencing, acks,
@@ -218,6 +224,7 @@ func Open(opts Options) (*DB, error) {
 		StorageDelay: opts.StorageDelay,
 		Executors:    opts.Executors,
 		ExecCost:     opts.ExecCost,
+		ExecMode:     opts.ExecMode,
 		Window:       opts.StatsWindow,
 		Reliable:     opts.Reliable,
 		Telemetry:    tel,

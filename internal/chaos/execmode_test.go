@@ -1,0 +1,110 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExecModeEquivalenceAllPolicies is the queue-execution acceptance
+// property (the named exec-equivalence CI gate): for every routing policy,
+// the queue-oriented executor must quiesce to node digests byte-identical
+// to the conservative lock manager — under a fault-free baseline, under a
+// jittery in-contract schedule, and under the lossy + mid-run-crash
+// schedule. It must NOT be skipped under -short (the gate pins it by
+// name); -short trims the policy set instead.
+func TestExecModeEquivalenceAllPolicies(t *testing.T) {
+	policies := Policies()
+	if testing.Short() {
+		policies = []string{"hermes", "calvin"}
+	}
+	base := Schedules(7270)
+	lossy := LossySchedules(7270)
+	// baseline + mixed (jitter/spikes/partitions) + drops + lossy-crash.
+	scheds := []Schedule{base[0], base[4], lossy[0], lossy[2]}
+	for _, pol := range policies {
+		pol := pol
+		t.Run(pol, func(t *testing.T) {
+			t.Parallel()
+			spec := Spec{Policy: pol, Workload: WorkloadYCSB, Nodes: 3, Txns: 64, Batch: 8, Seed: 606}
+			results, err := ExecModeEquivalence(spec, scheds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := 2 * len(scheds); len(results) != want {
+				t.Fatalf("got %d results, want %d", len(results), want)
+			}
+			// Both halves must have executed the crash cycle and recovered
+			// real message loss, or the queue mode was never exercised
+			// under faults.
+			for half, offset := range map[string]int{"lock": 0, "queue": len(scheds)} {
+				var sawDrop, sawCrash bool
+				for _, r := range results[offset : offset+len(scheds)] {
+					if r.Dropped > 0 && r.Retransmits > 0 {
+						sawDrop = true
+					}
+					if r.Crashes > 0 {
+						sawCrash = true
+					}
+				}
+				if !sawDrop || !sawCrash {
+					t.Errorf("%s-mode runs under-exercised: drop=%v crash=%v", half, sawDrop, sawCrash)
+				}
+			}
+		})
+	}
+}
+
+// TestExecModeEquivalenceLeaderKill extends the cross-mode check to
+// sequencer-leader death: a failover mid-run must not open any daylight
+// between the two execution modes.
+func TestExecModeEquivalenceLeaderKill(t *testing.T) {
+	scheds := append([]Schedule{{Name: "baseline", Seed: 8280}}, LeaderKillSchedules(8280)...)
+	for _, pol := range []string{"hermes", "calvin"} {
+		pol := pol
+		t.Run(pol, func(t *testing.T) {
+			t.Parallel()
+			spec := Spec{
+				Policy: pol, Workload: WorkloadYCSB,
+				Nodes: 3, Txns: 64, Batch: 8, Seed: 707,
+				SeqStandbys: 2,
+			}
+			results, err := ExecModeEquivalence(spec, scheds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var failovers int64
+			for _, r := range results {
+				failovers += r.Failovers
+			}
+			if failovers == 0 {
+				t.Error("no failovers executed; the leader-kill schedules did not fire")
+			}
+		})
+	}
+}
+
+// TestExecModeEquivalenceInserts covers the inserting workload (TPC-C
+// New-Order grows the database) so queue mode is proven on key sets that
+// did not exist at load time.
+func TestExecModeEquivalenceInserts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix only")
+	}
+	scheds := Schedules(9290)[:2] // baseline + jitter
+	spec := Spec{Policy: "hermes", Workload: WorkloadTPCC, Nodes: 2, Txns: 48, Batch: 8, Seed: 17}
+	if _, err := ExecModeEquivalence(spec, scheds); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpecStringIncludesExecMode pins the reproduction line: a divergence
+// report must say which execution mode the failing run used.
+func TestSpecStringIncludesExecMode(t *testing.T) {
+	s := Spec{Policy: "hermes", ExecMode: "queue"}
+	if got := s.String(); !strings.Contains(got, "exec=queue") {
+		t.Fatalf("Spec.String() = %q, want exec=queue tag", got)
+	}
+	if got := (Spec{Policy: "hermes"}).String(); strings.Contains(got, "exec=") {
+		t.Fatalf("Spec.String() = %q, unexpected exec tag for default mode", got)
+	}
+}

@@ -72,6 +72,11 @@ type Spec struct {
 	// it off — TelemetryEquivalence asserts exactly that.
 	Telemetry bool
 
+	// ExecMode selects the admission engine ("lock" or "queue"; empty is
+	// lock). Final state must not depend on it — ExecModeEquivalence
+	// asserts byte-identical digests across modes for every schedule.
+	ExecMode string
+
 	// MutateProcs, if non-nil, transforms the generated trace before
 	// submission. Negative tests inject input-order nondeterminism here
 	// to prove the checker catches it.
@@ -87,8 +92,12 @@ func (s Spec) String() string {
 	if s.Telemetry {
 		tel = " telemetry=on"
 	}
-	return fmt.Sprintf("%s/%s n=%d txns=%d batch=%d seed=%d%s",
-		s.Policy, s.Workload, s.Nodes, s.Txns, s.Batch, s.Seed, tel)
+	mode := ""
+	if s.ExecMode != "" {
+		mode = " exec=" + s.ExecMode
+	}
+	return fmt.Sprintf("%s/%s n=%d txns=%d batch=%d seed=%d%s%s",
+		s.Policy, s.Workload, s.Nodes, s.Txns, s.Batch, s.Seed, tel, mode)
 }
 
 // Result is the externally comparable outcome of one run.
@@ -288,6 +297,7 @@ func Run(spec Spec, sched Schedule) (*Result, error) {
 		Nodes:     ids,
 		Policy:    pf,
 		Telemetry: tel,
+		ExecMode:  spec.ExecMode,
 		// Interval far beyond any run: batches seal on size only.
 		Seq: seqCfg,
 		WrapTransport: func(inner network.Transport) network.Transport {
@@ -532,6 +542,39 @@ func TelemetryEquivalence(spec Spec, sched Schedule) ([]*Result, error) {
 	}
 	if resOn.MetricSamples == 0 {
 		return results, fmt.Errorf("chaos: %v under %v: telemetry run registered no metrics", on, sched)
+	}
+	return results, nil
+}
+
+// ExecModeEquivalence runs spec under every schedule in both execution
+// modes — conservative locking and queue-oriented — and checks that all
+// 2×len(scheds) runs quiesced to byte-identical state. The first run
+// (lock mode, first schedule) is the reference; a divergence anywhere
+// means the queue executor is not a faithful drop-in for the lock
+// manager under that fault pattern.
+func ExecModeEquivalence(spec Spec, scheds []Schedule) ([]*Result, error) {
+	if len(scheds) == 0 {
+		return nil, fmt.Errorf("chaos: no schedules")
+	}
+	results := make([]*Result, 0, 2*len(scheds))
+	var ref *Result
+	for _, mode := range []string{engine.ExecModeLock, engine.ExecModeQueue} {
+		ms := spec
+		ms.ExecMode = mode
+		for _, sched := range scheds {
+			res, err := Run(ms, sched)
+			if err != nil {
+				return results, err
+			}
+			results = append(results, res)
+			if ref == nil {
+				ref = res
+				continue
+			}
+			if err := equivalent(ref, res); err != nil {
+				return results, err
+			}
+		}
 	}
 	return results, nil
 }

@@ -79,6 +79,12 @@ type Config struct {
 	// makes hot-node overload visible in the emulation. Zero for unit
 	// tests.
 	ExecCost time.Duration
+	// ExecMode selects the admission engine: ExecModeLock (default, the
+	// conservative ordered lock manager) or ExecModeQueue (queue-oriented
+	// zero-lock execution, internal/qexec). Both produce byte-identical
+	// final state for the same input stream; queue mode trades the lock
+	// table for planning-time per-key queues (see docs/PERF.md).
+	ExecMode string
 	// Window is the metrics throughput window (default 1s).
 	Window time.Duration
 	// CommitHook, if non-nil, is invoked once per committed user
@@ -97,6 +103,16 @@ type Config struct {
 // LeaderNode is the transport address of the dedicated total-order leader
 // machine (the paper dedicates one machine to the Zab leader).
 const LeaderNode tx.NodeID = -64
+
+// Execution modes (Config.ExecMode).
+const (
+	// ExecModeLock is the conservative ordered lock manager (default).
+	ExecModeLock = "lock"
+	// ExecModeQueue is queue-oriented zero-lock execution: per-key
+	// operation queues planned at schedule time, drained by bucket-owner
+	// workers (internal/qexec).
+	ExecModeQueue = "queue"
+)
 
 // Cluster is a running emulated cluster.
 type Cluster struct {
@@ -158,7 +174,7 @@ type Cluster struct {
 	// higher id arrived early and must be stashed in earlyDone.
 	lastAssigned tx.TxnID
 	active       []tx.NodeID
-	stopped    bool
+	stopped      bool
 	// crashed maps a down node to when it was killed (Reliable mode only).
 	crashed map[tx.NodeID]time.Time
 	// seqCrashed is the killed sequencer replica while a leader crash is
@@ -198,6 +214,12 @@ func build(cfg Config) (*Cluster, error) {
 	if cfg.Window <= 0 {
 		cfg.Window = time.Second
 	}
+	switch cfg.ExecMode {
+	case "", ExecModeLock, ExecModeQueue:
+	default:
+		return nil, fmt.Errorf("engine: unknown ExecMode %q (want %q or %q)",
+			cfg.ExecMode, ExecModeLock, ExecModeQueue)
+	}
 	all := append(append([]tx.NodeID(nil), cfg.Nodes...), sequencer.GroupNodes(LeaderNode, cfg.Seq.Standbys)...)
 	base := network.NewChanTransport(all, cfg.Latency)
 	var tr network.Transport = base
@@ -210,19 +232,19 @@ func build(cfg Config) (*Cluster, error) {
 		tr = rel
 	}
 	c := &Cluster{
-		cfg:       cfg,
-		tr:        tr,
-		base:      base,
-		rel:       rel,
-		nodes:     make(map[tx.NodeID]*Node, len(cfg.Nodes)),
-		order:     append([]tx.NodeID(nil), cfg.Nodes...),
-		pending:   make(map[tx.TxnID]chan struct{}),
-		waiters:   make(map[*tx.Request]chan struct{}),
-		active:    append([]tx.NodeID(nil), cfg.Active...),
-		crashed:   make(map[tx.NodeID]time.Time),
+		cfg:        cfg,
+		tr:         tr,
+		base:       base,
+		rel:        rel,
+		nodes:      make(map[tx.NodeID]*Node, len(cfg.Nodes)),
+		order:      append([]tx.NodeID(nil), cfg.Nodes...),
+		pending:    make(map[tx.TxnID]chan struct{}),
+		waiters:    make(map[*tx.Request]chan struct{}),
+		active:     append([]tx.NodeID(nil), cfg.Active...),
+		crashed:    make(map[tx.NodeID]time.Time),
 		seqCrashed: tx.NoNode,
-		accounted: make(map[tx.TxnID]struct{}),
-		start:     time.Now(),
+		accounted:  make(map[tx.TxnID]struct{}),
+		start:      time.Now(),
 	}
 	c.netStats = base.Stats()
 	c.collector = metrics.NewCollector(c.start, cfg.Window)
@@ -286,6 +308,10 @@ func (c *Cluster) registerGauges() {
 		func() float64 { return float64(col.Routing().Batches) })
 	reg.Gauge("hermes_routing_us_per_batch", "mean prescient-routing cost per batch (microseconds)",
 		func() float64 { return float64(col.Routing().PerBatch) / 1e3 })
+	if c.cfg.ExecMode == ExecModeQueue {
+		reg.Gauge("hermes_queue_plan_us_per_batch", "mean queue-planning cost per batch (microseconds)",
+			func() float64 { return float64(col.QueuePlan().PerBatch) / 1e3 })
+	}
 
 	if c.seq != nil {
 		reg.Gauge("hermes_seq_batches_total", "batches sealed by the total-order leader",
@@ -338,6 +364,41 @@ func (c *Cluster) registerGauges() {
 			})
 		reg.Gauge("hermes_node_busy_seconds_total"+label, "cumulative executor busy time",
 			func() float64 { return col.BusyTotal(int(id)).Seconds() })
+		// Admission depth, comparable across execution modes: keys with a
+		// non-empty lock queue in lock mode, keys with a non-empty
+		// operation queue in queue mode.
+		reg.Gauge("hermes_lock_queued_keys"+label, "keys with a non-empty admission queue (lock or operation queue)",
+			func() float64 {
+				if n := c.node(id); n != nil {
+					return float64(n.locks.QueuedKeys())
+				}
+				return 0
+			})
+		if c.cfg.ExecMode == ExecModeQueue {
+			reg.Gauge("hermes_exec_queue_depth"+label, "keys with a non-empty per-key operation queue",
+				func() float64 {
+					if n := c.node(id); n != nil && n.qx != nil {
+						return float64(n.qx.QueuedKeys())
+					}
+					return 0
+				})
+			// Per-worker drain counters need the worker count, which is
+			// fixed for the cluster's lifetime; read it from the initial
+			// node instance (RestartNode rebuilds with the same config).
+			if n0 := c.node(id); n0 != nil && n0.qx != nil {
+				for w := 0; w < n0.qx.Workers(); w++ {
+					w := w
+					wlabel := fmt.Sprintf(`{node="%d",worker="%d"}`, id, w)
+					reg.Gauge("hermes_exec_worker_drained_total"+wlabel, "transactions whose rendezvous this bucket worker completed",
+						func() float64 {
+							if n := c.node(id); n != nil && n.qx != nil && w < n.qx.Workers() {
+								return float64(n.qx.Drained(w))
+							}
+							return 0
+						})
+				}
+			}
+		}
 		fusionStat := func(pick func(fusionStats) int64) func() float64 {
 			return func() float64 {
 				if n := c.node(id); n != nil {

@@ -12,23 +12,33 @@ import (
 	"hermes/internal/tx"
 )
 
-// run executes this node's role for one routed transaction. It is spawned
-// per role; deadlock freedom comes from the conservative ordered locking
-// (locks were acquired in total order by the scheduler) plus the fact
-// that record waits only ever point "toward" nodes that will push
-// unconditionally once their own locks are granted.
-func (n *Node) run(rt *router.Route, role *role, grant *lock.Grant, arrival time.Time) {
+// run executes this node's role for one routed transaction. In lock mode
+// it is spawned per role and blocks on its grant; deadlock freedom comes
+// from the conservative ordered locking (locks were acquired in total
+// order by the scheduler) plus the fact that record waits only ever point
+// "toward" nodes that will push unconditionally once their own locks are
+// granted. In queue mode it is either invoked inline by the bucket worker
+// that completed the rendezvous (grant == nil — admission is already
+// complete) or spawned with a grant to wait on; admitted and planShare
+// carry the batch-admission timestamp and this transaction's share of the
+// queue-planning cost so the latency breakdown stays honest across modes.
+func (n *Node) run(rt *router.Route, role *role, grant lock.Granted, arrival time.Time, admitted time.Time, planShare time.Duration) {
 	// The in-flight gauge spans one transaction's whole execution window
 	// (lock wait included), counted once at the committing node.
 	if len(rt.Migrations) > 0 && rt.Mode != router.Provision && n.isCommitter(rt) {
 		n.cluster.collector.AddMigrationsInFlight(1)
 		defer n.cluster.collector.AddMigrationsInFlight(-1)
 	}
-	dispatch := time.Now()
-	select {
-	case <-grant.Done():
-	case <-n.quit:
-		return
+	dispatch := admitted
+	if dispatch.IsZero() {
+		dispatch = time.Now()
+	}
+	if grant != nil {
+		select {
+		case <-grant.Done():
+		case <-n.quit:
+			return
+		}
 	}
 	granted := time.Now()
 	n.cluster.tracer.Emit(n.id, rt.Txn.ID, telemetry.PhaseLocked, int64(granted.Sub(dispatch)))
@@ -156,11 +166,24 @@ func (n *Node) run(rt *router.Route, role *role, grant *lock.Grant, arrival time
 			}
 			bd := metrics.Breakdown{
 				Scheduling: dispatch.Sub(arrival),
-				LockWait:   granted.Sub(dispatch),
 				RemoteWait: remoteReady.Sub(granted),
 				Storage:    storageTime,
 			}
-			if rest := total - bd.Scheduling - bd.LockWait - bd.RemoteWait - bd.Storage; rest > 0 {
+			if n.qx != nil {
+				// Queue mode has no lock manager: LockWait is genuinely
+				// zero. Queue residence (admission -> rendezvous) and the
+				// per-transaction share of batch planning are reported as
+				// their own components, not hidden in Scheduling.
+				bd.QueueWait = granted.Sub(dispatch)
+				bd.QueuePlan = planShare
+				bd.Scheduling -= planShare
+				if bd.Scheduling < 0 {
+					bd.Scheduling = 0
+				}
+			} else {
+				bd.LockWait = granted.Sub(dispatch)
+			}
+			if rest := total - bd.Total(); rest > 0 {
 				bd.Other = rest
 			}
 			n.cluster.collector.RecordCommit(done, bd)
@@ -194,21 +217,29 @@ func (n *Node) runMaster(rt *router.Route, role *role, remote map[tx.Key][]byte)
 	access := req.AccessSet()
 	writes := req.WriteSet()
 
-	inbound := map[tx.Key]bool{} // keys migrating INTO this master
-	for _, m := range rt.Migrations {
-		if m.To == n.id && m.From != n.id {
-			inbound[m.Key] = true
+	// Reads of a nil map are legal and return false, so the single-node
+	// common case (no migrations, no write-backs) allocates neither.
+	var inbound map[tx.Key]bool // keys migrating INTO this master
+	if len(rt.Migrations) > 0 {
+		inbound = make(map[tx.Key]bool, len(rt.Migrations))
+		for _, m := range rt.Migrations {
+			if m.To == n.id && m.From != n.id {
+				inbound[m.Key] = true
+			}
 		}
 	}
-	writeBack := map[tx.Key]bool{}
-	for _, k := range rt.WriteBack {
-		writeBack[k] = true
+	var writeBack map[tx.Key]bool
+	if len(rt.WriteBack) > 0 {
+		writeBack = make(map[tx.Key]bool, len(rt.WriteBack))
+		for _, k := range rt.WriteBack {
+			writeBack[k] = true
+		}
 	}
 
 	vals := make(map[tx.Key][]byte, len(access))
 	orig := make(map[tx.Key][]byte, len(access))
 	undo := storage.NewUndoLog(n.store)
-	localAfter := map[tx.Key]bool{}
+	localAfter := make(map[tx.Key]bool, len(access))
 	var migBytes int64
 
 	for _, k := range access {
@@ -254,10 +285,7 @@ func (n *Node) runMaster(rt *router.Route, role *role, remote map[tx.Key][]byte)
 		n.cluster.tracer.Emit(n.id, req.ID, telemetry.PhaseMigratedIn, migBytes)
 	}
 
-	ctx := &execCtx{
-		node: n, vals: vals, localAfter: localAfter,
-		undo: undo, buffered: map[tx.Key][]byte{},
-	}
+	ctx := &execCtx{node: n, vals: vals, localAfter: localAfter, undo: undo}
 	execStart := time.Now()
 	req.Proc.Execute(ctx)
 	if d := n.cluster.cfg.ExecCost; d > 0 {
@@ -277,10 +305,13 @@ func (n *Node) runMaster(rt *router.Route, role *role, remote map[tx.Key][]byte)
 
 	// Write-backs: final values on commit, original values on abort (the
 	// owner still holds the lock and must be released by this message).
-	byOwner := map[tx.NodeID][]network.Record{}
+	var byOwner map[tx.NodeID][]network.Record
 	for _, k := range writes {
 		if !writeBack[k] {
 			continue
+		}
+		if byOwner == nil {
+			byOwner = make(map[tx.NodeID][]network.Record, 1)
 		}
 		v := orig[k]
 		if !ctx.aborted {
@@ -342,10 +373,7 @@ func (n *Node) runWriter(rt *router.Route, remote map[tx.Key][]byte) (time.Durat
 		}
 	}
 	undo := storage.NewUndoLog(n.store)
-	ctx := &execCtx{
-		node: n, vals: vals, localAfter: localAfter,
-		undo: undo, buffered: map[tx.Key][]byte{},
-	}
+	ctx := &execCtx{node: n, vals: vals, localAfter: localAfter, undo: undo}
 	execStart := time.Now()
 	req.Proc.Execute(ctx)
 	if d := n.cluster.cfg.ExecCost; d > 0 {
@@ -366,7 +394,8 @@ func (n *Node) runWriter(rt *router.Route, remote map[tx.Key][]byte) (time.Durat
 
 // execCtx implements tx.ExecCtx for an executing role. Reads come from
 // the assembled value view; writes go through the undo log when the key
-// is (or becomes) local, and into the write-back buffer otherwise.
+// is (or becomes) local, and into the write-back buffer (allocated on
+// first remote write) otherwise.
 type execCtx struct {
 	node        *Node
 	vals        map[tx.Key][]byte
@@ -392,6 +421,9 @@ func (c *execCtx) Write(k tx.Key, v []byte) {
 		c.node.sleepStorage()
 		c.storageTime += time.Since(t0)
 	} else {
+		if c.buffered == nil {
+			c.buffered = make(map[tx.Key][]byte, 1)
+		}
 		c.buffered[k] = v
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"hermes/internal/lock"
 	"hermes/internal/network"
+	"hermes/internal/qexec"
 	"hermes/internal/router"
 	"hermes/internal/sequencer"
 	"hermes/internal/storage"
@@ -21,9 +22,12 @@ type Node struct {
 	id      tx.NodeID
 	cluster *Cluster
 	store   *storage.Store
-	locks   *lock.Manager
-	policy  router.Policy
-	cmdlog  *storage.CommandLog
+	// locks is the admission engine: the conservative lock manager in
+	// "lock" mode, the queue-oriented executor in "queue" mode.
+	locks  lock.Granter
+	qx     *qexec.Executor // non-nil iff ExecMode == queue
+	policy router.Policy
+	cmdlog *storage.CommandLog
 
 	batches chan *tx.Batch
 	// execSem bounds concurrent transaction execution (nil = unbounded).
@@ -44,7 +48,6 @@ func newNode(id tx.NodeID, c *Cluster, policy router.Policy) *Node {
 		id:      id,
 		cluster: c,
 		store:   storage.NewStore(),
-		locks:   lock.NewManager(),
 		policy:  policy,
 		cmdlog:  storage.NewCommandLog(),
 		batches: make(chan *tx.Batch, 1024),
@@ -55,8 +58,22 @@ func newNode(id tx.NodeID, c *Cluster, policy router.Policy) *Node {
 	if executors == 0 {
 		executors = 4
 	}
-	if executors > 0 {
-		n.execSem = make(chan struct{}, executors)
+	if c.cfg.ExecMode == ExecModeQueue {
+		// Queue mode: the executor pool becomes the bucket-worker pool and
+		// admission itself is the concurrency bound, so the semaphore is
+		// disabled (roles with no admission wait run inline on the bucket
+		// workers; the rest are short-lived goroutines gated by grants).
+		workers := executors
+		if workers < 0 {
+			workers = 8
+		}
+		n.qx = qexec.New(qexec.Config{Workers: workers})
+		n.locks = n.qx
+	} else {
+		n.locks = lock.NewManager()
+		if executors > 0 {
+			n.execSem = make(chan struct{}, executors)
+		}
 	}
 	return n
 }
@@ -111,7 +128,15 @@ func (n *Node) stop() {
 	}
 }
 
-func (n *Node) wait() { n.wg.Wait() }
+func (n *Node) wait() {
+	n.wg.Wait()
+	if n.qx != nil {
+		// Joining the bucket workers also joins any inline role still
+		// running on one of them; entries left queued are abandoned, the
+		// same semantics as a crashed node's lock table.
+		n.qx.Close()
+	}
+}
 
 // recvLoop dispatches transport messages: totally ordered batches go to
 // the scheduler queue (and the command log); per-transaction record
@@ -183,8 +208,12 @@ func (n *Node) schedLoop() {
 			// Routing cost (§3.2.4): how much scheduler time the batch
 			// analysis itself consumed, before any locking or execution.
 			n.cluster.collector.RecordRouting(len(b.Txns), time.Since(arrival))
-			for _, rt := range plan.Routes {
-				n.schedule(rt, arrival)
+			if n.qx != nil {
+				n.scheduleQueue(plan, arrival)
+			} else {
+				for _, rt := range plan.Routes {
+					n.schedule(rt, arrival)
+				}
 			}
 			n.scheduled.Store(b.Seq + 1)
 		}
@@ -225,8 +254,79 @@ func (n *Node) schedule(rt *router.Route, arrival time.Time) {
 	n.wg.Add(1)
 	go func() {
 		defer n.wg.Done()
-		n.run(rt, role, grant, arrival)
+		n.run(rt, role, grant, arrival, time.Time{}, 0)
 	}()
+}
+
+// scheduleQueue is the queue-mode scheduler: it derives every role for the
+// batch first (planning), then admits the whole batch into the per-key
+// queues in one call. Roles that wait on no inbound records run *inline* on
+// the bucket worker that completes their rendezvous — no goroutine spawn,
+// no channel handoff; roles that do expect records keep a waiting goroutine
+// so a mailbox wait can never stall a bucket worker.
+func (n *Node) scheduleQueue(plan *router.Plan, arrival time.Time) {
+	planStart := time.Now()
+	type job struct {
+		rt   *router.Route
+		role *role
+	}
+	jobs := make([]job, 0, len(plan.Routes))
+	ops := make([]*qexec.Op, 0, len(plan.Routes))
+	for _, rt := range plan.Routes {
+		n.cluster.registerAssigned(rt.Txn)
+		if rt.Mode == router.Provision {
+			if n.isCommitter(rt) {
+				n.cluster.completeTxn(rt.Txn)
+			}
+			if len(rt.Migrations) == 0 {
+				continue
+			}
+		}
+		role := n.roleFor(rt)
+		if !role.involved() {
+			continue
+		}
+		if n.cluster.tracer.Enabled() {
+			master := int64(-1)
+			if rt.Mode == router.SingleMaster {
+				master = int64(rt.Master)
+			}
+			n.cluster.tracer.Emit(n.id, rt.Txn.ID, telemetry.PhaseRouted, master)
+		}
+		jobs = append(jobs, job{rt: rt, role: role})
+		ops = append(ops, &qexec.Op{ID: rt.Txn.ID, Shared: role.shared, Excl: role.excl})
+	}
+	planDur := time.Since(planStart)
+	var planShare time.Duration
+	if len(ops) > 0 {
+		planShare = planDur / time.Duration(len(ops))
+		n.cluster.collector.RecordQueuePlan(len(ops), planDur)
+	}
+	admitted := time.Now()
+	for i := range jobs {
+		if jobs[i].role.expectRecords > 0 {
+			continue
+		}
+		rt, role := jobs[i].rt, jobs[i].role
+		// Inline runs are joined via qx.Close() in wait(), not the node
+		// WaitGroup: if the node crashes before the rendezvous, the closure
+		// simply never fires.
+		ops[i].OnReady = func() {
+			n.run(rt, role, nil, arrival, admitted, planShare)
+		}
+	}
+	grants := n.qx.AdmitBatch(ops)
+	for i := range jobs {
+		if jobs[i].role.expectRecords == 0 {
+			continue
+		}
+		rt, role, grant := jobs[i].rt, jobs[i].role, grants[i]
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.run(rt, role, grant, arrival, admitted, planShare)
+		}()
+	}
 }
 
 // isCommitter reports whether this node is the one that reports

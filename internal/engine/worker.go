@@ -37,8 +37,9 @@ type WorkerConfig struct {
 	Incarnation uint64
 	Journal     func(network.Message)
 	Recovered   []network.Message
-	// Executors, Window: as in Config.
+	// Executors, ExecMode, Window: as in Config.
 	Executors int
+	ExecMode  string
 	Window    time.Duration
 	// RetryTimeout/RetryCap tune the session front-end's resend pacing
 	// (zero = front-end defaults).
@@ -82,6 +83,7 @@ func NewWorker(wc WorkerConfig) (*Cluster, error) {
 			Active:    append([]tx.NodeID(nil), wc.Workers...),
 			Policy:    wc.Policy,
 			Executors: wc.Executors,
+			ExecMode:  wc.ExecMode,
 			Window:    wc.Window,
 			Telemetry: wc.Telemetry,
 		},

@@ -43,8 +43,13 @@ type Scale struct {
 	StorageDelay time.Duration
 	// Executors and ExecCost define per-node saturation throughput
 	// (Executors slots, each transaction costing ExecCost of CPU).
-	Executors  int
-	ExecCost   time.Duration
+	Executors int
+	ExecCost  time.Duration
+	// ExecMode selects the admission engine ("lock" or "queue"; empty is
+	// lock). ExecModes, when non-empty, makes mode-aware experiments
+	// (Fig. 7) run each listed mode side by side.
+	ExecMode   string
+	ExecModes  []string
 	FusionFrac float64 // fusion capacity as fraction of Rows
 	// ClayRange overrides Clay's clump granularity in keys (0 = derived
 	// from Rows; "the size of the range depends on workloads", §5.2.1).
@@ -219,7 +224,7 @@ type runOutput struct {
 }
 
 type breakdown struct {
-	Scheduling, LockWait, Storage, RemoteWait, Other float64 // ms
+	Scheduling, LockWait, QueuePlan, QueueWait, Storage, RemoteWait, Other float64 // ms
 }
 
 // runLoad runs gen against a fresh cluster with the given system for
@@ -256,6 +261,7 @@ func runLoad(sc Scale, sys system, gen workload.Generator,
 		StorageDelay: sc.StorageDelay,
 		Executors:    sc.Executors,
 		ExecCost:     sc.ExecCost,
+		ExecMode:     sc.ExecMode,
 		Window:       sc.Window,
 		CommitHook:   hook,
 	}
@@ -325,6 +331,8 @@ func runLoad(sc Scale, sys system, gen workload.Generator,
 	out.Breakdown = breakdown{
 		Scheduling: ms(bd.Scheduling),
 		LockWait:   ms(bd.LockWait),
+		QueuePlan:  ms(bd.QueuePlan),
+		QueueWait:  ms(bd.QueueWait),
 		Storage:    ms(bd.Storage),
 		RemoteWait: ms(bd.RemoteWait),
 		Other:      ms(bd.Other),

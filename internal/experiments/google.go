@@ -191,27 +191,47 @@ func Fig6b(sc Scale) (*Result, error) {
 }
 
 // Fig7 reports the per-transaction latency breakdown of every system
-// under the Google workload.
+// under the Google workload. With Scale.ExecModes set (hermes-bench
+// -experiment fig7 -exec both), each system is run once per execution
+// mode and the modes are printed side by side, so the lock-wait-collapse
+// claim of queue mode is reproducible from the CLI.
 func Fig7(sc Scale) (*Result, error) {
 	base := partition.NewUniformRange(0, sc.Rows, sc.Nodes)
 	res := &Result{
 		Name: "fig7", Title: "Average latency breakdown (ms)",
 		XLabel: "component", YLabel: "ms",
-		Notes: []string{"components: 1=scheduling 2=lock wait 3=storage 4=remote wait 5=other"},
+		Notes: []string{"components: 1=scheduling 2=lock wait 3=queue plan 4=queue wait 5=storage 6=remote wait 7=other"},
+	}
+	modes := sc.ExecModes
+	if len(modes) == 0 {
+		modes = []string{sc.ExecMode}
 	}
 	for _, sys := range standardSystems(sc, base) {
-		out, err := runGoogle(sc, sys, 0, 0)
-		if err != nil {
-			return nil, err
+		for _, mode := range modes {
+			msc := sc
+			msc.ExecMode = mode
+			out, err := runGoogle(msc, sys, 0, 0)
+			if err != nil {
+				return nil, err
+			}
+			label := sys.name
+			if len(modes) > 1 {
+				m := mode
+				if m == "" {
+					m = "lock"
+				}
+				label += "/" + m
+			}
+			res.Series = append(res.Series, Series{
+				Label: label,
+				X:     []float64{1, 2, 3, 4, 5, 6, 7},
+				Y: []float64{
+					out.Breakdown.Scheduling, out.Breakdown.LockWait,
+					out.Breakdown.QueuePlan, out.Breakdown.QueueWait,
+					out.Breakdown.Storage, out.Breakdown.RemoteWait, out.Breakdown.Other,
+				},
+			})
 		}
-		res.Series = append(res.Series, Series{
-			Label: sys.name,
-			X:     []float64{1, 2, 3, 4, 5},
-			Y: []float64{
-				out.Breakdown.Scheduling, out.Breakdown.LockWait,
-				out.Breakdown.Storage, out.Breakdown.RemoteWait, out.Breakdown.Other,
-			},
-		})
 	}
 	return res, nil
 }

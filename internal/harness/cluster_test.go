@@ -112,6 +112,70 @@ func TestClusterKillRestart(t *testing.T) {
 	}
 }
 
+// TestClusterQueueModeDigestsMatchLockTwin drives the same trace through
+// three real hermesd processes running the queue-oriented executor
+// (-exec queue) and an in-process lock-mode twin, and requires
+// byte-identical node digests — the exec-equivalence guarantee holding
+// across process boundaries and both sides of the ExecMode plumbing.
+func TestClusterQueueModeDigestsMatchLockTwin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process cluster tests skipped in -short mode")
+	}
+	if _, err := HermesdBinary(); err != nil {
+		t.Fatalf("building hermesd: %v", err)
+	}
+	c, err := StartCluster(ClusterConfig{
+		Workers: 3, Policy: "hermes", Rows: 4000, Payload: 64, BatchSize: 25,
+		ExecMode: engine.ExecModeQueue, Dir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	if err := c.Seed(); err != nil {
+		t.Fatal(err)
+	}
+	spec := WorkloadSpec{
+		Kind: WorkloadHotspot, Seed: 23, Txns: 600, Rows: 4000,
+		KeysPerTxn: 2, Payload: 64, Theta: 0.8, Window: 50,
+	}
+	if err := c.Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.WaitRun(60 * time.Second)
+	if err != nil {
+		dumpClusterState(t, c)
+		t.Fatal(err)
+	}
+	if res.Committed != int64(spec.Txns) {
+		t.Fatalf("cluster committed %d of %d", res.Committed, spec.Txns)
+	}
+	if err := c.Quiesce(30 * time.Second); err != nil {
+		dumpClusterState(t, c)
+		t.Fatal(err)
+	}
+	got, err := c.Digests()
+	if err != nil {
+		t.Fatal(err)
+	}
+	twin, err := RunTwin(TwinConfig{
+		Workers: 3, Policy: "hermes", Rows: 4000, Payload: 64, BatchSize: 25,
+		ExecMode: engine.ExecModeLock,
+	}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(twin.Digests) {
+		t.Fatalf("cluster has %d digests, twin %d", len(got), len(twin.Digests))
+	}
+	for i := range got {
+		if got[i] != twin.Digests[i] {
+			t.Fatalf("queue-mode cluster digest diverges from lock-mode twin at node %d:\n%+v\n%+v",
+				i, got[i], twin.Digests[i])
+		}
+	}
+}
+
 // TestClusterSIGTERMDrains covers hermesd's signal path: after a completed
 // run, SIGTERM must drain each process and exit it with status 0 — the
 // same graceful teardown /shutdown performs, reachable without the control

@@ -62,6 +62,9 @@ type NodeConfig struct {
 	Alpha     float64
 	// BatchSize is the sequencer batch size (sealing is size-only).
 	BatchSize int
+	// ExecMode selects the execution backend ("lock" or "queue"; empty
+	// means lock). Must be identical in every process and in the twin.
+	ExecMode string
 	// Dir holds the process's delivery journal, incarnation counter, and
 	// seed spec.
 	Dir string
@@ -148,6 +151,7 @@ func NewNodeServer(cfg NodeConfig) (*NodeServer, error) {
 		Journal:     jr.Append,
 		Recovered:   jr.Recovered(),
 		Telemetry:   tel,
+		ExecMode:    cfg.ExecMode,
 	})
 	if err != nil {
 		tr.Close()

@@ -34,6 +34,9 @@ type ClusterConfig struct {
 	// Rows/40, matching hermes.Open.
 	Alpha     float64
 	FusionCap int
+	// ExecMode selects each worker's execution backend ("lock" or
+	// "queue"; empty means lock).
+	ExecMode string
 	// Dir is the scratch directory for journals, seed specs and process
 	// logs. Required.
 	Dir string
@@ -228,6 +231,9 @@ func (c *Cluster) spawn(i int, recover bool) error {
 		"-alpha", fmt.Sprint(c.cfg.Alpha),
 		"-batch", fmt.Sprint(c.cfg.BatchSize),
 		"-dir", nodeDir,
+	}
+	if c.cfg.ExecMode != "" {
+		args = append(args, "-exec", c.cfg.ExecMode)
 	}
 	if i == 0 {
 		args = append(args, "-seq-host")

@@ -22,6 +22,7 @@ type TwinConfig struct {
 	BatchSize int
 	Alpha     float64
 	FusionCap int
+	ExecMode  string
 }
 
 // TwinResult is the in-process emulation's outcome.
@@ -67,7 +68,8 @@ func RunTwin(cfg TwinConfig, spec WorkloadSpec) (*TwinResult, error) {
 		Policy: pf,
 		// Identical sealing regime to the cluster: size-only batches, tail
 		// flushed by the driver once all submissions are pending.
-		Seq: sequencer.Config{BatchSize: cfg.BatchSize, Interval: time.Hour},
+		Seq:      sequencer.Config{BatchSize: cfg.BatchSize, Interval: time.Hour},
+		ExecMode: cfg.ExecMode,
 	})
 	if err != nil {
 		return nil, err

@@ -26,6 +26,36 @@ const (
 	Exclusive
 )
 
+// Granted is one transaction's outstanding admission: the handle a
+// scheduler passes to the role job so it can block until every requested
+// key is held. Both the conservative lock manager and the queue-oriented
+// executor (internal/qexec) hand these out.
+type Granted interface {
+	// ID returns the transaction the admission belongs to.
+	ID() tx.TxnID
+	// Done returns a channel closed once every requested key is held. A
+	// transaction that requested no keys has an already-closed channel.
+	Done() <-chan struct{}
+}
+
+// Granter is the scheduler-facing admission interface shared by the
+// conservative lock manager ("lock" execution mode) and the queue-oriented
+// executor ("queue" mode, internal/qexec). Acquire must be called in
+// ascending transaction-ID order — the total order — by a single scheduler
+// goroutine; Release may be called concurrently from executor goroutines.
+type Granter interface {
+	Acquire(id tx.TxnID, shared, excl []tx.Key) Granted
+	Release(id tx.TxnID)
+	// QueuedKeys reports the number of keys with a non-empty admission
+	// queue; quiescence checks require it to return to zero at drain.
+	QueuedKeys() int
+	// Holding reports whether id has an outstanding admission.
+	Holding(id tx.TxnID) bool
+	// Close stops any background workers. The lock manager has none, so
+	// its Close is a no-op; the queue executor joins its bucket workers.
+	Close()
+}
+
 type waiter struct {
 	id      tx.TxnID
 	mode    Mode
@@ -34,9 +64,42 @@ type waiter struct {
 
 type keyQueue struct {
 	// FIFO in total order. Head entries are granted; a shared prefix may
-	// be granted together.
-	q []waiter
+	// be granted together. head indexes the logical front: releases almost
+	// always retire the front waiter (transactions drain in total order),
+	// so popping advances head in O(1) instead of copying the tail down —
+	// on a hot key with a deep backlog the copy is quadratic in queue
+	// depth. The slice is compacted once head passes half its length.
+	q    []waiter
+	head int
 }
+
+// pop removes the waiter with the given id, returning false if absent.
+// Caller must check for emptiness (head == len(q)) afterwards.
+func (q *keyQueue) pop(id tx.TxnID) bool {
+	for i := q.head; i < len(q.q); i++ {
+		if q.q[i].id != id {
+			continue
+		}
+		if i == q.head {
+			q.q[i] = waiter{}
+			q.head++
+			if q.head > 32 && q.head*2 >= len(q.q) {
+				n := copy(q.q, q.q[q.head:])
+				clear(q.q[n:])
+				q.q = q.q[:n]
+				q.head = 0
+			}
+		} else {
+			copy(q.q[i:], q.q[i+1:])
+			q.q[len(q.q)-1] = waiter{}
+			q.q = q.q[:len(q.q)-1]
+		}
+		return true
+	}
+	return false
+}
+
+func (q *keyQueue) empty() bool { return q.head == len(q.q) }
 
 // Grant tracks a single transaction's lock acquisition. Done is closed
 // once every requested lock is held.
@@ -75,7 +138,7 @@ func NewManager() *Manager {
 // exclusively. Acquire must be called in ascending id order (the total
 // order); it returns immediately with a Grant the caller can wait on.
 // Calling Acquire twice for the same id panics.
-func (m *Manager) Acquire(id tx.TxnID, shared, excl []tx.Key) *Grant {
+func (m *Manager) Acquire(id tx.TxnID, shared, excl []tx.Key) Granted {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if _, dup := m.grants[id]; dup {
@@ -116,12 +179,12 @@ func (m *Manager) Acquire(id tx.TxnID, shared, excl []tx.Key) *Grant {
 // promote grants the head of the queue (and a contiguous shared prefix)
 // and decrements the owners' remaining counts. Caller holds m.mu.
 func (m *Manager) promote(k tx.Key, q *keyQueue) {
-	for i := range q.q {
+	for i := q.head; i < len(q.q); i++ {
 		w := &q.q[i]
 		if w.granted {
 			continue
 		}
-		if i > 0 && (w.mode == Exclusive || q.q[i-1].mode == Exclusive) {
+		if i > q.head && (w.mode == Exclusive || q.q[i-1].mode == Exclusive) {
 			break // blocked behind an incompatible holder/waiter
 		}
 		w.granted = true
@@ -138,27 +201,27 @@ func (m *Manager) promote(k tx.Key, q *keyQueue) {
 
 // Release frees all locks held or awaited by transaction id and grants any
 // newly unblocked waiters. Releasing an unknown id is a no-op.
+//
+// The grant entry is removed even when the transaction holds no keys: a
+// master whose records are all remote acquires zero locks but still owns a
+// (pre-closed) grant, and skipping the delete for those leaked a grants
+// entry per such transaction over a long run.
 func (m *Manager) Release(id tx.TxnID) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	keys := m.held[id]
-	if keys == nil {
+	if _, known := m.grants[id]; !known {
 		return
 	}
-	delete(m.held, id)
 	delete(m.grants, id)
+	keys := m.held[id]
+	delete(m.held, id)
 	for _, k := range keys {
 		q := m.queues[k]
 		if q == nil {
 			continue
 		}
-		for i := range q.q {
-			if q.q[i].id == id {
-				q.q = append(q.q[:i], q.q[i+1:]...)
-				break
-			}
-		}
-		if len(q.q) == 0 {
+		q.pop(id)
+		if q.empty() {
 			delete(m.queues, k)
 			continue
 		}
@@ -182,3 +245,17 @@ func (m *Manager) Holding(id tx.TxnID) bool {
 	_, ok := m.grants[id]
 	return ok
 }
+
+// Close implements Granter; the lock manager has no background workers.
+func (m *Manager) Close() {}
+
+// tableSizes reports the sizes of the three internal maps. After every
+// admitted transaction has been released, all three must be zero — the
+// regression test for the long-run leak fixed in Release.
+func (m *Manager) tableSizes() (queues, grants, held int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queues), len(m.grants), len(m.held)
+}
+
+var _ Granter = (*Manager)(nil)

@@ -10,7 +10,7 @@ import (
 	"hermes/internal/tx"
 )
 
-func granted(g *Grant) bool {
+func granted(g Granted) bool {
 	select {
 	case <-g.Done():
 		return true
@@ -48,7 +48,7 @@ func TestSharedCompatible(t *testing.T) {
 	g1 := m.Acquire(1, []tx.Key{10}, nil)
 	g2 := m.Acquire(2, []tx.Key{10}, nil)
 	g3 := m.Acquire(3, []tx.Key{10}, nil)
-	for i, g := range []*Grant{g1, g2, g3} {
+	for i, g := range []Granted{g1, g2, g3} {
 		if !granted(g) {
 			t.Fatalf("shared reader %d blocked", i+1)
 		}
@@ -198,7 +198,7 @@ func TestNoLostGrantsUnderConcurrency(t *testing.T) {
 		g := m.Acquire(tx.TxnID(i), nil, excl)
 		holdFor := time.Duration(rng.Int63n(100)) * time.Microsecond
 		wg.Add(1)
-		go func(g *Grant, keys []tx.Key) {
+		go func(g Granted, keys []tx.Key) {
 			defer wg.Done()
 			<-g.Done()
 			mu.Lock()
@@ -242,7 +242,7 @@ func TestGrantOrderMatchesTotalOrderProperty(t *testing.T) {
 			return true
 		}
 		m := NewManager()
-		grants := make([]*Grant, len(keyChoices))
+		grants := make([]Granted, len(keyChoices))
 		for i, kc := range keyChoices {
 			grants[i] = m.Acquire(tx.TxnID(i+1), nil, []tx.Key{tx.Key(kc % 4)})
 		}
@@ -278,6 +278,63 @@ func TestGrantOrderMatchesTotalOrderProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestTablesDrainToZero is the regression test for the long-run leak: a
+// sustained workload over a large keyspace — including zero-key acquires,
+// which a master with no local records issues — must leave every internal
+// map empty once all transactions have released. Before the fix, Release
+// returned early for zero-key transactions and their grants entries
+// accumulated without bound.
+func TestTablesDrainToZero(t *testing.T) {
+	m := NewManager()
+	rng := rand.New(rand.NewSource(11))
+	const txns = 2000
+	ids := make([]tx.TxnID, 0, txns)
+	for i := 1; i <= txns; i++ {
+		id := tx.TxnID(i)
+		ids = append(ids, id)
+		switch rng.Intn(3) {
+		case 0: // zero-key acquire (all records remote)
+			m.Acquire(id, nil, nil)
+		case 1:
+			m.Acquire(id, nil, []tx.Key{tx.Key(rng.Intn(1 << 16))})
+		default:
+			m.Acquire(id,
+				[]tx.Key{tx.Key(rng.Intn(1 << 16))},
+				[]tx.Key{tx.Key(1<<16 + rng.Intn(1<<16))})
+		}
+	}
+	for _, id := range ids {
+		m.Release(id)
+	}
+	q, g, h := m.tableSizes()
+	if q != 0 || g != 0 || h != 0 {
+		t.Fatalf("tables not drained: queues=%d grants=%d held=%d", q, g, h)
+	}
+	for _, id := range ids {
+		if m.Holding(id) {
+			t.Fatalf("Holding(%d) still true after release", id)
+		}
+	}
+}
+
+func TestZeroKeyReleaseDropsGrant(t *testing.T) {
+	m := NewManager()
+	g := m.Acquire(5, nil, nil)
+	if !granted(g) {
+		t.Fatal("zero-key acquire not granted immediately")
+	}
+	if !m.Holding(5) {
+		t.Fatal("Holding false while grant outstanding")
+	}
+	m.Release(5)
+	if m.Holding(5) {
+		t.Fatal("Holding true after release of zero-key grant (leak)")
+	}
+	if _, grants, _ := m.tableSizes(); grants != 0 {
+		t.Fatalf("grants table size = %d after release, want 0", grants)
 	}
 }
 

@@ -11,10 +11,17 @@ import (
 	"time"
 )
 
-// Breakdown is the per-transaction latency decomposition of Fig. 7.
+// Breakdown is the per-transaction latency decomposition of Fig. 7. The
+// two queue components exist so the queue execution mode stays honest:
+// LockWait is strictly time blocked in the conservative lock manager (zero
+// by construction in queue mode), while queue-planning cost and queue
+// residence are attributed to QueuePlan and QueueWait instead of vanishing
+// into Scheduling.
 type Breakdown struct {
 	Scheduling time.Duration // batch analysis + routing + dispatch
 	LockWait   time.Duration // conservative-ordered-lock queueing
+	QueuePlan  time.Duration // per-txn share of queue-mode batch planning
+	QueueWait  time.Duration // queue-mode admission -> rendezvous residence
 	Storage    time.Duration // local record reads/writes
 	RemoteWait time.Duration // blocking on records from other nodes
 	Other      time.Duration // everything else (queuing, commit, client)
@@ -22,7 +29,8 @@ type Breakdown struct {
 
 // Total returns the sum of all components.
 func (b Breakdown) Total() time.Duration {
-	return b.Scheduling + b.LockWait + b.Storage + b.RemoteWait + b.Other
+	return b.Scheduling + b.LockWait + b.QueuePlan + b.QueueWait +
+		b.Storage + b.RemoteWait + b.Other
 }
 
 // Add returns the component-wise sum of b and o.
@@ -30,6 +38,8 @@ func (b Breakdown) Add(o Breakdown) Breakdown {
 	return Breakdown{
 		Scheduling: b.Scheduling + o.Scheduling,
 		LockWait:   b.LockWait + o.LockWait,
+		QueuePlan:  b.QueuePlan + o.QueuePlan,
+		QueueWait:  b.QueueWait + o.QueueWait,
 		Storage:    b.Storage + o.Storage,
 		RemoteWait: b.RemoteWait + o.RemoteWait,
 		Other:      b.Other + o.Other,
@@ -44,6 +54,8 @@ func (b Breakdown) Scale(n int64) Breakdown {
 	return Breakdown{
 		Scheduling: b.Scheduling / time.Duration(n),
 		LockWait:   b.LockWait / time.Duration(n),
+		QueuePlan:  b.QueuePlan / time.Duration(n),
+		QueueWait:  b.QueueWait / time.Duration(n),
 		Storage:    b.Storage / time.Duration(n),
 		RemoteWait: b.RemoteWait / time.Duration(n),
 		Other:      b.Other / time.Duration(n),
@@ -80,6 +92,10 @@ type Collector struct {
 	routingBatches atomic.Int64
 	routingTxns    atomic.Int64
 	routingNanos   atomic.Int64
+
+	queuePlanBatches atomic.Int64
+	queuePlanTxns    atomic.Int64
+	queuePlanNanos   atomic.Int64
 
 	crashes       atomic.Int64
 	recoveries    atomic.Int64
@@ -208,6 +224,31 @@ func (c *Collector) Routing() RoutingStats {
 		Batches: c.routingBatches.Load(),
 		Txns:    c.routingTxns.Load(),
 		Total:   time.Duration(c.routingNanos.Load()),
+	}
+	if s.Batches > 0 {
+		s.PerBatch = s.Total / time.Duration(s.Batches)
+	}
+	if s.Txns > 0 {
+		s.PerTxn = s.Total / time.Duration(s.Txns)
+	}
+	return s
+}
+
+// RecordQueuePlan records one queue-mode batch admission plan: txns roles
+// partitioned into per-key queues in d of scheduler time. The shape
+// mirrors RecordRouting so the two planning costs can be compared.
+func (c *Collector) RecordQueuePlan(txns int, d time.Duration) {
+	c.queuePlanBatches.Add(1)
+	c.queuePlanTxns.Add(int64(txns))
+	c.queuePlanNanos.Add(int64(d))
+}
+
+// QueuePlan returns the cumulative queue-planning cost summary.
+func (c *Collector) QueuePlan() RoutingStats {
+	s := RoutingStats{
+		Batches: c.queuePlanBatches.Load(),
+		Txns:    c.queuePlanTxns.Load(),
+		Total:   time.Duration(c.queuePlanNanos.Load()),
 	}
 	if s.Batches > 0 {
 		s.PerBatch = s.Total / time.Duration(s.Batches)

@@ -1,0 +1,462 @@
+// Package qexec implements queue-oriented zero-lock transaction admission
+// in the style of QueCC (*A Queue-oriented Transaction Processing
+// Paradigm*): because the router already knows the total order and every
+// record's placement before execution, conflict resolution can be *planned*
+// instead of *discovered*. At schedule time the single scheduler goroutine
+// partitions each sealed batch's operations into deterministic per-key
+// queues, each key hash-bucketed into a range owned by exactly one worker
+// goroutine. Workers drain their buckets in total order with no lock table,
+// no per-key mutex, and no cross-worker coordination — the only cross-bucket
+// mechanism is a rendezvous counter per multi-key transaction, preset at
+// planning time from the plan's read/write sets and decremented atomically
+// as each bucket grants its share of the keys. The worker that performs the
+// final decrement executes (or releases) the transaction; which worker that
+// is may vary between runs, but the *per-key order* of operations — the only
+// thing final state depends on — is fixed by the total order.
+//
+// The Executor implements lock.Granter, so the engine scheduler can swap it
+// in for the conservative lock manager without touching the executor roles:
+// Acquire admits, the returned Granted's Done channel closes at rendezvous,
+// Release retires the transaction's queue entries and promotes successors.
+// For transactions that need no mailbox wait, the engine instead supplies an
+// OnReady closure via AdmitBatch and the owning worker runs the transaction
+// inline — no goroutine spawn, no channel handoff.
+package qexec
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"hermes/internal/lock"
+	"hermes/internal/tx"
+)
+
+// Op is one transaction's admission request within a batch: the read
+// (Shared) and write (Excl) key sets from the prescient plan, plus an
+// optional OnReady closure. If OnReady is non-nil the transaction is run
+// inline by the bucket worker that completes its rendezvous, and the
+// Granted handle's Done channel never closes (the engine must not wait on
+// it). If OnReady is nil, Done closes at rendezvous exactly like a lock
+// grant.
+type Op struct {
+	ID      tx.TxnID
+	Shared  []tx.Key
+	Excl    []tx.Key
+	OnReady func()
+}
+
+// Config sizes the executor.
+type Config struct {
+	// Workers is the number of bucket-worker goroutines; each owns a
+	// static hash range of the keyspace. Defaults to 4.
+	Workers int
+}
+
+// keyRef is one key of a transaction's admission, with its mode.
+type keyRef struct {
+	k    tx.Key
+	excl bool
+}
+
+// part is the slice of a transaction's keys owned by one worker.
+type part struct {
+	worker int
+	keys   []keyRef
+}
+
+// txnState is one in-flight transaction: the rendezvous counter preset at
+// planning time, the grant handle, and the per-worker partition used at
+// release. It implements lock.Granted.
+type txnState struct {
+	id      tx.TxnID
+	pending atomic.Int32
+	done    chan struct{}
+	onReady func()
+	parts   []part
+}
+
+func (s *txnState) ID() tx.TxnID          { return s.id }
+func (s *txnState) Done() <-chan struct{} { return s.done }
+
+// message is one unit of worker inbox traffic: either an admission of the
+// transaction's keys in this worker's bucket (release=false) or a
+// retirement of those keys (release=true).
+type message struct {
+	st      *txnState
+	keys    []keyRef
+	release bool
+}
+
+// entry is one queue slot on one key.
+type entry struct {
+	st      *txnState
+	excl    bool
+	granted bool
+}
+
+// keyQueue is a FIFO in total order. head indexes the logical front:
+// releases almost always retire the front entry (transactions drain in
+// total order), so popping advances head in O(1) instead of copying the
+// tail down — on a hot key with a deep backlog the copy is quadratic in
+// queue depth. The slice is compacted once head passes half its length.
+type keyQueue struct {
+	q    []entry
+	head int
+}
+
+// pop removes st's entry if present. Caller must check for emptiness
+// (head == len(q)) afterwards.
+func (q *keyQueue) pop(st *txnState) {
+	for i := q.head; i < len(q.q); i++ {
+		if q.q[i].st != st {
+			continue
+		}
+		if i == q.head {
+			q.q[i] = entry{}
+			q.head++
+			if q.head > 32 && q.head*2 >= len(q.q) {
+				n := copy(q.q, q.q[q.head:])
+				clear(q.q[n:])
+				q.q = q.q[:n]
+				q.head = 0
+			}
+		} else {
+			copy(q.q[i:], q.q[i+1:])
+			q.q[len(q.q)-1] = entry{}
+			q.q = q.q[:len(q.q)-1]
+		}
+		return
+	}
+}
+
+func (q *keyQueue) empty() bool { return q.head == len(q.q) }
+
+// worker owns a static bucket of the keyspace. Its inbox is a swap-out
+// slice guarded by a mutex (two-phase: senders append, the worker swaps the
+// whole slice out and drains it unlocked), so queue operations themselves
+// run with zero shared-state contention.
+type worker struct {
+	e      *Executor
+	idx    int
+	mu     sync.Mutex
+	inbox  []message
+	wake   chan struct{}
+	queues map[tx.Key]*keyQueue
+	// queued mirrors len(queues) for lock-free QueuedKeys reads.
+	queued  atomic.Int64
+	drained atomic.Int64
+}
+
+// Executor is one node's queue-oriented admission engine.
+type Executor struct {
+	workers   []*worker
+	regMu     sync.Mutex
+	reg       map[tx.TxnID]*txnState
+	quit      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// New starts cfg.Workers bucket workers and returns the executor.
+func New(cfg Config) *Executor {
+	n := cfg.Workers
+	if n <= 0 {
+		n = 4
+	}
+	e := &Executor{quit: make(chan struct{}), reg: make(map[tx.TxnID]*txnState)}
+	e.workers = make([]*worker, n)
+	for i := range e.workers {
+		w := &worker{
+			e:      e,
+			idx:    i,
+			wake:   make(chan struct{}, 1),
+			queues: make(map[tx.Key]*keyQueue),
+		}
+		e.workers[i] = w
+		e.wg.Add(1)
+		go w.loop()
+	}
+	return e
+}
+
+// splitmix64 is the finalizer of the splitmix64 PRNG — a cheap, well-mixed
+// hash so adjacent row keys spread across buckets instead of clustering.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (e *Executor) bucket(k tx.Key) int {
+	return int(splitmix64(uint64(k)) % uint64(len(e.workers)))
+}
+
+// AdmitBatch admits ops — which must be in ascending transaction-ID order,
+// the total order — into the per-key queues. It must be called from a
+// single scheduler goroutine. The ith returned handle corresponds to
+// ops[i]; handles for OnReady ops are returned too (for Holding/Release
+// bookkeeping) but their Done channel never closes.
+func (e *Executor) AdmitBatch(ops []*Op) []lock.Granted {
+	grants := make([]lock.Granted, len(ops))
+	// Batch per-worker messages so each worker is woken at most once, and
+	// register the whole batch under one registry lock: Release runs
+	// concurrently but only ever looks up IDs already registered, so
+	// holding regMu across the loop costs nothing and saves two atomic
+	// operations per transaction.
+	pending := make([][]message, len(e.workers))
+	states := make([]txnState, len(ops))
+	e.regMu.Lock()
+	for i, op := range ops {
+		st := &states[i]
+		st.id = op.ID
+		st.onReady = op.OnReady
+		if op.OnReady == nil {
+			// Inline transactions never wait on Done; skip the channel.
+			st.done = make(chan struct{})
+		}
+		if _, dup := e.reg[op.ID]; dup {
+			e.regMu.Unlock()
+			panic("qexec: duplicate Acquire for transaction")
+		}
+		e.reg[op.ID] = st
+		// Partition the key set by bucket: exclusive first, then shared
+		// minus keys already exclusive — mirroring lock.Manager so both
+		// modes admit identical effective key sets. Transactions touch few
+		// workers, so a linear scan of parts beats a map.
+		var total int
+		add := func(k tx.Key, excl bool) {
+			wi := e.bucket(k)
+			var p *part
+			for j := range st.parts {
+				if st.parts[j].worker == wi {
+					p = &st.parts[j]
+					break
+				}
+			}
+			if p == nil {
+				st.parts = append(st.parts, part{worker: wi})
+				p = &st.parts[len(st.parts)-1]
+			}
+			p.keys = append(p.keys, keyRef{k: k, excl: excl})
+			total++
+		}
+		for _, k := range op.Excl {
+			add(k, true)
+		}
+		for _, k := range op.Shared {
+			if tx.ContainsKey(op.Excl, k) {
+				continue
+			}
+			add(k, false)
+		}
+		grants[i] = st
+		if total == 0 {
+			// No keys anywhere: rendezvous is trivially complete. Route
+			// through worker 0 so inline OnReady transactions still run on
+			// a worker goroutine, in admission order.
+			st.pending.Store(1)
+			pending[0] = append(pending[0], message{st: st})
+			continue
+		}
+		st.pending.Store(int32(total))
+		for _, p := range st.parts {
+			pending[p.worker] = append(pending[p.worker], message{st: st, keys: p.keys})
+		}
+	}
+	e.regMu.Unlock()
+	for wi, msgs := range pending {
+		if len(msgs) > 0 {
+			e.workers[wi].push(msgs)
+		}
+	}
+	return grants
+}
+
+// Acquire implements lock.Granter for single-transaction admission.
+func (e *Executor) Acquire(id tx.TxnID, shared, excl []tx.Key) lock.Granted {
+	return e.AdmitBatch([]*Op{{ID: id, Shared: shared, Excl: excl}})[0]
+}
+
+// Release retires every queue entry of transaction id and promotes
+// successors. Safe to call from any goroutine, including from inside an
+// OnReady closure running on a bucket worker (self-push is fine because
+// the worker drains a swapped-out inbox).
+func (e *Executor) Release(id tx.TxnID) {
+	e.regMu.Lock()
+	st, ok := e.reg[id]
+	if ok {
+		delete(e.reg, id)
+	}
+	e.regMu.Unlock()
+	if !ok {
+		return
+	}
+	if len(st.parts) == 0 {
+		// Zero-key transaction admitted via worker 0.
+		e.workers[0].push1(message{st: st, release: true})
+		return
+	}
+	for _, p := range st.parts {
+		e.workers[p.worker].push1(message{st: st, keys: p.keys, release: true})
+	}
+}
+
+// QueuedKeys reports the number of keys with a non-empty queue across all
+// buckets; quiescence checks require it to reach zero at drain.
+func (e *Executor) QueuedKeys() int {
+	var n int64
+	for _, w := range e.workers {
+		n += w.queued.Load()
+	}
+	return int(n)
+}
+
+// Holding reports whether id has an outstanding admission.
+func (e *Executor) Holding(id tx.TxnID) bool {
+	e.regMu.Lock()
+	_, ok := e.reg[id]
+	e.regMu.Unlock()
+	return ok
+}
+
+// Close stops the bucket workers and joins them. Entries still queued are
+// abandoned — the same semantics as a crashed node's lock table.
+func (e *Executor) Close() {
+	e.closeOnce.Do(func() { close(e.quit) })
+	e.wg.Wait()
+}
+
+// Workers reports the worker count (for gauges).
+func (e *Executor) Workers() int { return len(e.workers) }
+
+// Drained reports how many transactions worker w has completed the
+// rendezvous for (for per-worker gauges).
+func (e *Executor) Drained(w int) int64 { return e.workers[w].drained.Load() }
+
+var _ lock.Granter = (*Executor)(nil)
+
+// push appends msgs to the worker's inbox and wakes it.
+func (w *worker) push(msgs []message) {
+	w.mu.Lock()
+	w.inbox = append(w.inbox, msgs...)
+	w.mu.Unlock()
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+}
+
+// push1 is push for a single message, without the slice allocation —
+// Release sends one message per worker per transaction.
+func (w *worker) push1(m message) {
+	w.mu.Lock()
+	w.inbox = append(w.inbox, m)
+	w.mu.Unlock()
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (w *worker) loop() {
+	defer w.e.wg.Done()
+	for {
+		select {
+		case <-w.e.quit:
+			return
+		case <-w.wake:
+		}
+		for {
+			w.mu.Lock()
+			batch := w.inbox
+			w.inbox = nil
+			w.mu.Unlock()
+			if len(batch) == 0 {
+				break
+			}
+			for _, m := range batch {
+				select {
+				case <-w.e.quit:
+					return
+				default:
+				}
+				if m.release {
+					w.release(m)
+				} else {
+					w.admit(m)
+				}
+			}
+		}
+	}
+}
+
+// admit appends the transaction's entries to this bucket's key queues and
+// promotes each key, mirroring lock.Manager's grant rule exactly: the head
+// entry is granted, plus a contiguous shared prefix.
+func (w *worker) admit(m message) {
+	if len(m.keys) == 0 {
+		// Zero-key rendezvous marker.
+		w.granted(m.st)
+		return
+	}
+	for _, kr := range m.keys {
+		q := w.queues[kr.k]
+		if q == nil {
+			q = &keyQueue{}
+			w.queues[kr.k] = q
+			w.queued.Add(1)
+		}
+		q.q = append(q.q, entry{st: m.st, excl: kr.excl})
+		w.promote(q)
+	}
+}
+
+func (w *worker) promote(q *keyQueue) {
+	for i := q.head; i < len(q.q); i++ {
+		en := &q.q[i]
+		if en.granted {
+			continue
+		}
+		if i > q.head && (en.excl || q.q[i-1].excl) {
+			break
+		}
+		en.granted = true
+		w.granted(en.st)
+		if en.excl {
+			break
+		}
+	}
+}
+
+// granted records one key of st as held; the final decrement completes the
+// rendezvous.
+func (w *worker) granted(st *txnState) {
+	if st.pending.Add(-1) == 0 {
+		w.drained.Add(1)
+		if st.onReady != nil {
+			st.onReady()
+			return
+		}
+		close(st.done)
+	}
+}
+
+func (w *worker) release(m message) {
+	if len(m.keys) == 0 {
+		return
+	}
+	for _, kr := range m.keys {
+		q := w.queues[kr.k]
+		if q == nil {
+			continue
+		}
+		q.pop(m.st)
+		if q.empty() {
+			delete(w.queues, kr.k)
+			w.queued.Add(-1)
+			continue
+		}
+		w.promote(q)
+	}
+}

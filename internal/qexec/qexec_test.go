@@ -1,0 +1,376 @@
+package qexec
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hermes/internal/lock"
+	"hermes/internal/tx"
+)
+
+func newTest(t *testing.T, workers int) *Executor {
+	t.Helper()
+	e := New(Config{Workers: workers})
+	t.Cleanup(e.Close)
+	return e
+}
+
+func granted(g lock.Granted) bool {
+	select {
+	case <-g.Done():
+		return true
+	case <-time.After(2 * time.Second):
+		return false
+	}
+}
+
+func notGranted(g lock.Granted) bool {
+	select {
+	case <-g.Done():
+		return false
+	case <-time.After(20 * time.Millisecond):
+		return true
+	}
+}
+
+func TestZeroKeyGrantsImmediately(t *testing.T) {
+	e := newTest(t, 2)
+	g := e.Acquire(1, nil, nil)
+	if !granted(g) {
+		t.Fatal("empty key set not granted")
+	}
+	e.Release(1)
+}
+
+func TestExclusiveSerializesInTotalOrder(t *testing.T) {
+	e := newTest(t, 3)
+	g1 := e.Acquire(1, nil, []tx.Key{10})
+	g2 := e.Acquire(2, nil, []tx.Key{10})
+	if !granted(g1) {
+		t.Fatal("first exclusive not granted")
+	}
+	if !notGranted(g2) {
+		t.Fatal("second exclusive granted while first held")
+	}
+	e.Release(1)
+	if !granted(g2) {
+		t.Fatal("second exclusive not granted after release")
+	}
+	e.Release(2)
+}
+
+func TestSharedPrefixGrantedTogether(t *testing.T) {
+	e := newTest(t, 2)
+	e.Acquire(1, nil, []tx.Key{5})
+	g2 := e.Acquire(2, []tx.Key{5}, nil)
+	g3 := e.Acquire(3, []tx.Key{5}, nil)
+	g4 := e.Acquire(4, nil, []tx.Key{5})
+	e.Release(1)
+	if !granted(g2) || !granted(g3) {
+		t.Fatal("shared prefix not granted together after writer released")
+	}
+	if !notGranted(g4) {
+		t.Fatal("writer granted alongside readers")
+	}
+	e.Release(2)
+	e.Release(3)
+	if !granted(g4) {
+		t.Fatal("writer not granted after readers released")
+	}
+	e.Release(4)
+}
+
+func TestCrossBucketRendezvous(t *testing.T) {
+	// With many workers, a multi-key transaction's keys land in different
+	// buckets; the grant must only fire once every bucket has granted its
+	// share.
+	e := newTest(t, 8)
+	keys := make([]tx.Key, 32)
+	for i := range keys {
+		keys[i] = tx.Key(i * 977)
+	}
+	g1 := e.Acquire(1, nil, keys[:1])
+	g2 := e.Acquire(2, keys[1:16], keys[:1])
+	g3 := e.Acquire(3, nil, keys)
+	if !granted(g1) {
+		t.Fatal("head not granted")
+	}
+	if !notGranted(g2) {
+		t.Fatal("txn 2 granted while txn 1 holds a shared key")
+	}
+	e.Release(1)
+	if !granted(g2) {
+		t.Fatal("txn 2 not granted after rendezvous complete")
+	}
+	if !notGranted(g3) {
+		t.Fatal("txn 3 granted while txn 2 holds overlapping keys")
+	}
+	e.Release(2)
+	if !granted(g3) {
+		t.Fatal("txn 3 not granted")
+	}
+	e.Release(3)
+	if e.QueuedKeys() == 0 {
+		return
+	}
+	// Releases are async; wait for the workers to drain.
+	deadline := time.Now().Add(2 * time.Second)
+	for e.QueuedKeys() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("QueuedKeys = %d after all releases", e.QueuedKeys())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestKeyInBothSetsIsExclusive(t *testing.T) {
+	e := newTest(t, 4)
+	e.Acquire(1, []tx.Key{7}, []tx.Key{7})
+	g2 := e.Acquire(2, []tx.Key{7}, nil)
+	if !notGranted(g2) {
+		t.Fatal("reader granted while read-write key held exclusively")
+	}
+	e.Release(1)
+	if !granted(g2) {
+		t.Fatal("reader blocked after release")
+	}
+	e.Release(2)
+}
+
+func TestInlineOnReadyRunsInAdmissionOrderPerKey(t *testing.T) {
+	// Inline transactions on the same key must observe each other's writes
+	// in total order even though they run on the worker goroutine.
+	e := newTest(t, 4)
+	const n = 200
+	var mu sync.Mutex
+	var order []int
+	ops := make([]*Op, n)
+	for i := 0; i < n; i++ {
+		i := i
+		id := tx.TxnID(i + 1)
+		ops[i] = &Op{
+			ID:   id,
+			Excl: []tx.Key{42},
+			OnReady: func() {
+				mu.Lock()
+				order = append(order, i)
+				mu.Unlock()
+				e.Release(id)
+			},
+		}
+	}
+	e.AdmitBatch(ops)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		got := len(order)
+		mu.Unlock()
+		if got == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d inline ops ran", got, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("inline op %d ran at position %d: per-key order violated", v, i)
+		}
+	}
+}
+
+func TestInlineAndGoroutinePathsShareKeyOrder(t *testing.T) {
+	// Alternate inline and Done-channel transactions on one key; the
+	// observed sequence must be the admission (total) order.
+	e := newTest(t, 2)
+	const n = 100
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	ops := make([]*Op, n)
+	for i := 0; i < n; i++ {
+		i := i
+		id := tx.TxnID(i + 1)
+		op := &Op{ID: id, Excl: []tx.Key{9}}
+		if i%2 == 0 {
+			op.OnReady = func() {
+				mu.Lock()
+				order = append(order, i)
+				mu.Unlock()
+				e.Release(id)
+			}
+		}
+		ops[i] = op
+	}
+	grants := e.AdmitBatch(ops)
+	for i, g := range grants {
+		if ops[i].OnReady != nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, g lock.Granted) {
+			defer wg.Done()
+			<-g.Done()
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			e.Release(g.ID())
+		}(i, g)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("goroutine-path transactions never granted")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		got := len(order)
+		mu.Unlock()
+		if got == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d ops ran", got, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("op %d observed at position %d: mixed-path key order violated", v, i)
+		}
+	}
+}
+
+func TestHoldingAndQueuedKeysDrain(t *testing.T) {
+	e := newTest(t, 4)
+	g := e.Acquire(1, []tx.Key{1, 2}, []tx.Key{3})
+	if !granted(g) {
+		t.Fatal("not granted")
+	}
+	if !e.Holding(1) {
+		t.Fatal("Holding false while admitted")
+	}
+	e.Release(1)
+	if e.Holding(1) {
+		t.Fatal("Holding true after release")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for e.QueuedKeys() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("QueuedKeys = %d after release", e.QueuedKeys())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestReleaseUnknownIsNoop(t *testing.T) {
+	e := newTest(t, 2)
+	e.Release(42)
+	if e.QueuedKeys() != 0 {
+		t.Fatal("phantom queue after releasing unknown txn")
+	}
+}
+
+func TestDuplicateAdmitPanics(t *testing.T) {
+	e := newTest(t, 2)
+	e.Acquire(1, nil, []tx.Key{1})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on duplicate admission")
+		}
+	}()
+	e.Acquire(1, nil, []tx.Key{2})
+}
+
+func TestCloseWhilePendingDoesNotHang(t *testing.T) {
+	e := New(Config{Workers: 2})
+	e.Acquire(1, nil, []tx.Key{1})
+	e.Acquire(2, nil, []tx.Key{1}) // blocked behind 1, never released
+	done := make(chan struct{})
+	go func() { e.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung with pending admissions")
+	}
+}
+
+func TestConcurrentAdmitReleaseNoLostGrants(t *testing.T) {
+	// Randomized conflict workload mirroring the lock.Manager stress test:
+	// single admitter in total order, concurrent releasers, no exclusive
+	// overlap, everything eventually granted.
+	e := newTest(t, 4)
+	rng := rand.New(rand.NewSource(7))
+	const txns = 500
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	holders := map[tx.Key]int{}
+	var violation atomic.Bool
+
+	for i := 1; i <= txns; i++ {
+		nKeys := 1 + rng.Intn(4)
+		var excl []tx.Key
+		for k := 0; k < nKeys; k++ {
+			excl = append(excl, tx.Key(rng.Intn(20)))
+		}
+		excl = tx.NormalizeKeys(excl)
+		g := e.Acquire(tx.TxnID(i), nil, excl)
+		holdFor := time.Duration(rng.Int63n(100)) * time.Microsecond
+		wg.Add(1)
+		go func(g lock.Granted, keys []tx.Key) {
+			defer wg.Done()
+			<-g.Done()
+			mu.Lock()
+			for _, k := range keys {
+				holders[k]++
+				if holders[k] > 1 {
+					violation.Store(true)
+				}
+			}
+			mu.Unlock()
+			time.Sleep(holdFor)
+			mu.Lock()
+			for _, k := range keys {
+				holders[k]--
+			}
+			mu.Unlock()
+			e.Release(g.ID())
+		}(g, excl)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("deadlock: not all transactions granted")
+	}
+	if violation.Load() {
+		t.Fatal("two exclusive holders overlapped on a key")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for e.QueuedKeys() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("QueuedKeys = %d after all releases", e.QueuedKeys())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func BenchmarkAdmitRelease(b *testing.B) {
+	e := New(Config{Workers: 4})
+	defer e.Close()
+	keys := []tx.Key{1, 2, 3, 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := e.Acquire(tx.TxnID(i+1), keys[:2], keys[2:])
+		<-g.Done()
+		e.Release(g.ID())
+	}
+}

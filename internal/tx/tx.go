@@ -10,6 +10,7 @@ package tx
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"time"
 )
@@ -174,7 +175,7 @@ func NormalizeKeys(ks []Key) []Key {
 	if len(ks) <= 1 {
 		return ks
 	}
-	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	slices.Sort(ks)
 	w := 1
 	for i := 1; i < len(ks); i++ {
 		if ks[i] != ks[w-1] {

@@ -38,13 +38,26 @@ func (p *CounterProc) WriteSet() []Key { return p.Writes }
 
 // Execute implements Procedure.
 func (p *CounterProc) Execute(ctx ExecCtx) {
-	read := make(map[Key][]byte, len(p.Reads))
-	for _, k := range p.Reads {
-		read[k] = ctx.Read(k)
-	}
 	size := p.Payload
 	if size < 8 {
 		size = 8
+	}
+	// Single-key fast path: the hot-chain case needs no read map.
+	if len(p.Writes) == 1 && (len(p.Reads) == 0 || (len(p.Reads) == 1 && p.Reads[0] == p.Writes[0])) {
+		k := p.Writes[0]
+		cur := ctx.Read(k)
+		var c uint64
+		if len(cur) >= 8 {
+			c = binary.LittleEndian.Uint64(cur)
+		}
+		v := make([]byte, size)
+		binary.LittleEndian.PutUint64(v, c+1)
+		ctx.Write(k, v)
+		return
+	}
+	read := make(map[Key][]byte, len(p.Reads))
+	for _, k := range p.Reads {
+		read[k] = ctx.Read(k)
 	}
 	for _, k := range p.Writes {
 		cur, ok := read[k]

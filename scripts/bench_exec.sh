@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Lock-vs-queue execution benchmark gate (docs/PERF.md, "Queue-oriented
+# execution").
+#
+# Drives the identical high-contention hotspot trace through a lock-mode
+# and a queue-mode cluster (interleaved trials, median-throughput trial
+# reported), requires byte-identical node digests, and writes
+# BENCH_exec.json at the repo root: per-mode commit throughput, p95, and
+# the Fig. 7 LockWait before/after, plus the gate verdict the PR
+# requires (>= 1.5x commit speedup at n=4, >= 5x LockWait reduction —
+# reported as null/unbounded because queue mode has no lock manager at
+# all).
+#
+# GOGC is disabled for the measurement: the workload is a fixed-size
+# backlog drain, and collector pauses on a small heap add more variance
+# than the effect under test.
+#
+# Usage:
+#   scripts/bench_exec.sh                 # defaults: 65536 txns, 5 trials
+#   TRIALS=9 TXNS=131072 scripts/bench_exec.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+txns="${TXNS:-65536}"
+trials="${TRIALS:-5}"
+out=BENCH_exec.json
+
+echo "==> go run ./cmd/hermes-bench -execbench (txns=$txns trials=$trials, GOGC=off)"
+GOGC=off go run ./cmd/hermes-bench -execbench \
+    -execbench-txns "$txns" -execbench-trials "$trials" \
+    -report "$out"
+echo "==> wrote $out"

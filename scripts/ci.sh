@@ -51,6 +51,17 @@ go test -race -count=1 \
 echo "==> telemetry-equivalence gate (-race)"
 go test -race -count=1 -run 'TestTelemetryEquivalence' ./internal/chaos
 
+# Exec-equivalence gate: the queue-oriented zero-lock executor must quiesce
+# to node digests byte-identical to the conservative lock manager for every
+# routing policy, including the lossy + mid-run-crash and leader-kill
+# schedules (see docs/PERF.md, "Queue-oriented execution"). Pinned by name
+# so it survives -short.
+echo "==> exec-equivalence gate (lock vs queue, -race)"
+go test -race -count=1 \
+    -run 'TestExecModeEquivalence|TestQueueMode' \
+    ./internal/chaos ./internal/engine
+go test -race -count=1 ./internal/qexec
+
 # Multi-process cluster e2e gate: boots real hermesd processes over
 # loopback TCP, SIGKILLs and restarts a worker mid-run, and requires the
 # final node digests byte-identical to the in-process twin for the same
