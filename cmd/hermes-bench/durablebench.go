@@ -1,0 +1,261 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"hermes/internal/engine"
+	"hermes/internal/harness"
+)
+
+// durableOpts parameterizes one -durablebench run.
+type durableOpts struct {
+	workers  int
+	rows     uint64
+	txns     int
+	batch    int
+	trials   int
+	seed     int64
+	minRatio float64
+	out      string
+}
+
+// durablePolicyResult is one fsync policy's measured cost.
+type durablePolicyResult struct {
+	Policy   string    `json:"policy"`
+	QPS      float64   `json:"qps"` // median-throughput trial
+	TrialQPS []float64 `json:"trial_qps"`
+	AvgMs    float64   `json:"avg_ms"`
+	P95Ms    float64   `json:"p95_ms"`
+	// Fsyncs and Batches sum the workers' journal counters in the median
+	// trial; AcksPerFsync is the group-commit amortization (batch policy).
+	Fsyncs       int64   `json:"journal_fsyncs"`
+	Batches      int64   `json:"journal_batches"`
+	AcksPerFsync float64 `json:"acks_per_fsync,omitempty"`
+	Retransmits  int64   `json:"retransmits"`
+}
+
+// durableGate is the pass/fail verdict the PR pins.
+type durableGate struct {
+	Pass   bool   `json:"pass"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// durableReport is BENCH_durable.json.
+type durableReport struct {
+	Workers        int                   `json:"workers"`
+	Rows           uint64                `json:"rows"`
+	Txns           int                   `json:"txns"`
+	BatchSize      int                   `json:"batch_size"`
+	Trials         int                   `json:"trials"`
+	Seed           int64                 `json:"seed"`
+	MinRatio       float64               `json:"min_batch_over_none"`
+	Policies       []durablePolicyResult `json:"policies"`
+	BatchOverNone  float64               `json:"batch_over_none"`
+	AlwaysOverNone float64               `json:"always_over_none"`
+	DigestsMatch   bool                  `json:"digests_match"`
+	Gate           durableGate           `json:"gate"`
+}
+
+// durableTrial is one cluster run's raw outcome.
+type durableTrial struct {
+	res     *harness.RunResult
+	fsyncs  int64
+	batches int64
+	acks    int64
+	retrans int64
+	digests []engine.NodeDigest
+}
+
+// runDurableBench measures what journal durability costs: the identical
+// workload runs on a real multi-process cluster under each fsync policy
+// (none / batch / always), interleaved across trials so machine noise
+// spreads evenly. The gate requires (a) byte-identical node digests across
+// all policies and trials — fsync timing must never leak into state — and
+// (b) group commit keeping at least minRatio of the no-fsync throughput,
+// the "durability is affordable" claim. Returns false on gate failure.
+func runDurableBench(o durableOpts) bool {
+	policies := []string{"none", "batch", "always"}
+	trials := make(map[string][]durableTrial, len(policies))
+	rep := &durableReport{
+		Workers: o.workers, Rows: o.rows, Txns: o.txns, BatchSize: o.batch,
+		Trials: o.trials, Seed: o.seed, MinRatio: o.minRatio,
+	}
+	fail := func(format string, args ...any) bool {
+		rep.Gate = durableGate{Pass: false, Reason: fmt.Sprintf(format, args...)}
+		fmt.Fprintln(os.Stderr, "durable:", rep.Gate.Reason)
+		writeDurableReport(o.out, rep)
+		return false
+	}
+
+	var refDigests []engine.NodeDigest
+	rep.DigestsMatch = true
+	for trial := 0; trial < o.trials; trial++ {
+		for _, pol := range policies {
+			t, err := runDurableTrial(o, pol)
+			if err != nil {
+				return fail("fsync=%s trial %d: %v", pol, trial, err)
+			}
+			if t.res.Committed != int64(o.txns) {
+				return fail("fsync=%s trial %d committed %d of %d", pol, trial, t.res.Committed, o.txns)
+			}
+			if refDigests == nil {
+				refDigests = t.digests
+			} else if !digestsEqual(refDigests, t.digests) {
+				rep.DigestsMatch = false
+				return fail("fsync=%s trial %d digests diverge from fsync=none: %v vs %v",
+					pol, trial, t.digests, refDigests)
+			}
+			trials[pol] = append(trials[pol], t)
+			fmt.Printf("durable: fsync=%-6s trial %d: %7.0f txn/s, p95 %.2fms, %d fsyncs\n",
+				pol, trial, t.res.QPS, t.res.P95Ms, t.fsyncs)
+		}
+	}
+
+	for _, pol := range policies {
+		ts := trials[pol]
+		med := medianTrial(ts)
+		pr := durablePolicyResult{
+			Policy:      pol,
+			QPS:         med.res.QPS,
+			AvgMs:       med.res.AvgMs,
+			P95Ms:       med.res.P95Ms,
+			Fsyncs:      med.fsyncs,
+			Batches:     med.batches,
+			Retransmits: med.retrans,
+		}
+		if med.batches > 0 {
+			pr.AcksPerFsync = float64(med.acks) / float64(med.batches)
+		}
+		for _, t := range ts {
+			pr.TrialQPS = append(pr.TrialQPS, t.res.QPS)
+		}
+		rep.Policies = append(rep.Policies, pr)
+	}
+	noneQPS := rep.Policies[0].QPS
+	if noneQPS > 0 {
+		rep.BatchOverNone = rep.Policies[1].QPS / noneQPS
+		rep.AlwaysOverNone = rep.Policies[2].QPS / noneQPS
+	}
+	for _, pr := range rep.Policies {
+		fmt.Printf("durable: fsync=%-6s median %7.0f txn/s (p95 %.2fms, %d fsyncs, %.1f acks/fsync, %d retransmits)\n",
+			pr.Policy, pr.QPS, pr.P95Ms, pr.Fsyncs, pr.AcksPerFsync, pr.Retransmits)
+	}
+	fmt.Printf("durable: batch/none = %.2fx, always/none = %.2fx (gate: batch >= %.2fx)\n",
+		rep.BatchOverNone, rep.AlwaysOverNone, o.minRatio)
+
+	switch {
+	case rep.Policies[1].Fsyncs == 0:
+		rep.Gate = durableGate{Pass: false, Reason: "fsync=batch issued zero fsyncs; the bench measured nothing"}
+	case rep.BatchOverNone < o.minRatio:
+		rep.Gate = durableGate{Pass: false, Reason: fmt.Sprintf(
+			"group commit keeps %.2fx of no-fsync throughput, gate requires %.2fx", rep.BatchOverNone, o.minRatio)}
+	default:
+		rep.Gate = durableGate{Pass: true}
+	}
+	writeDurableReport(o.out, rep)
+	if !rep.Gate.Pass {
+		fmt.Fprintln(os.Stderr, "durable: GATE FAIL:", rep.Gate.Reason)
+		return false
+	}
+	fmt.Printf("durable: digests identical across all policies; group commit keeps %.2fx of no-fsync throughput\n",
+		rep.BatchOverNone)
+	return true
+}
+
+// runDurableTrial boots one cluster under the given fsync policy, drives
+// the workload, and collects throughput, digests, and journal counters.
+func runDurableTrial(o durableOpts, fsync string) (durableTrial, error) {
+	var t durableTrial
+	dir, err := os.MkdirTemp("", "hermes-durable-bench-")
+	if err != nil {
+		return t, err
+	}
+	defer os.RemoveAll(dir)
+
+	c, err := harness.StartCluster(harness.ClusterConfig{
+		Workers:   o.workers,
+		Policy:    "hermes",
+		Rows:      o.rows,
+		Payload:   64,
+		BatchSize: o.batch,
+		Fsync:     fsync,
+		Dir:       dir,
+	})
+	if err != nil {
+		return t, fmt.Errorf("start: %w", err)
+	}
+	defer c.Close()
+	if err := c.Seed(); err != nil {
+		return t, fmt.Errorf("seed: %w", err)
+	}
+	spec := harness.WorkloadSpec{
+		Kind:       harness.WorkloadYCSB,
+		Seed:       o.seed,
+		Txns:       o.txns,
+		Rows:       o.rows,
+		KeysPerTxn: 3,
+		Payload:    64,
+		// Moderate skew and a deep in-flight window (both identical for
+		// every policy) isolate the effect under test. The deep window
+		// gives group commit something to amortize — each fsync covers
+		// the frames of many concurrent transactions instead of
+		// serializing on one batch's round trip — and the moderate skew
+		// keeps the no-fsync baseline from becoming lock-wait-bound,
+		// which would confound durability cost with contention cost.
+		Theta:  0.05,
+		Window: 8 * o.batch,
+	}
+	if err := c.Run(spec); err != nil {
+		return t, fmt.Errorf("run: %w", err)
+	}
+	res, err := c.WaitRun(3 * time.Minute)
+	if err != nil {
+		return t, fmt.Errorf("wait: %w", err)
+	}
+	if err := c.Quiesce(30 * time.Second); err != nil {
+		return t, fmt.Errorf("quiesce: %w", err)
+	}
+	t.digests, err = c.Digests()
+	if err != nil {
+		return t, fmt.Errorf("digests: %w", err)
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		return t, fmt.Errorf("stats: %w", err)
+	}
+	for _, st := range stats {
+		t.fsyncs += st.JournalFsyncs
+		t.batches += st.JournalBatches
+		t.acks += st.JournalBatchedAcks
+		t.retrans += st.Retransmits
+	}
+	t.res = res
+	return t, nil
+}
+
+// medianTrial picks the median-throughput trial (odd counts exact).
+func medianTrial(ts []durableTrial) durableTrial {
+	sorted := append([]durableTrial(nil), ts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].res.QPS < sorted[j].res.QPS })
+	return sorted[len(sorted)/2]
+}
+
+func writeDurableReport(path string, rep *durableReport) {
+	if path == "" {
+		return
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "durable report:", err)
+		return
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "durable report:", err)
+		return
+	}
+	fmt.Printf("durable report -> %s\n", path)
+}

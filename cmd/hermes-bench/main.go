@@ -54,6 +54,13 @@ func main() {
 		ebHot     = flag.Float64("execbench-hot", 0.98, "execbench: fraction of single-hot-key transactions")
 		ebSpeedup = flag.Float64("execbench-min-speedup", 1.5, "execbench: minimum queue/lock commit-throughput ratio")
 		ebReduce  = flag.Float64("execbench-min-reduction", 5, "execbench: minimum lock-wait reduction (lock/queue)")
+
+		durableBench = flag.Bool("durablebench", false, "run the fsync-policy cluster bench (none/batch/always) instead of an experiment")
+		dbTxns       = flag.Int("durablebench-txns", 4000, "durablebench: transactions per trial")
+		dbTrials     = flag.Int("durablebench-trials", 3, "durablebench: trials per fsync policy (median-throughput trial reported)")
+		dbWorkers    = flag.Int("durablebench-workers", 3, "durablebench: worker processes")
+		dbBatch      = flag.Int("durablebench-batch", 25, "durablebench: sequencer batch size")
+		dbRatio      = flag.Float64("durablebench-min-ratio", 0.70, "durablebench: minimum batch/none commit-throughput ratio")
 	)
 	flag.Parse()
 
@@ -73,6 +80,23 @@ func main() {
 			o.seed = *seed
 		}
 		if !runExecBench(o) {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *durableBench {
+		o := durableOpts{
+			workers: *dbWorkers, rows: 4000, txns: *dbTxns, batch: *dbBatch,
+			trials: *dbTrials, seed: 42, minRatio: *dbRatio, out: *report,
+		}
+		if *rows > 0 {
+			o.rows = *rows
+		}
+		if *seed != 0 {
+			o.seed = *seed
+		}
+		if !runDurableBench(o) {
 			os.Exit(1)
 		}
 		return

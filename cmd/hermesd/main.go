@@ -32,8 +32,11 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"hermes"
@@ -59,7 +62,9 @@ func main() {
 		alpha     = flag.Float64("alpha", 0, "node mode: load-imbalance tolerance")
 		batch     = flag.Int("batch", 0, "node mode: sequencer batch size")
 		dir       = flag.String("dir", "", "node mode: journal and seed-spec directory")
-		recov     = flag.Bool("recover", false, "node mode: recovering restart (re-seed and replay the journal)")
+		fsync     = flag.String("fsync", "", "node mode: journal fsync policy: none (default), batch (group commit) or always")
+		ckptEvery = flag.Duration("checkpoint-every", 0, "node mode: periodic durable checkpoint interval (0 disables)")
+		recov     = flag.Bool("recover", false, "node mode: recovering restart (restore checkpoint, re-seed, replay the journal)")
 	)
 	flag.Parse()
 	if *node >= 0 {
@@ -67,6 +72,7 @@ func main() {
 			node: *node, workers: *workers, peers: *peers, policy: *policy,
 			rows: *rows, fusionCap: *fusionCap, alpha: *alpha, batch: *batch,
 			dir: *dir, seqHost: *seqHost, recover: *recov, exec: *exec,
+			fsync: *fsync, ckptEvery: *ckptEvery,
 		})
 		return
 	}
@@ -85,7 +91,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	defer db.Close()
+	// Idempotent shutdown shared by "quit", EOF and signals: the REPL can
+	// be interrupted at any point without double-closing the database.
+	var closeOnce sync.Once
+	shutdown := func() { closeOnce.Do(func() { db.Close() }) }
+	defer shutdown()
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "\nhermesd: interrupt — closing (signal again to force exit)")
+		go func() {
+			shutdown()
+			os.Exit(0)
+		}()
+		<-sigs
+		os.Exit(130)
+	}()
 	db.LoadUniform(64)
 	fmt.Printf("hermesd: %d nodes (+%d standby), %d rows, policy=%s\n", *nodes, *standby, *rows, *policy)
 	if *addr != "" {

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"hermes/internal/harness"
 	"hermes/internal/tx"
@@ -27,6 +28,8 @@ type nodeFlags struct {
 	seqHost   bool
 	recover   bool
 	exec      string
+	fsync     string
+	ckptEvery time.Duration
 }
 
 // runNode is hermesd's cluster-process mode: spawned by the harness
@@ -55,29 +58,38 @@ func runNode(nf nodeFlags) {
 		}
 	}
 	s, err := harness.NewNodeServer(harness.NodeConfig{
-		Self:      tx.NodeID(nf.node),
-		Workers:   nf.workers,
-		Addrs:     addrs,
-		DataLn:    dataLn,
-		ControlLn: ctrlLn,
-		LeaderLn:  leaderLn,
-		Policy:    nf.policy,
-		Rows:      nf.rows,
-		FusionCap: nf.fusionCap,
-		Alpha:     nf.alpha,
-		BatchSize: nf.batch,
-		ExecMode:  nf.exec,
-		Dir:       nf.dir,
-		Recover:   nf.recover,
+		Self:            tx.NodeID(nf.node),
+		Workers:         nf.workers,
+		Addrs:           addrs,
+		DataLn:          dataLn,
+		ControlLn:       ctrlLn,
+		LeaderLn:        leaderLn,
+		Policy:          nf.policy,
+		Rows:            nf.rows,
+		FusionCap:       nf.fusionCap,
+		Alpha:           nf.alpha,
+		BatchSize:       nf.batch,
+		ExecMode:        nf.exec,
+		Dir:             nf.dir,
+		Fsync:           nf.fsync,
+		CheckpointEvery: nf.ckptEvery,
+		Recover:         nf.recover,
 	})
 	if err != nil {
 		fatalf("hermesd: node %d: %v", nf.node, err)
 	}
-	sigs := make(chan os.Signal, 1)
-	signal.Notify(sigs, syscall.SIGTERM, os.Interrupt)
+	// First SIGINT/SIGTERM drains and shuts down gracefully (Close is
+	// idempotent, so a racing /shutdown is harmless); a second signal while
+	// the drain is still running forces an immediate exit.
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
 	go func() {
-		<-sigs
-		s.Close()
+		sig := <-sigs
+		fmt.Fprintf(os.Stderr, "hermesd: node %d: %v — draining (signal again to force exit)\n", nf.node, sig)
+		go s.Close()
+		sig = <-sigs
+		fmt.Fprintf(os.Stderr, "hermesd: node %d: %v — forcing exit\n", nf.node, sig)
+		os.Exit(130)
 	}()
 	fmt.Printf("hermesd: node %d of %d up (policy=%s seq-host=%v recover=%v)\n",
 		nf.node, nf.workers, nf.policy, nf.seqHost, nf.recover)

@@ -70,6 +70,13 @@ type Schedule struct {
 	// restarts as a standby of the new epoch. They require the reliable
 	// layer and a cluster with sequencer standbys (Spec.SeqStandbys).
 	LeaderKills []LeaderKill
+
+	// Disk, when set, runs every node's delivery journal over a
+	// fault-injecting in-memory filesystem (torn writes, short writes,
+	// failed fsyncs) and verifies crash recovery of the journal at each
+	// node-crash event and at end of run (see disk.go). Requires the
+	// reliable layer (the journal hooks hang off it).
+	Disk *DiskFaults
 }
 
 // Crash is one seeded node kill: the victim is killed once its scheduler
@@ -114,7 +121,8 @@ func (s Schedule) faulty() bool {
 // base Transport contract tolerates: message loss, duplication, or node
 // crashes all need the engine's reliable-delivery layer underneath.
 func (s Schedule) RequiresReliable() bool {
-	return s.DropProb > 0 || s.DupProb > 0 || len(s.Crashes) > 0 || len(s.LeaderKills) > 0
+	return s.DropProb > 0 || s.DupProb > 0 || len(s.Crashes) > 0 || len(s.LeaderKills) > 0 ||
+		s.Disk != nil
 }
 
 // Schedules returns the standard matrix of distinct fault schedules used

@@ -1,0 +1,171 @@
+package chaos
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hermes/internal/diskio"
+	"hermes/internal/network"
+	"hermes/internal/tx"
+)
+
+// TestDiskFaultEquivalence is the storage-fault acceptance property: with
+// every node's delivery journal running over fault-injecting storage —
+// torn writes, short writes, failed fsyncs — plus a mid-run node crash
+// whose journal is pushed through the power-cut recovery model, every
+// routing policy must still quiesce to state byte-identical to the
+// fault-free baseline. The disk layer sits below determinism: it may slow
+// acks down, it may never change what executes.
+func TestDiskFaultEquivalence(t *testing.T) {
+	policies := Policies()
+	if testing.Short() {
+		policies = []string{"hermes", "calvin"}
+	}
+	scheds := append([]Schedule{{Name: "baseline", Seed: 7170}}, DiskFaultSchedules(7170)...)
+	for _, pol := range policies {
+		pol := pol
+		t.Run(pol, func(t *testing.T) {
+			t.Parallel()
+			spec := Spec{Policy: pol, Workload: WorkloadYCSB, Nodes: 3, Txns: 64, Batch: 8, Seed: 505}
+			results, err := Equivalence(spec, scheds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Prove the schedules actually hurt the storage layer: the torn
+			// schedule forced append repairs, the fsync-fail schedule failed
+			// fsyncs, and every disk schedule journaled frames and ran the
+			// offline crash check (once at the kill, twice per node at end).
+			for _, r := range results[1:] {
+				d := r.Schedule.Disk
+				if d == nil {
+					t.Fatalf("%v carries no disk faults", r.Schedule)
+				}
+				if r.Disk.Frames == 0 {
+					t.Errorf("%v journaled no frames", r.Schedule)
+				}
+				wantChecks := int64(2*spec.Nodes + len(r.Schedule.Crashes))
+				if r.Disk.CrashChecks < wantChecks {
+					t.Errorf("%v ran %d crash checks, want >= %d", r.Schedule, r.Disk.CrashChecks, wantChecks)
+				}
+				if d.Torn > 0.05 && r.Disk.TornWrites == 0 {
+					t.Errorf("%v injected no torn writes", r.Schedule)
+				}
+				if d.Torn > 0.05 && r.Disk.AppendRetries == 0 {
+					t.Errorf("%v repaired no torn appends", r.Schedule)
+				}
+				if d.Short > 0 && r.Disk.ShortWrites == 0 {
+					t.Errorf("%v injected no short writes", r.Schedule)
+				}
+				if d.SyncFail > 0 && r.Disk.SyncFails == 0 {
+					t.Errorf("%v failed no fsyncs", r.Schedule)
+				}
+			}
+		})
+	}
+}
+
+// buildVerifiedJournal appends n frames to a journal over clean in-memory
+// storage with fsync-always (every frame durable at return) and hands back
+// the snapshot the offline crash check would take.
+func buildVerifiedJournal(t *testing.T, dir string, n int) (data []byte, durable int, mirror []network.Message) {
+	t.Helper()
+	fs := diskio.NewMemFS(diskio.FaultSpec{Seed: 1})
+	jr, err := network.OpenJournalWith(dir, network.JournalOpts{FS: fs, Policy: network.SyncAlways})
+	if err != nil {
+		t.Fatalf("opening journal: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		m := network.Message{
+			From: tx.NodeID(1 + i%2), To: 0, Type: network.MsgRecordPush,
+			Txn: tx.TxnID(100 + i), Seq: uint64(i), Link: uint64(i/2 + 1), Inc: 1,
+			Payload: []byte{byte(i), byte(i >> 8), 0xAB},
+		}
+		jr.Append(m)
+		mirror = append(mirror, m)
+	}
+	if err := jr.Close(); err != nil {
+		t.Fatalf("closing journal: %v", err)
+	}
+	path := filepath.Join(dir, shadowJournalFile)
+	data, _, err = fs.SnapshotFile(path)
+	if err != nil {
+		t.Fatalf("snapshotting journal: %v", err)
+	}
+	return data, fs.DurableLen(path), mirror
+}
+
+// TestDiskCrashCheckCatchesDurablePrefixDamage proves the offline checker
+// is not vacuous: an intact fully-durable journal passes it under heavy
+// bit-flip odds (flips only ever target un-fsynced bytes, and there are
+// none), while a single corrupted byte inside the durable prefix — damage
+// the durability contract says cannot happen — makes it fail loudly.
+func TestDiskCrashCheckCatchesDurablePrefixDamage(t *testing.T) {
+	const frames = 12
+	dir := "/neg/node0"
+	data, durable, mirror := buildVerifiedJournal(t, dir, frames)
+	if durable != len(data) {
+		t.Fatalf("fsync-always journal not fully durable: %d of %d bytes", durable, len(data))
+	}
+
+	base := crashVerifyInput{
+		node: 0, dir: dir, data: data, durable: durable,
+		mirror: mirror, acked: frames, bitFlip: 0.5, crashSeed: 99,
+	}
+	if err := verifyCrashSnapshot(base); err != nil {
+		t.Fatalf("intact durable journal failed the crash check: %v", err)
+	}
+
+	// Flip one bit in the middle of the durable region (past the 16-byte
+	// file header, so the damage lands inside a frame, not the magic).
+	damaged := base
+	damaged.data = append([]byte(nil), data...)
+	damaged.data[16+(len(data)-16)/2] ^= 0x40
+	err := verifyCrashSnapshot(damaged)
+	if err == nil {
+		t.Fatal("crash check accepted a journal with corrupted durable bytes")
+	}
+	if !strings.Contains(err.Error(), "DURABILITY VIOLATION") &&
+		!strings.Contains(err.Error(), "diverges") {
+		t.Errorf("crash check failed for the wrong reason: %v", err)
+	}
+
+	// Truncating below the acked watermark — frames fsync promised —
+	// must equally be refused.
+	short := base
+	short.data = data[:len(data)/2]
+	short.durable = len(short.data)
+	if err := verifyCrashSnapshot(short); err == nil {
+		t.Fatal("crash check accepted a journal missing acked frames")
+	} else if !strings.Contains(err.Error(), "DURABILITY VIOLATION") {
+		t.Errorf("truncation failed for the wrong reason: %v", err)
+	}
+}
+
+// TestDiskScheduleRequiresReliable pins the wiring invariant: a disk
+// schedule must force the reliable layer on, because the journal and
+// ack-gate hooks only exist there.
+func TestDiskScheduleRequiresReliable(t *testing.T) {
+	for _, sched := range DiskFaultSchedules(1) {
+		if !sched.RequiresReliable() {
+			t.Errorf("%v does not require the reliable layer", sched)
+		}
+	}
+	if (Schedule{Disk: &DiskFaults{}}).RequiresReliable() != true {
+		t.Error("bare disk schedule does not require the reliable layer")
+	}
+}
+
+// TestDiskFaultExecModeEquivalence runs the harshest disk schedule in both
+// execution modes: the queue executor must be a faithful drop-in for the
+// lock manager even when every ack is gated behind faulty group commits.
+func TestDiskFaultExecModeEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exec-mode disk matrix skipped in -short mode")
+	}
+	scheds := []Schedule{{Name: "baseline", Seed: 8180}, DiskFaultSchedules(8180)[0]}
+	spec := Spec{Policy: "hermes", Workload: WorkloadYCSB, Nodes: 3, Txns: 64, Batch: 8, Seed: 606}
+	if _, err := ExecModeEquivalence(spec, scheds); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -130,6 +130,9 @@ type Result struct {
 	// Spec.Telemetry): lifecycle events emitted and registry samples.
 	Traced        uint64
 	MetricSamples int
+	// Disk reports the shadow-journal activity and injected storage
+	// faults (zero unless Schedule.Disk).
+	Disk DiskStats
 }
 
 // normalize applies defaults and rounds the trace to whole batches.
@@ -293,7 +296,7 @@ func Run(spec Spec, sched Schedule) (*Result, error) {
 		seqCfg.RetryCap = 100 * time.Millisecond
 	}
 	var chaosT *Transport
-	c, err := engine.New(engine.Config{
+	cfg := engine.Config{
 		Nodes:     ids,
 		Policy:    pf,
 		Telemetry: tel,
@@ -308,7 +311,22 @@ func Run(spec Spec, sched Schedule) (*Result, error) {
 		// faulty link; schedules within the base contract run without it,
 		// exactly as before.
 		Reliable: sched.RequiresReliable(),
-	})
+	}
+	// Disk schedules route every node's delivery journaling and ack gating
+	// through a shadow journal on fault-injecting storage (disk.go). The
+	// shadows close after the engine stops (defers run LIFO), so the final
+	// group commit covers every frame the reliable layer appended.
+	var shadows *shadowSet
+	if sched.Disk != nil {
+		shadows, err = newShadowSet(sched, ids)
+		if err != nil {
+			return nil, err
+		}
+		defer shadows.Close()
+		cfg.JournalFor = shadows.journalFor
+		cfg.AckGateFor = shadows.ackGateFor
+	}
+	c, err := engine.New(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -405,6 +423,15 @@ func Run(spec Spec, sched Schedule) (*Result, error) {
 				crashErr <- fmt.Errorf("chaos: %v under %v: crash node %d: %w", spec, sched, watch, err)
 				return
 			}
+			// With the victim down, its shadow journal is exactly what a
+			// real crash would leave on disk: verify recovery at the kill
+			// point, not just at quiescence.
+			if shadows != nil {
+				if err := shadows.verify(watch, 1); err != nil {
+					crashErr <- fmt.Errorf("chaos: %v under %v: %w", spec, sched, err)
+					return
+				}
+			}
 			time.Sleep(ev.down)
 			if err := c.RestartNode(watch); err != nil {
 				crashErr <- fmt.Errorf("chaos: %v under %v: restart node %d: %w", spec, sched, watch, err)
@@ -462,6 +489,14 @@ func Run(spec Spec, sched Schedule) (*Result, error) {
 	res.Retransmits = c.ReliableStats().Retransmits
 	res.Crashes = c.Collector().Crashes()
 	res.Failovers = c.SeqFailovers()
+	if shadows != nil {
+		// End-of-run crash check for every node, twice with distinct
+		// seeds (distinct tear points and bit-flip patterns).
+		if err := shadows.verifyAll(2); err != nil {
+			return nil, fmt.Errorf("chaos: %v under %v: %w", spec, sched, err)
+		}
+		res.Disk = shadows.stats()
+	}
 	if tel != nil {
 		res.Traced = tel.Tracer().Written()
 		res.MetricSamples = len(tel.Registry().Snapshot())

@@ -32,10 +32,12 @@ type WorkerConfig struct {
 	// construction in every process (and in the in-process emulation that
 	// digests are compared against).
 	Policy PolicyFactory
-	// Incarnation, Journal, and Recovered plumb the delivery journal into
-	// the reliable layer: see network.ReliableOpts.
+	// Incarnation, Journal, AckGate, Floors, and Recovered plumb the
+	// delivery journal into the reliable layer: see network.ReliableOpts.
 	Incarnation uint64
 	Journal     func(network.Message)
+	AckGate     func(func())
+	Floors      map[tx.NodeID]network.LinkFloor
 	Recovered   []network.Message
 	// Executors, ExecMode, Window: as in Config.
 	Executors int
@@ -45,6 +47,10 @@ type WorkerConfig struct {
 	// (zero = front-end defaults).
 	RetryTimeout time.Duration
 	RetryCap     time.Duration
+	// RetransmitBase/RetransmitCap tune the reliable layer's retransmit
+	// pacing (zero = in-process defaults; see ReliableOpts).
+	RetransmitBase time.Duration
+	RetransmitCap  time.Duration
 	// Telemetry, if non-nil, registers this process's gauges (served at
 	// the control endpoint's /metrics).
 	Telemetry *telemetry.Telemetry
@@ -71,11 +77,15 @@ func NewWorker(wc WorkerConfig) (*Cluster, error) {
 	}
 	sendTo = append(sendTo, wc.Leader)
 	rel := network.NewReliableWith(wc.Transport, network.ReliableOpts{
-		RecvFor:     []tx.NodeID{wc.Self},
-		SendTo:      sendTo,
-		Incarnation: wc.Incarnation,
-		Journal:     wc.Journal,
-		Recovered:   wc.Recovered,
+		RecvFor:        []tx.NodeID{wc.Self},
+		SendTo:         sendTo,
+		Incarnation:    wc.Incarnation,
+		Journal:        wc.Journal,
+		AckGate:        wc.AckGate,
+		Floors:         wc.Floors,
+		Recovered:      wc.Recovered,
+		RetransmitBase: wc.RetransmitBase,
+		RetransmitCap:  wc.RetransmitCap,
 	})
 	c := &Cluster{
 		cfg: Config{

@@ -19,6 +19,16 @@ type ClusterProcess struct {
 	Retransmits       int64  `json:"retransmits"`
 	DupsDropped       int64  `json:"dups_dropped"`
 	HandshakeFailures int64  `json:"handshake_failures"`
+
+	RestoredCheckpoint bool   `json:"restored_checkpoint"`
+	CheckpointID       uint64 `json:"checkpoint_id"`
+	CheckpointSaves    int64  `json:"checkpoint_saves"`
+	JournalBase        uint64 `json:"journal_base"`
+	JournalFsyncs      int64  `json:"journal_fsyncs"`
+	JournalBatches     int64  `json:"journal_batches"`
+	JournalBatchedAcks int64  `json:"journal_batched_acks"`
+	JournalTorn        int64  `json:"journal_torn"`
+	JournalCorrupt     int64  `json:"journal_corrupt"`
 }
 
 // ClusterGate is the pass/fail verdict CI keys on.

@@ -10,7 +10,9 @@
 package fusion
 
 import (
+	"bytes"
 	"container/list"
+	"encoding/gob"
 	"hash/fnv"
 	"sync/atomic"
 
@@ -215,4 +217,44 @@ func (t *Table) Clone() *Table {
 		c.Put(n.entry.Key, n.entry.Owner)
 	}
 	return c
+}
+
+// tableWire is the serialized form: configuration plus entries in eviction
+// order (oldest first), which is enough to rebuild the identical
+// replacement order for both LRU and FIFO.
+type tableWire struct {
+	Capacity int
+	Policy   Policy
+	Entries  []Entry
+}
+
+// GobEncode serializes the table for durable checkpoints. Replacement
+// order is included — unlike Fingerprint, a restored replica must also
+// evict identically to its peers.
+func (t *Table) GobEncode() ([]byte, error) {
+	w := tableWire{Capacity: t.capacity, Policy: t.policy}
+	for e := t.order.Back(); e != nil; e = e.Prev() {
+		w.Entries = append(w.Entries, e.Value.(*node).entry)
+	}
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(&w)
+	return buf.Bytes(), err
+}
+
+// GobDecode rebuilds the table from GobEncode's form.
+func (t *Table) GobDecode(data []byte) error {
+	var w tableWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	r := New(w.Capacity, w.Policy)
+	for _, e := range w.Entries {
+		r.Put(e.Key, e.Owner)
+	}
+	t.capacity = r.capacity
+	t.policy = r.policy
+	t.m = r.m
+	t.order = r.order
+	t.stats.size.Store(int64(len(r.m)))
+	return nil
 }

@@ -80,14 +80,21 @@ func (d *driver) status() RunStatus {
 }
 
 // start marks the driver busy; it reports false if a run is already in
-// progress or finished (a driver runs exactly once).
+// progress. A finished driver may start again — multi-phase workloads (run,
+// checkpoint, run the continuation) reuse the same process — so starting
+// resets the previous run's progress and result.
 func (d *driver) start(total int) bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.running || d.done {
+	if d.running {
 		return false
 	}
 	d.running = true
+	d.done = false
+	d.err = ""
+	d.result = nil
+	d.submitted.Store(0)
+	d.completed.Store(0)
 	d.total.Store(int64(total))
 	return true
 }
@@ -113,7 +120,8 @@ func (d *driver) stop() {
 }
 
 // run drives the full stream through submit and returns once every
-// transaction has completed. It must be called at most once.
+// transaction has completed. At most one run may be in flight at a time
+// (start gates that).
 func (d *driver) run(
 	submit func(tx.Procedure) (<-chan struct{}, error),
 	procs []*tx.CounterProc,
@@ -135,6 +143,12 @@ func (d *driver) runInner(
 ) (*RunResult, error) {
 	deadline := time.Now().Add(timeout)
 	start := time.Now()
+	// The leader's counters are cumulative across runs; arrival checks for
+	// this run are relative to where the sealed stream already stood.
+	sealedBase, pendingBase := lc.SealedAndPending()
+	if pendingBase != 0 {
+		return nil, fmt.Errorf("harness: leader holds %d pending from a previous run", pendingBase)
+	}
 	sem := make(chan struct{}, window)
 	latencies := make([]int64, len(procs)) // nanoseconds, index = submission order
 	var wg sync.WaitGroup
@@ -174,12 +188,12 @@ func (d *driver) runInner(
 	total := int64(len(procs))
 	for {
 		sealed, pending := lc.SealedAndPending()
-		if sealed+int64(pending) >= total {
+		if sealed-sealedBase+int64(pending) >= total {
 			break
 		}
 		if time.Now().After(deadline) {
 			return nil, fmt.Errorf("harness: leader saw %d of %d submissions within %v",
-				sealed+int64(pending), total, timeout)
+				sealed-sealedBase+int64(pending), total, timeout)
 		}
 		select {
 		case <-d.abort:

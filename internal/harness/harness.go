@@ -61,6 +61,14 @@ type WorkloadSpec struct {
 	// Sweeps is the number of full hot-spot rotations across the run
 	// (WorkloadHotspot only; default 2).
 	Sweeps int `json:"sweeps,omitempty"`
+	// Skip is the number of leading stream transactions to generate —
+	// consuming the RNG exactly as a full run would — but not return:
+	// phase two of a multi-phase run sets Skip to phase one's Txns and
+	// gets the precise continuation of the same stream. The hot-spot sweep
+	// position is normalized over Skip+Txns, so a skipped suffix matches a
+	// single full-length run; WorkloadYCSB phases compose exactly at any
+	// split.
+	Skip int `json:"skip,omitempty"`
 }
 
 // Validate checks the spec for the mistakes that would otherwise surface
@@ -82,6 +90,9 @@ func (s *WorkloadSpec) Validate(batchSize int) error {
 	if s.Window < batchSize {
 		return fmt.Errorf("harness: window %d below batch size %d would deadlock the closed loop",
 			s.Window, batchSize)
+	}
+	if s.Skip < 0 {
+		return fmt.Errorf("harness: negative skip %d", s.Skip)
 	}
 	return nil
 }
@@ -111,7 +122,8 @@ func (s *WorkloadSpec) Procs() ([]*tx.CounterProc, error) {
 		// maps to elapsed = sweeps * i/Txns.
 		peak = zipf.MovingPeak{N: s.Rows, Period: 1}
 	}
-	procs := make([]*tx.CounterProc, s.Txns)
+	total := s.Skip + s.Txns
+	procs := make([]*tx.CounterProc, total)
 	seen := make(map[uint64]bool, s.KeysPerTxn)
 	for i := range procs {
 		for k := range seen {
@@ -124,7 +136,7 @@ func (s *WorkloadSpec) Procs() ([]*tx.CounterProc, error) {
 			case WorkloadYCSB:
 				row = ycsb.Next()
 			case WorkloadHotspot:
-				elapsed := float64(sweeps) * float64(i) / float64(s.Txns)
+				elapsed := float64(sweeps) * float64(i) / float64(total)
 				row = hot.Next(peak.At(elapsed))
 			}
 			if seen[row] {
@@ -135,7 +147,7 @@ func (s *WorkloadSpec) Procs() ([]*tx.CounterProc, error) {
 		}
 		procs[i] = &tx.CounterProc{Reads: keys, Writes: keys, Payload: s.Payload}
 	}
-	return procs, nil
+	return procs[s.Skip:], nil
 }
 
 // SeedValue is the record payload every row is seeded with: an all-zero

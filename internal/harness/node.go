@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net"
 	"net/http"
 	"os"
@@ -12,6 +13,8 @@ import (
 	"time"
 
 	"hermes"
+	"hermes/internal/diskio"
+	"hermes/internal/durable"
 	"hermes/internal/engine"
 	"hermes/internal/network"
 	"hermes/internal/partition"
@@ -65,11 +68,22 @@ type NodeConfig struct {
 	// ExecMode selects the execution backend ("lock" or "queue"; empty
 	// means lock). Must be identical in every process and in the twin.
 	ExecMode string
-	// Dir holds the process's delivery journal, incarnation counter, and
-	// seed spec.
+	// Dir holds the process's delivery journal, incarnation counter, seed
+	// spec, and checkpoint store (in Dir/checkpoints).
 	Dir string
-	// Recover marks a restarted process: it re-seeds from the persisted
-	// seed spec and starts replaying its journal immediately instead of
+	// Fsync is the journal's fsync policy ("none"|"batch"|"always"; empty
+	// = none, the legacy page-cache-durability mode). With "batch" or
+	// "always", acked input survives host death, and a restart rebuilds
+	// state strictly from the on-disk checkpoint + journal suffix.
+	Fsync string
+	// CheckpointEvery, when positive, runs an opportunistic periodic
+	// checkpoint: at each tick, if the worker happens to be settled, its
+	// state is captured, saved durably, and the journal rotated. Zero
+	// disables the trigger (the orchestrator can still POST /checkpoint).
+	CheckpointEvery time.Duration
+	// Recover marks a restarted process: it restores the newest durable
+	// checkpoint (if any), re-seeds from the persisted seed spec
+	// otherwise, and starts replaying its journal immediately instead of
 	// waiting for /seed.
 	Recover bool
 }
@@ -90,10 +104,20 @@ type NodeServer struct {
 	cfg     NodeConfig
 	workers []tx.NodeID
 	jr      *network.Journal
+	ckpt    *durable.Store
 	tr      *network.TCPTransport
 	cluster *engine.Cluster
 	tel     *telemetry.Telemetry
 	drv     *driver
+
+	// restoredID is the checkpoint watermark this process restarted from
+	// (0 + restored=false on a fresh or journal-only start). ckptMu
+	// serializes checkpoint captures; ckptQuit stops the periodic trigger.
+	restored   bool
+	restoredID uint64
+	ckptMu     sync.Mutex
+	ckptQuit   chan struct{}
+	ckptWG     sync.WaitGroup
 
 	// Leader-host half (nil-fields on plain workers). The leader is a
 	// standalone sequencer replica on its own transport node; it is not
@@ -133,9 +157,46 @@ func NewNodeServer(cfg NodeConfig) (*NodeServer, error) {
 		return nil, err
 	}
 
-	jr, err := network.OpenJournal(cfg.Dir)
+	policy, err := network.ParseSyncPolicy(cfg.Fsync)
+	if err != nil {
+		return nil, fmt.Errorf("harness: node %d: %w", cfg.Self, err)
+	}
+	ckpt, err := durable.Open(filepath.Join(cfg.Dir, "checkpoints"), nil)
 	if err != nil {
 		return nil, err
+	}
+	// Load the newest durable checkpoint before opening the journal: its
+	// link floors must seed the journal's watermark tracking so rotated-away
+	// senders still dedup correctly.
+	var cp engine.WorkerCheckpoint
+	cpID, haveCP, err := ckpt.Load(&cp)
+	if err != nil {
+		return nil, err
+	}
+	var floors map[tx.NodeID]network.LinkFloor
+	if haveCP {
+		floors = cp.Floors
+	}
+	jr, err := network.OpenJournalWith(cfg.Dir, network.JournalOpts{Policy: policy, Floors: floors})
+	if err != nil {
+		return nil, err
+	}
+	// A rotated journal (Base > 0) only holds frames past the checkpoint
+	// cut; replaying it without the checkpoint would silently drop the
+	// covered prefix and diverge. Refuse loudly.
+	if !haveCP && jr.Base() > 0 {
+		jr.Close()
+		return nil, fmt.Errorf("harness: node %d: journal rotated to %d but no loadable checkpoint in %s",
+			cfg.Self, jr.Base(), ckpt.Dir())
+	}
+	recovered := jr.Recovered()
+	if haveCP {
+		recovered, err = jr.RecoveredSince(cp.Delivered)
+		if err != nil {
+			jr.Close()
+			return nil, fmt.Errorf("harness: node %d: checkpoint %d does not meet journal: %w",
+				cfg.Self, cpID, err)
+		}
 	}
 	tel := telemetry.New([]tx.NodeID{cfg.Self}, 4096)
 	tr := network.NewTCPTransportListener(cfg.Self, cfg.Addrs, cfg.DataLn)
@@ -149,9 +210,24 @@ func NewNodeServer(cfg NodeConfig) (*NodeServer, error) {
 		Policy:      pf,
 		Incarnation: jr.Incarnation(),
 		Journal:     jr.Append,
-		Recovered:   jr.Recovered(),
+		AckGate:     jr.AfterDurable,
+		Floors:      jr.Floors(),
+		Recovered:   recovered,
 		Telemetry:   tel,
 		ExecMode:    cfg.ExecMode,
+		// The session front-end's default 20ms stall timeout is tuned for
+		// in-process failover drills; on a real loaded cluster the leader
+		// routinely goes longer than that between seals, and every false
+		// stall resends the whole submission queue. Failover recovery does
+		// not depend on this timer — SetLeader resends immediately — so it
+		// only needs to beat a genuinely wedged leader.
+		RetryTimeout: time.Second,
+		RetryCap:     4 * time.Second,
+		// Likewise for the reliable layer's 2ms retransmit base: over real
+		// TCP with acks gated behind group-commit fsyncs, ack rounds past
+		// 2ms are normal operation, not loss.
+		RetransmitBase: 50 * time.Millisecond,
+		RetransmitCap:  time.Second,
 	})
 	if err != nil {
 		tr.Close()
@@ -163,11 +239,23 @@ func NewNodeServer(cfg NodeConfig) (*NodeServer, error) {
 		cfg:     cfg,
 		workers: workers,
 		jr:      jr,
+		ckpt:    ckpt,
 		tr:      tr,
 		cluster: cluster,
 		tel:     tel,
 		drv:     newDriver(),
 	}
+	if haveCP {
+		if err := cluster.RestoreWorkerState(&cp); err != nil {
+			tr.Close()
+			jr.Close()
+			return nil, err
+		}
+		s.restored, s.restoredID = true, cpID
+		log.Printf("harness: node %d restored checkpoint %d (journal base %d, %d recovered frames)",
+			cfg.Self, cpID, jr.Base(), len(recovered))
+	}
+	s.registerDurabilityMetrics()
 	if cfg.LeaderLn != nil {
 		s.leaderTr = network.NewTCPTransportListener(engine.LeaderNode, cfg.Addrs, cfg.LeaderLn)
 		tuneTransport(s.leaderTr)
@@ -191,7 +279,76 @@ func NewNodeServer(cfg NodeConfig) (*NodeServer, error) {
 			return nil, err
 		}
 	}
+	if cfg.CheckpointEvery > 0 {
+		s.ckptQuit = make(chan struct{})
+		s.ckptWG.Add(1)
+		go s.checkpointLoop(cfg.CheckpointEvery)
+	}
 	return s, nil
+}
+
+// checkpointLoop opportunistically checkpoints on a timer. Every tick is
+// best-effort: a worker that is mid-run simply is not settled and the tick
+// is skipped — correctness never depends on the trigger firing.
+func (s *NodeServer) checkpointLoop(every time.Duration) {
+	defer s.ckptWG.Done()
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.ckptQuit:
+			return
+		case <-tick.C:
+			s.mu.Lock()
+			ready := s.started && !s.closed
+			s.mu.Unlock()
+			if !ready {
+				continue
+			}
+			if _, err := s.checkpointNow(); err != nil {
+				log.Printf("harness: node %d periodic checkpoint skipped: %v", s.cfg.Self, err)
+			}
+		}
+	}
+}
+
+// checkpointNow captures a settled worker's state, saves it durably, and
+// rotates the journal behind it. The feed is paused around the capture, but
+// the pause stops only the consumer — the pump keeps journaling arriving
+// frames — so the cut is validated by re-reading the journal count after
+// the capture: if input landed mid-capture the snapshot may not cover it,
+// and the attempt aborts (the next tick retries).
+func (s *NodeServer) checkpointNow() (uint64, error) {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	rel := s.cluster.Reliable()
+	rel.Pause(s.cfg.Self)
+	defer rel.Resume(s.cfg.Self)
+
+	pre := s.jr.Count()
+	cp, err := s.cluster.CaptureWorker()
+	if err != nil {
+		return 0, err
+	}
+	cp.Floors = s.jr.Floors()
+	if post := s.jr.Count(); post != pre {
+		return 0, fmt.Errorf("input arrived mid-capture (%d -> %d journal frames)", pre, post)
+	}
+	cp.Delivered = pre
+	if err := s.ckpt.Save(cp.Delivered, cp); err != nil {
+		return 0, err
+	}
+	// Checkpoint-then-rotate: the covered prefix may only be discarded once
+	// the checkpoint is durable. A failed rotation is loud but non-fatal —
+	// the journal merely keeps the prefix around.
+	if err := s.jr.Rotate(cp.Delivered); err != nil {
+		log.Printf("harness: node %d: journal rotation after checkpoint %d failed: %v",
+			s.cfg.Self, cp.Delivered, err)
+	}
+	// The in-memory delivery log uses in-process positions, not absolute
+	// journal frames; trim it by its own watermark.
+	rel.TruncateDelivered(s.cfg.Self, rel.Delivered(s.cfg.Self))
+	return cp.Delivered, nil
 }
 
 func tuneTransport(tr *network.TCPTransport) {
@@ -240,7 +397,9 @@ func (s *NodeServer) seed(spec seedSpec) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	if err := os.WriteFile(filepath.Join(s.cfg.Dir, seedFile), append(data, '\n'), 0o644); err != nil {
+	// Crash-atomic: a restart never sees a torn seed spec, and the atomic
+	// write survives the harness's page-cache wipe.
+	if err := diskio.WriteFileAtomic(diskio.OSFS{}, filepath.Join(s.cfg.Dir, seedFile), append(data, '\n')); err != nil {
 		return 0, err
 	}
 	s.startWorker()
@@ -256,9 +415,15 @@ func (s *NodeServer) seedFromFile() error {
 	if err := json.Unmarshal(data, &spec); err != nil {
 		return fmt.Errorf("harness: node %d: corrupt seed spec: %w", s.cfg.Self, err)
 	}
-	val := SeedValue(spec.Payload)
-	for r := uint64(0); r < spec.Rows; r++ {
-		s.cluster.SeedLocal(tx.MakeKey(0, r), append([]byte(nil), val...))
+	// A restored checkpoint already embeds the seeded records (and
+	// placement may have moved keys since seeding); re-seeding would
+	// clobber migrated state. The spec is only replayed on a journal-only
+	// restart.
+	if !s.restored {
+		val := SeedValue(spec.Payload)
+		for r := uint64(0); r < spec.Rows; r++ {
+			s.cluster.SeedLocal(tx.MakeKey(0, r), append([]byte(nil), val...))
+		}
 	}
 	// Seeding must complete before the worker starts: the reliable layer
 	// replays the journal the moment the node consumes its feed, and
@@ -277,6 +442,45 @@ func (s *NodeServer) startWorker() {
 	s.cluster.StartWorker()
 }
 
+// registerDurabilityMetrics exposes the journal's and checkpoint store's
+// counters as gauges in the process's telemetry registry (served at
+// /metrics alongside the engine's own series).
+func (s *NodeServer) registerDurabilityMetrics() {
+	reg := s.tel.Registry()
+	jstat := func(f func(network.JournalStats) int64) func() float64 {
+		return func() float64 { return float64(f(s.jr.Stats())) }
+	}
+	cstat := func(f func(durable.Stats) int64) func() float64 {
+		return func() float64 { return float64(f(s.ckpt.Stats())) }
+	}
+	reg.Gauge("hermes_journal_fsyncs_total", "journal fsync calls issued",
+		jstat(func(st network.JournalStats) int64 { return st.Fsyncs }))
+	reg.Gauge("hermes_journal_sync_failures_total", "journal fsyncs that returned an error",
+		jstat(func(st network.JournalStats) int64 { return st.SyncFailures }))
+	reg.Gauge("hermes_journal_batches_total", "group-commit fsync batches",
+		jstat(func(st network.JournalStats) int64 { return st.Batches }))
+	reg.Gauge("hermes_journal_batched_acks_total", "acks released by group-commit batches",
+		jstat(func(st network.JournalStats) int64 { return st.BatchedAcks }))
+	reg.Gauge("hermes_journal_append_retries_total", "journal appends repaired after short/torn writes",
+		jstat(func(st network.JournalStats) int64 { return st.AppendRetries }))
+	reg.Gauge("hermes_journal_torn_records_total", "torn tail frames truncated at recovery",
+		jstat(func(st network.JournalStats) int64 { return st.TornRecords }))
+	reg.Gauge("hermes_journal_corrupt_records_total", "corrupt frames quarantined at recovery",
+		jstat(func(st network.JournalStats) int64 { return st.Corrupt }))
+	reg.Gauge("hermes_journal_rotations_total", "journal rotations behind checkpoints",
+		jstat(func(st network.JournalStats) int64 { return st.Rotations }))
+	reg.Gauge("hermes_journal_base_frame", "absolute frame index the on-disk journal starts at",
+		func() float64 { return float64(s.jr.Base()) })
+	reg.Gauge("hermes_checkpoint_saves_total", "checkpoints written durably",
+		cstat(func(st durable.Stats) int64 { return st.Saves }))
+	reg.Gauge("hermes_checkpoint_last_save_seconds", "wall time of the most recent checkpoint save",
+		func() float64 { return float64(s.ckpt.Stats().LastSaveNanos) / 1e9 })
+	reg.Gauge("hermes_checkpoint_corrupt_skipped_total", "checkpoint files rejected by verification",
+		cstat(func(st durable.Stats) int64 { return st.CorruptSkipped }))
+	reg.Gauge("hermes_checkpoint_load_fallbacks_total", "loads that ignored the manifest and scanned",
+		cstat(func(st durable.Stats) int64 { return st.LoadFallbacks }))
+}
+
 // ProcStats is one process's counter snapshot, served at /stats.
 type ProcStats struct {
 	Node              int64  `json:"node"`
@@ -288,15 +492,37 @@ type ProcStats struct {
 	Retransmits       int64  `json:"retransmits"`
 	DupsDropped       int64  `json:"dups_dropped"`
 	HandshakeFailures int64  `json:"handshake_failures"`
+
+	// Durability counters.
+	RestoredCheckpoint bool   `json:"restored_checkpoint"`
+	CheckpointID       uint64 `json:"checkpoint_id"`
+	CheckpointSaves    int64  `json:"checkpoint_saves"`
+	JournalBase        uint64 `json:"journal_base"`
+	JournalFsyncs      int64  `json:"journal_fsyncs"`
+	JournalBatches     int64  `json:"journal_batches"`
+	JournalBatchedAcks int64  `json:"journal_batched_acks"`
+	JournalTorn        int64  `json:"journal_torn"`
+	JournalCorrupt     int64  `json:"journal_corrupt"`
 }
 
 func (s *NodeServer) stats() ProcStats {
+	js, cs := s.jr.Stats(), s.ckpt.Stats()
 	st := ProcStats{
 		Node:              int64(s.cfg.Self),
 		Incarnation:       s.jr.Incarnation(),
 		Committed:         s.cluster.Collector().Committed(),
 		Aborted:           s.cluster.Collector().Aborted(),
 		HandshakeFailures: s.tr.HandshakeFailures(),
+
+		RestoredCheckpoint: s.restored,
+		CheckpointID:       s.restoredID,
+		CheckpointSaves:    cs.Saves,
+		JournalBase:        s.jr.Base(),
+		JournalFsyncs:      js.Fsyncs,
+		JournalBatches:     js.Batches,
+		JournalBatchedAcks: js.BatchedAcks,
+		JournalTorn:        js.TornRecords,
+		JournalCorrupt:     js.Corrupt,
 	}
 	st.NetMsgs, st.NetBytes = s.tr.Stats().Totals()
 	rs := s.cluster.Reliable().Stats()
@@ -403,6 +629,14 @@ func (s *NodeServer) mux() http.Handler {
 	mux.HandleFunc("/quiesce", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, s.cluster.WorkerQuiesce())
 	})
+	mux.HandleFunc("/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		id, err := s.checkpointNow()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		writeJSON(w, map[string]any{"checkpoint": id, "journal_base": s.jr.Base()})
+	})
 	mux.HandleFunc("/digest", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, s.cluster.NodeDigests()[0])
 	})
@@ -437,6 +671,10 @@ func (s *NodeServer) Close() error {
 	started := s.started
 	s.mu.Unlock()
 
+	if s.ckptQuit != nil {
+		close(s.ckptQuit)
+		s.ckptWG.Wait()
+	}
 	s.drv.stop()
 	if started {
 		// Graceful drain: wait (bounded) for local in-flight work to land

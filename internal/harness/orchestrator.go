@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"hermes/internal/diskio"
 	"hermes/internal/engine"
 	"hermes/internal/tx"
 )
@@ -37,6 +38,12 @@ type ClusterConfig struct {
 	// ExecMode selects each worker's execution backend ("lock" or
 	// "queue"; empty means lock).
 	ExecMode string
+	// Fsync is each worker's journal fsync policy ("none"|"batch"|
+	// "always"; empty means none).
+	Fsync string
+	// CheckpointEvery enables each worker's opportunistic periodic
+	// checkpoint trigger when positive.
+	CheckpointEvery time.Duration
 	// Dir is the scratch directory for journals, seed specs and process
 	// logs. Required.
 	Dir string
@@ -235,6 +242,12 @@ func (c *Cluster) spawn(i int, recover bool) error {
 	if c.cfg.ExecMode != "" {
 		args = append(args, "-exec", c.cfg.ExecMode)
 	}
+	if c.cfg.Fsync != "" {
+		args = append(args, "-fsync", c.cfg.Fsync)
+	}
+	if c.cfg.CheckpointEvery > 0 {
+		args = append(args, "-checkpoint-every", c.cfg.CheckpointEvery.String())
+	}
 	if i == 0 {
 		args = append(args, "-seq-host")
 	}
@@ -427,6 +440,40 @@ func (c *Cluster) quiesceOnce() (bool, error) {
 	return true, nil
 }
 
+// CheckpointAll quiesces the cluster, then has every worker capture and
+// durably save a checkpoint and rotate its journal behind it. At global
+// quiesce no input is in flight, so each worker's capture cannot race new
+// frames.
+func (c *Cluster) CheckpointAll(timeout time.Duration) error {
+	if err := c.Quiesce(timeout); err != nil {
+		return err
+	}
+	for i := range c.procs {
+		var resp struct {
+			Checkpoint  uint64 `json:"checkpoint"`
+			JournalBase uint64 `json:"journal_base"`
+		}
+		if err := c.post(i, "/checkpoint", struct{}{}, &resp); err != nil {
+			return fmt.Errorf("harness: checkpointing worker %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// WipeWorkerStorage simulates losing worker i's page cache in a host crash:
+// every file in its data directory is truncated back to its last-fsynced
+// mark and temp files vanish. Only meaningful on a dead worker (between
+// KillWorker and RestartWorker); with fsync policy "none" this erases the
+// journal entirely, exactly as a real power cut would.
+func (c *Cluster) WipeWorkerStorage(i int) error {
+	if c.procs[i] != nil {
+		return fmt.Errorf("harness: worker %d is still running", i)
+	}
+	nodeDir := filepath.Join(c.cfg.Dir, fmt.Sprintf("node%d", i))
+	_, err := diskio.WipeUnsynced(nodeDir)
+	return err
+}
+
 // Digests fetches every worker's state digest, in worker order.
 func (c *Cluster) Digests() ([]engine.NodeDigest, error) {
 	out := make([]engine.NodeDigest, len(c.procs))
@@ -462,6 +509,10 @@ func (c *Cluster) Metrics() ([]map[string]float64, error) {
 	}
 	return out, nil
 }
+
+// Get fetches an arbitrary control-plane endpoint of worker i into out
+// (tests and debugging).
+func (c *Cluster) Get(i int, path string, out any) error { return c.get(i, path, out) }
 
 // LogPath returns worker i's process log file path.
 func (c *Cluster) LogPath(i int) string {

@@ -69,6 +69,11 @@ type Reliable struct {
 	// See Message.Inc. Immutable after construction.
 	inc uint64
 
+	// rtBase/rtCap pace the retransmit loops (see ReliableOpts). Immutable
+	// after construction.
+	rtBase time.Duration
+	rtCap  time.Duration
+
 	quit chan struct{}
 	wg   sync.WaitGroup
 
@@ -82,8 +87,20 @@ type sendLink struct {
 	mu      sync.Mutex
 	nextSeq uint64 // last assigned sequence (first message gets 1)
 	acked   uint64 // highest cumulative ack received
-	unacked []Message
+	unacked []unackedMsg
 	kick    chan struct{} // wakes the retransmit loop when work appears
+}
+
+// unackedMsg is one in-flight message plus its last transmission time. The
+// retransmit loop resends only messages that have aged past the current
+// backoff: when the receiver gates acks behind a group-commit fsync
+// (Journal.AfterDurable), the whole window is legitimately unacked for a
+// few milliseconds at a time, and resending fresh frames on every silent
+// round turns that ack latency into a duplicate storm that costs more CPU
+// than the fsync it is waiting for.
+type unackedMsg struct {
+	m      Message
+	sentAt time.Time
 }
 
 // recvLink is the receiver half of one (from,to) link. It is owned by the
@@ -115,6 +132,12 @@ type destState struct {
 	// the time the peer sees an ack, the message is on disk and a process
 	// crash cannot lose acknowledged input.
 	journal func(Message)
+
+	// ackGate, when set, defers each ack send until the journal's
+	// durability promise covers the acked frames (Journal.AfterDurable).
+	// Under group commit this is what turns "journaled" into "fsynced
+	// before the peer may forget the message".
+	ackGate func(func())
 }
 
 // NewReliable wraps inner with reliable delivery for the given nodes.
@@ -139,12 +162,39 @@ type ReliableOpts struct {
 	// Journal, when set, persists each accepted message for the RecvFor
 	// destinations before it is acknowledged.
 	Journal func(Message)
+	// JournalFor, when set, supplies a per-destination journal sink (may
+	// return nil for destinations without one). Overrides Journal.
+	JournalFor func(tx.NodeID) func(Message)
+	// AckGate, when set, routes every ack send through the journal's
+	// durability gate (Journal.AfterDurable): the ack closure runs only
+	// once the frames it acknowledges are durable under the journal's
+	// fsync policy.
+	AckGate func(func())
+	// AckGateFor is the per-destination form of AckGate (may return nil).
+	// Overrides AckGate.
+	AckGateFor func(tx.NodeID) func(func())
+	// Floors seeds per-sender dedup watermarks below any journaled
+	// history: a checkpoint records the highest (incarnation, link)
+	// delivered from each sender, and frames rotated out of the journal
+	// must still be dropped as duplicates when peers retransmit them.
+	// Without it, a restarted node whose journal holds no frames from a
+	// sender would reset that link to expected=1 and park every live
+	// retransmit in the future buffer — a permanent stall.
+	Floors map[tx.NodeID]LinkFloor
 	// Recovered preloads a RecvFor destination's delivery log with its
 	// journaled history: the feeder replays it to the consumer from the
 	// start, and per-sender dedup watermarks are initialized to the highest
 	// journaled (incarnation, link) so live retransmissions of already
 	// journaled messages are dropped rather than re-delivered out of place.
 	Recovered []Message
+	// RetransmitBase/RetransmitCap override the retransmit pacing (zero =
+	// the in-process defaults, a few milliseconds). The defaults assume
+	// near-zero delivery latency; a real TCP cluster under load sees ack
+	// round trips well past them — every false stall then resends in-flight
+	// frames the receiver will just dedup — so cluster processes pass a
+	// base comfortably above their steady-state ack latency.
+	RetransmitBase time.Duration
+	RetransmitCap  time.Duration
 }
 
 // NewReliableWith wraps inner with reliable delivery under explicit
@@ -155,20 +205,44 @@ func NewReliableWith(inner Transport, o ReliableOpts) *Reliable {
 		sends: make(map[[2]tx.NodeID]*sendLink),
 		dests: make(map[tx.NodeID]*destState, len(o.RecvFor)),
 		seqTo: make(map[tx.NodeID]bool, len(o.SendTo)),
-		inc:   o.Incarnation,
-		quit:  make(chan struct{}),
+		inc:    o.Incarnation,
+		rtBase: o.RetransmitBase,
+		rtCap:  o.RetransmitCap,
+		quit:   make(chan struct{}),
+	}
+	if r.rtBase <= 0 {
+		r.rtBase = retransmitBase
+	}
+	if r.rtCap < r.rtBase {
+		r.rtCap = retransmitCap
+		if r.rtCap < r.rtBase {
+			r.rtCap = r.rtBase
+		}
 	}
 	for _, n := range o.SendTo {
 		r.seqTo[n] = true
 	}
 	for _, n := range o.RecvFor {
+		journal, ackGate := o.Journal, o.AckGate
+		if o.JournalFor != nil {
+			journal = o.JournalFor(n)
+		}
+		if o.AckGateFor != nil {
+			ackGate = o.AckGateFor(n)
+		}
 		ds := &destState{
 			node:     n,
 			recv:     make(map[tx.NodeID]*recvLink),
 			pauseSig: make(chan struct{}),
 			notify:   make(chan struct{}, 1),
 			out:      make(chan Message),
-			journal:  o.Journal,
+			journal:  journal,
+			ackGate:  ackGate,
+		}
+		// Checkpoint floors first; journaled history (below) only raises
+		// them.
+		for s, lf := range o.Floors {
+			ds.recv[s] = &recvLink{inc: lf.Inc, expected: lf.Link + 1, future: make(map[uint64]Message)}
 		}
 		for _, m := range o.Recovered {
 			if m.To != n {
@@ -265,7 +339,7 @@ func (r *Reliable) Send(m Message) error {
 	sl.nextSeq++
 	m.Link = sl.nextSeq
 	m.Inc = r.inc
-	sl.unacked = append(sl.unacked, m)
+	sl.unacked = append(sl.unacked, unackedMsg{m: m, sentAt: time.Now()})
 	sl.mu.Unlock()
 	select {
 	case sl.kick <- struct{}{}:
@@ -280,14 +354,14 @@ func (r *Reliable) Send(m Message) error {
 // interval passes with no ack progress.
 func (r *Reliable) retransmitLoop(sl *sendLink) {
 	defer r.wg.Done()
-	backoff := retransmitBase
+	backoff := r.rtBase
 	for {
 		sl.mu.Lock()
 		pending := len(sl.unacked)
 		ackedBefore := sl.acked
 		sl.mu.Unlock()
 		if pending == 0 {
-			backoff = retransmitBase
+			backoff = r.rtBase
 			select {
 			case <-sl.kick:
 				continue
@@ -303,9 +377,20 @@ func (r *Reliable) retransmitLoop(sl *sendLink) {
 		if sl.acked > ackedBefore {
 			// The receiver made progress while we waited: give the
 			// in-flight window another round before resending.
-			backoff = retransmitBase
+			backoff = r.rtBase
 		} else {
-			resend = append(resend, sl.unacked...)
+			// Resend only messages that have gone a full backoff without
+			// an ack; fresher frames are still plausibly in flight (or
+			// held behind the receiver's group-commit gate) and resending
+			// them buys nothing but dedup work on the other side.
+			now := time.Now()
+			cutoff := now.Add(-backoff)
+			for i := range sl.unacked {
+				if sl.unacked[i].sentAt.Before(cutoff) {
+					resend = append(resend, sl.unacked[i].m)
+					sl.unacked[i].sentAt = now
+				}
+			}
 		}
 		sl.mu.Unlock()
 		if len(resend) == 0 {
@@ -316,8 +401,8 @@ func (r *Reliable) retransmitLoop(sl *sendLink) {
 			_ = r.inner.Send(m)
 		}
 		backoff *= 2
-		if backoff > retransmitCap {
-			backoff = retransmitCap
+		if backoff > r.rtCap {
+			backoff = r.rtCap
 		}
 	}
 }
@@ -371,7 +456,7 @@ func (r *Reliable) handle(ds *destState, m Message) {
 		if m.Link > sl.acked {
 			sl.acked = m.Link
 			i := 0
-			for i < len(sl.unacked) && sl.unacked[i].Link <= m.Link {
+			for i < len(sl.unacked) && sl.unacked[i].m.Link <= m.Link {
 				i++
 			}
 			if i > 0 {
@@ -431,11 +516,23 @@ func (r *Reliable) handle(ds *destState, m Message) {
 			}
 		}
 		// Ack every sequenced receipt (including duplicates: the original
-		// ack may have been the casualty).
-		r.acks.Add(1)
-		_ = r.inner.Send(Message{
+		// ack may have been the casualty). The send goes through the
+		// durability gate: under group commit the peer learns of the
+		// delivery only after the fsync covering it, so an acked frame can
+		// never be lost to host death. Acks are cumulative, so delaying or
+		// collapsing them is always protocol-safe.
+		ack := Message{
 			From: ds.node, To: m.From, Type: MsgLinkAck, Link: rl.expected - 1, Inc: rl.inc,
-		})
+		}
+		send := func() {
+			r.acks.Add(1)
+			_ = r.inner.Send(ack)
+		}
+		if ds.ackGate != nil {
+			ds.ackGate(send)
+		} else {
+			send()
+		}
 	}
 }
 

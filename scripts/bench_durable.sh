@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Durability-cost benchmark gate (docs/RECOVERY.md, "Durability").
+#
+# Boots a real 3-process cluster over TCP once per journal fsync policy
+# (none / batch / always), drives the identical YCSB trace through each
+# (interleaved trials, median-throughput trial reported), and writes
+# BENCH_durable.json at the repo root: per-policy commit throughput, p95,
+# fsync counts and group-commit amortization, plus the gate verdict the
+# PR requires — node digests byte-identical across all policies, and
+# group commit (fsync=batch) keeping >= 70% of the no-fsync throughput.
+#
+# GOGC is disabled for the measurement: the workload is a fixed-size
+# backlog drain, and collector pauses on a small heap add more variance
+# than the effect under test.
+#
+# Usage:
+#   scripts/bench_durable.sh                 # defaults: 4000 txns, 3 trials
+#   TRIALS=5 TXNS=8000 scripts/bench_durable.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+txns="${TXNS:-4000}"
+trials="${TRIALS:-3}"
+out=BENCH_durable.json
+
+echo "==> go run ./cmd/hermes-bench -durablebench (txns=$txns trials=$trials, GOGC=off)"
+GOGC=off go run ./cmd/hermes-bench -durablebench \
+    -durablebench-txns "$txns" -durablebench-trials "$trials" \
+    -report "$out"
+echo "==> wrote $out"

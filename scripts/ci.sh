@@ -62,6 +62,24 @@ go test -race -count=1 \
     ./internal/chaos ./internal/engine
 go test -race -count=1 ./internal/qexec
 
+# Disk-fault gate: the durability layer under injected storage faults.
+# Covers the fault-injecting filesystem (torn/short writes, failed and
+# lying fsyncs, power-cut truncation), the checksummed journal's recovery
+# classification (torn tail vs corrupt frame), group-commit ack gating,
+# and the chaos schedules that run every routing policy over live disk
+# faults with offline crash-recovery checks (see docs/RECOVERY.md,
+# "Durability"). Pinned by name so it survives -short; the list guard
+# fails loudly if a rename ever empties the match set.
+echo "==> disk-fault gate (-race)"
+disk_run='TestDisk|TestJournal|TestWriteF|TestCrash|TestLyingSync|TestUnsyncedRename|TestInjectedWrite|TestWipeUnsynced|TestOSFS'
+disk_pkgs="./internal/chaos ./internal/diskio ./internal/network"
+listed=$(go test -list "${disk_run}" ${disk_pkgs} | grep -c '^Test' || true)
+if [[ "${listed}" -eq 0 ]]; then
+    echo "disk-fault gate matched no tests: the suite was renamed or deleted" >&2
+    exit 1
+fi
+go test -race -count=1 -run "${disk_run}" ${disk_pkgs}
+
 # Multi-process cluster e2e gate: boots real hermesd processes over
 # loopback TCP, SIGKILLs and restarts a worker mid-run, and requires the
 # final node digests byte-identical to the in-process twin for the same
@@ -71,7 +89,7 @@ go test -race -count=1 ./internal/qexec
 # failing run.
 echo "==> cluster e2e gate (multi-process, TCP)"
 go test -count=1 -timeout 10m ${short_flag} \
-    -run 'TestClusterE2E|TestClusterKillRestart|TestClusterSIGTERMDrains|TestNodeServer|TestRunTwin' \
+    -run 'TestClusterE2E|TestClusterKillRestart|TestClusterSIGTERMDrains|TestClusterDurableRestart|TestNodeServer|TestRunTwin' \
     . ./internal/harness
 
 # Smoke-run the routing benchmark (1 iteration) so it can't silently rot;
