@@ -250,3 +250,45 @@ func TestOSFSRoundTrip(t *testing.T) {
 		t.Fatalf("missing dir: (%v, %v)", names, err)
 	}
 }
+
+// TestMemHandleUnusableAfterClose pins the os.File-matching close
+// semantics: every operation on a closed handle reports fs.ErrClosed
+// (os.ErrClosed aliases it), so use-after-close bugs — e.g. syncing a
+// rotated-away journal file — surface in fault-injection tests exactly as
+// they would on OSFS.
+func TestMemHandleUnusableAfterClose(t *testing.T) {
+	fs := NewMemFS(FaultSpec{Seed: 1})
+	f, err := fs.Create("/j/file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteFull(f, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	if _, err := f.Write([]byte("z")); !errors.Is(err, os.ErrClosed) {
+		t.Fatalf("Write after Close: %v, want ErrClosed", err)
+	}
+	if err := f.Sync(); !errors.Is(err, os.ErrClosed) {
+		t.Fatalf("Sync after Close: %v, want ErrClosed", err)
+	}
+	if err := f.Truncate(0); !errors.Is(err, os.ErrClosed) {
+		t.Fatalf("Truncate after Close: %v, want ErrClosed", err)
+	}
+	if _, err := f.Size(); !errors.Is(err, os.ErrClosed) {
+		t.Fatalf("Size after Close: %v, want ErrClosed", err)
+	}
+	if err := f.Close(); !errors.Is(err, os.ErrClosed) {
+		t.Fatalf("second Close: %v, want ErrClosed", err)
+	}
+	// Nothing leaked through: contents and watermark are as before Close.
+	data, durable, err := fs.SnapshotFile("/j/file")
+	if err != nil || string(data) != "abc" || durable != 3 {
+		t.Fatalf("file = (%q, %d, %v), want (abc, 3, nil)", data, durable, err)
+	}
+}

@@ -185,13 +185,17 @@ func (m *MemFS) Crash() {
 }
 
 type memHandle struct {
-	m *MemFS
-	f *memFile
+	m      *MemFS
+	f      *memFile
+	closed bool
 }
 
 func (h *memHandle) Write(p []byte) (int, error) {
 	h.m.mu.Lock()
 	defer h.m.mu.Unlock()
+	if h.closed {
+		return 0, fs.ErrClosed
+	}
 	h.m.stats.Writes++
 	apply := func(n int) {
 		h.f.data = append(h.f.data, p[:n]...)
@@ -236,6 +240,9 @@ func (h *memHandle) Write(p []byte) (int, error) {
 func (h *memHandle) Sync() error {
 	h.m.mu.Lock()
 	defer h.m.mu.Unlock()
+	if h.closed {
+		return fs.ErrClosed
+	}
 	h.m.stats.Syncs++
 	if len(h.m.syncScript) > 0 {
 		s := h.m.syncScript[0]
@@ -266,6 +273,9 @@ func (h *memHandle) Sync() error {
 func (h *memHandle) Truncate(size int64) error {
 	h.m.mu.Lock()
 	defer h.m.mu.Unlock()
+	if h.closed {
+		return fs.ErrClosed
+	}
 	if size < 0 || size > int64(len(h.f.data)) {
 		return fmt.Errorf("diskio: truncate to %d outside file of %d bytes", size, len(h.f.data))
 	}
@@ -279,10 +289,25 @@ func (h *memHandle) Truncate(size int64) error {
 func (h *memHandle) Size() (int64, error) {
 	h.m.mu.Lock()
 	defer h.m.mu.Unlock()
+	if h.closed {
+		return 0, fs.ErrClosed
+	}
 	return int64(len(h.f.data)), nil
 }
 
-func (h *memHandle) Close() error { return nil }
+// Close invalidates the handle, matching os.File: any further Write, Sync,
+// Truncate, or Size (and a second Close) reports fs.ErrClosed. Without
+// this, a use-after-close — e.g. syncing a rotated-away journal file —
+// would silently succeed in fault-injection tests while failing on OSFS.
+func (h *memHandle) Close() error {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	if h.closed {
+		return fs.ErrClosed
+	}
+	h.closed = true
+	return nil
+}
 
 func (m *MemFS) MkdirAll(dir string) error { return nil }
 

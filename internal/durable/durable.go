@@ -70,7 +70,31 @@ func Open(dir string, fsys diskio.FS) (*Store, error) {
 	if err := fsys.MkdirAll(dir); err != nil {
 		return nil, fmt.Errorf("durable: mkdir %s: %w", dir, err)
 	}
+	sweepTmp(fsys, dir)
 	return &Store{fs: fsys, dir: dir}, nil
+}
+
+// sweepTmp removes temp files left by saves that crashed between Create and
+// Rename. Load and prune filter on the .ckpt suffix, so without this sweep
+// the orphans would sit in the directory forever. Best-effort: a failed
+// sweep never fails Open.
+func sweepTmp(fsys diskio.FS, dir string) {
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	removed := false
+	for _, n := range names {
+		if strings.HasSuffix(n, ".tmp") {
+			if fsys.Remove(filepath.Join(dir, n)) == nil {
+				removed = true
+				log.Printf("durable: removed stale temp file %s from %s", n, dir)
+			}
+		}
+	}
+	if removed {
+		_ = fsys.SyncDir(dir)
+	}
 }
 
 // Dir returns the store's directory.

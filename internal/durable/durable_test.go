@@ -4,6 +4,7 @@ import (
 	"errors"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"hermes/internal/diskio"
@@ -134,5 +135,46 @@ func TestStoreOnRealFilesystem(t *testing.T) {
 	}
 	if st := s.Stats(); st.LastSaveNanos <= 0 {
 		t.Fatalf("LastSaveNanos = %d", st.LastSaveNanos)
+	}
+}
+
+// TestOpenSweepsStaleTempFiles: a save that crashes between writing its
+// temp file and renaming it leaves ckpt-*.ckpt.tmp behind; Load and prune
+// filter on the .ckpt suffix, so Open must sweep the orphans or they
+// accumulate forever on real deployments.
+func TestOpenSweepsStaleTempFiles(t *testing.T) {
+	fs := diskio.NewMemFS(diskio.FaultSpec{Seed: 1})
+	s, err := Open("/cp", fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(7, pl(7)); err != nil {
+		t.Fatal(err)
+	}
+	// Residue of a save that died before its rename.
+	stale := filepath.Join("/cp", ckptName(9)+".tmp")
+	if err := fs.WriteFile(stale, []byte("partial checkpoint")); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open("/cp", fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := fs.ReadDir("/cp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		if strings.HasSuffix(n, ".tmp") {
+			t.Fatalf("stale temp file %s survived Open", n)
+		}
+	}
+	// The real checkpoint is untouched.
+	var got payload
+	if id, ok, err := s2.Load(&got); err != nil || !ok || id != 7 {
+		t.Fatalf("Load = (%d, %v, %v), want (7, true, nil)", id, ok, err)
+	}
+	if !reflect.DeepEqual(&got, pl(7)) {
+		t.Fatalf("payload = %+v", got)
 	}
 }

@@ -535,6 +535,14 @@ func (j *Journal) Append(m Message) {
 func (j *Journal) syncAlwaysLocked() {
 	var lastErr error
 	for attempt := 0; attempt < syncMaxRetries; attempt++ {
+		if attempt > 0 {
+			// Pace retries like drainBatch does, so a transient device
+			// stall gets real time to clear instead of burning the whole
+			// budget in microseconds and escalating to a panic. Sleeping
+			// under j.mu is deliberate: appends must not ack past a failed
+			// sync anyway.
+			time.Sleep(syncRetryDelay)
+		}
 		if err := j.f.Sync(); err != nil {
 			j.stSyncFailures.Add(1)
 			lastErr = err
@@ -622,15 +630,25 @@ func (j *Journal) drainBatch(final bool) {
 			}
 			j.stFsyncs.Add(1)
 			j.mu.Lock()
+			if j.f != f {
+				// Rotate swapped the journal file while the fsync was in
+				// flight: the sync covered the old file, and target would
+				// inflate the new (smaller) file's watermark past what is
+				// actually durable — AfterDurable would then release acks
+				// for frames never fsynced in the new file. Discard the
+				// stale result, requeue the callbacks, and loop so the
+				// current file gets its own covering fsync (or is found
+				// already fully synced by Rotate) before their acks release.
+				j.pending = append(cbs, j.pending...)
+				j.mu.Unlock()
+				continue
+			}
 			if target > j.synced {
 				j.synced = target
 			}
 			mark := j.synced
-			current := j.f == f
 			j.mu.Unlock()
-			if current {
-				j.writeSidecar(mark)
-			}
+			j.writeSidecar(mark)
 		}
 		if len(cbs) > 0 {
 			j.stBatches.Add(1)

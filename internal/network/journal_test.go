@@ -283,6 +283,115 @@ func TestJournalGroupCommitGatesAcks(t *testing.T) {
 	}
 }
 
+// gatedFS wraps a backend so a test can hold one fsync's *result* in
+// flight: the underlying sync completes, then the return is delayed until
+// the test releases it — the exact window in which Rotate can swap the
+// journal file under a group commit.
+type syncGate struct {
+	mu      sync.Mutex
+	armed   bool
+	entered chan struct{}
+	release chan struct{}
+}
+
+type gatedFS struct {
+	diskio.FS
+	g *syncGate
+}
+
+func (f gatedFS) Create(path string) (diskio.File, error) {
+	h, err := f.FS.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return gatedFile{File: h, g: f.g}, nil
+}
+
+func (f gatedFS) OpenAppend(path string) (diskio.File, error) {
+	h, err := f.FS.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return gatedFile{File: h, g: f.g}, nil
+}
+
+type gatedFile struct {
+	diskio.File
+	g *syncGate
+}
+
+func (f gatedFile) Sync() error {
+	err := f.File.Sync()
+	f.g.mu.Lock()
+	armed := f.g.armed
+	f.g.armed = false
+	f.g.mu.Unlock()
+	if armed {
+		f.g.entered <- struct{}{}
+		<-f.g.release
+	}
+	return err
+}
+
+// TestJournalGroupCommitIgnoresStaleSyncAfterRotate pins the fix for a race
+// between drainBatch and Rotate: a group commit fsyncs the pre-rotation
+// file, Rotate swaps in a smaller rewritten file, and the stale (larger)
+// byte target must be discarded — applying it would push synced past the
+// new file's size and release acks for frames never fsynced there.
+func TestJournalGroupCommitIgnoresStaleSyncAfterRotate(t *testing.T) {
+	mem := diskio.NewMemFS(diskio.FaultSpec{Seed: 11})
+	g := &syncGate{entered: make(chan struct{}, 1), release: make(chan struct{})}
+	j, err := OpenJournalWith("/n0", JournalOpts{FS: gatedFS{FS: mem, g: g}, Policy: SyncBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	for i := 0; i < 3; i++ {
+		j.Append(jmsg(i))
+	}
+	// Arm the gate and start a group commit: its fsync completes against
+	// the pre-rotation file, then its result is held in flight.
+	g.mu.Lock()
+	g.armed = true
+	g.mu.Unlock()
+	ack0 := make(chan struct{})
+	j.AfterDurable(func() { close(ack0) })
+	<-g.entered
+
+	// While the result is in flight, rotate everything away and append one
+	// frame to the new, smaller file. The frame is volatile: the only fsync
+	// issued since is the stale one against the old file.
+	if err := j.Rotate(3); err != nil {
+		t.Fatal(err)
+	}
+	j.Append(jmsg(3))
+	path := filepath.Join("/n0", journalFile)
+	j.mu.Lock()
+	want := j.size
+	j.mu.Unlock()
+	ack1 := make(chan struct{})
+	j.AfterDurable(func() {
+		if got := int64(mem.DurableLen(path)); got < want {
+			t.Errorf("ack released with %d durable bytes, want ≥ %d (stale pre-rotation sync credited to new file)", got, want)
+		}
+		close(ack1)
+	})
+
+	close(g.release) // deliver the stale fsync result
+	for _, ch := range []chan struct{}{ack0, ack1} {
+		select {
+		case <-ch:
+		case <-time.After(5 * time.Second):
+			t.Fatal("ack never released")
+		}
+	}
+	j.mu.Lock()
+	if j.synced > j.size {
+		t.Errorf("synced %d > size %d: stale watermark applied to rotated file", j.synced, j.size)
+	}
+	j.mu.Unlock()
+}
+
 func TestJournalAlwaysSyncsEveryAppend(t *testing.T) {
 	fs := diskio.NewMemFS(diskio.FaultSpec{Seed: 7})
 	j, err := OpenJournalWith("/n0", JournalOpts{FS: fs, Policy: SyncAlways})

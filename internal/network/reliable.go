@@ -192,7 +192,9 @@ type ReliableOpts struct {
 	// near-zero delivery latency; a real TCP cluster under load sees ack
 	// round trips well past them — every false stall then resends in-flight
 	// frames the receiver will just dedup — so cluster processes pass a
-	// base comfortably above their steady-state ack latency.
+	// base comfortably above their steady-state ack latency. A cap below
+	// the effective base is clamped up to it (the cap bounds backoff and
+	// cannot precede the starting interval).
 	RetransmitBase time.Duration
 	RetransmitCap  time.Duration
 }
@@ -213,11 +215,14 @@ func NewReliableWith(inner Transport, o ReliableOpts) *Reliable {
 	if r.rtBase <= 0 {
 		r.rtBase = retransmitBase
 	}
-	if r.rtCap < r.rtBase {
+	if r.rtCap <= 0 {
 		r.rtCap = retransmitCap
-		if r.rtCap < r.rtBase {
-			r.rtCap = r.rtBase
-		}
+	}
+	if r.rtCap < r.rtBase {
+		// The cap is a ceiling on backoff and can never sit below the
+		// starting interval; an explicitly configured cap under base is
+		// clamped up to base (see ReliableOpts), not replaced by defaults.
+		r.rtCap = r.rtBase
 	}
 	for _, n := range o.SendTo {
 		r.seqTo[n] = true

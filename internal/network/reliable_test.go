@@ -321,3 +321,23 @@ func TestReliableStatsString(t *testing.T) {
 	}
 	_ = fmt.Sprintf("%+v", ReliableStats{})
 }
+
+// TestRetransmitCapClampedToBase: an explicitly configured cap below the
+// base is clamped up to the base (the cap bounds backoff and cannot sit
+// under the starting interval) — never silently replaced by the in-process
+// default.
+func TestRetransmitCapClampedToBase(t *testing.T) {
+	defer leaktest.Check(t)()
+	nodes := []tx.NodeID{0, 1}
+	tr := NewChanTransport(nodes, nil)
+	r := NewReliableWith(tr, ReliableOpts{
+		RecvFor:        nodes,
+		SendTo:         nodes,
+		RetransmitBase: 100 * time.Millisecond,
+		RetransmitCap:  50 * time.Millisecond,
+	})
+	defer r.Close()
+	if r.rtBase != 100*time.Millisecond || r.rtCap != 100*time.Millisecond {
+		t.Fatalf("base/cap = %v/%v, want explicit cap below base clamped to base", r.rtBase, r.rtCap)
+	}
+}
