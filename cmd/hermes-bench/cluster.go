@@ -19,6 +19,19 @@ type clusterOpts struct {
 	workload string
 	seed     int64
 	out      string
+	traceOut string
+}
+
+// traceRingFor sizes the per-node telemetry rings to hold a whole run:
+// every node sees a batched + routed event per transaction plus its own
+// locked/executed/committed share, and the driver's cluster ring holds
+// enqueued + sequenced. 6x transactions leaves generous headroom.
+func traceRingFor(txns int) int {
+	n := 8192
+	for n < txns*6 {
+		n <<= 1
+	}
+	return n
 }
 
 // runClusterBench boots a real multi-process cluster over TCP, drives the
@@ -39,6 +52,7 @@ func runClusterBench(o clusterOpts) bool {
 		Rows:      o.rows,
 		Payload:   64,
 		BatchSize: o.batch,
+		TraceRing: traceRingFor(o.txns),
 		Dir:       dir,
 	}
 	spec := harness.WorkloadSpec{
@@ -94,13 +108,16 @@ func runClusterBench(o clusterOpts) bool {
 	if err != nil {
 		return fail("stats: %v", err)
 	}
-	fmt.Printf("cluster: %d workers, %d txns in %.1fs — %.0f txn/s, avg %.2fms, p95 %.2fms\n",
-		o.workers, res.Committed, time.Since(start).Seconds(), res.QPS, res.AvgMs, res.P95Ms)
+	fmt.Printf("cluster: %d workers, %d txns in %.1fs — %.0f txn/s, avg %.2fms, p50 %.2fms, p95 %.2fms, p99 %.2fms\n",
+		o.workers, res.Committed, time.Since(start).Seconds(), res.QPS, res.AvgMs, res.P50Ms, res.P95Ms, res.P99Ms)
 
 	rep.Committed = res.Committed
 	rep.QPS = res.QPS
 	rep.AvgMs = res.AvgMs
+	rep.P50Ms = res.P50Ms
 	rep.P95Ms = res.P95Ms
+	rep.P99Ms = res.P99Ms
+	rep.MaxMs = res.MaxMs
 	var netBytes int64
 	for _, st := range stats {
 		rep.Processes = append(rep.Processes, experiments.ClusterProcess(st))
@@ -108,6 +125,44 @@ func runClusterBench(o clusterOpts) bool {
 	}
 	if res.Committed > 0 {
 		rep.BytesPerTxn = float64(netBytes) / float64(res.Committed)
+	}
+
+	// Histogram-backed per-phase latency decomposition, merged across the
+	// cluster, plus the tail sampler's capture counts.
+	if phases, err := c.PhaseSummaries(); err == nil {
+		rep.Phases = phases
+		if ps, ok := phases["total"]; ok {
+			fmt.Printf("cluster: phase histograms — total p50 %.2fms p95 %.2fms p99 %.2fms (%d commits)\n",
+				ps.P50Ms, ps.P95Ms, ps.P99Ms, ps.Count)
+		}
+	} else {
+		fmt.Fprintln(os.Stderr, "cluster: phase summaries:", err)
+	}
+	if slow, err := c.SlowTxns(); err == nil {
+		for _, sr := range slow {
+			rep.SlowCaptured += sr.Captured
+		}
+	}
+
+	// Cluster trace: collect, stitch, and write the Perfetto JSON.
+	var traceStats *harness.TraceStats
+	if o.traceOut != "" {
+		ts, err := c.WritePerfettoFile(o.traceOut)
+		if err != nil {
+			return fail("trace: %v", err)
+		}
+		traceStats = &ts
+		rep.Trace = &experiments.ClusterTraceSummary{
+			File:             o.traceOut,
+			Txns:             ts.Txns,
+			Committed:        ts.Committed,
+			Complete:         ts.Complete,
+			CompleteFraction: ts.CompleteFraction,
+			MaxBackstepNs:    ts.MaxBackstepNs,
+			SlackNs:          ts.SlackNs,
+		}
+		fmt.Printf("cluster: trace -> %s (%d txns, %.1f%% complete chains, slack %dns)\n",
+			o.traceOut, ts.Txns, 100*ts.CompleteFraction, ts.SlackNs)
 	}
 
 	twin, err := harness.RunTwin(harness.TwinConfig{
@@ -132,6 +187,14 @@ func runClusterBench(o clusterOpts) bool {
 		rep.Gate = experiments.ClusterGate{Pass: false,
 			Reason: fmt.Sprintf("cluster digests diverge from the in-process twin: %v vs %v",
 				digests, twin.Digests)}
+	case traceStats != nil && traceStats.CompleteFraction < 0.99:
+		rep.Gate = experiments.ClusterGate{Pass: false,
+			Reason: fmt.Sprintf("only %.1f%% of committed txns have complete cross-process span chains (want >= 99%%)",
+				100*traceStats.CompleteFraction)}
+	case traceStats != nil && traceStats.MaxBackstepNs > traceStats.SlackNs:
+		rep.Gate = experiments.ClusterGate{Pass: false,
+			Reason: fmt.Sprintf("clock-aligned timestamps not monotonic: %dns backstep exceeds %dns alignment slack",
+				traceStats.MaxBackstepNs, traceStats.SlackNs)}
 	default:
 		rep.Gate = experiments.ClusterGate{Pass: true}
 	}

@@ -42,6 +42,7 @@ func main() {
 		report  = flag.String("report", "", "write a JSON run report (per-window series, breakdowns, telemetry gauges) to this file")
 
 		cluster  = flag.Bool("cluster", false, "run the multi-process cluster bench (real hermesd processes over TCP) instead of an experiment")
+		traceOut = flag.String("trace-out", "", "cluster bench: write a Perfetto/Chrome trace-event JSON of the run (open in ui.perfetto.dev)")
 		cTxns    = flag.Int("cluster-txns", 1200, "cluster bench: transactions")
 		cBatch   = flag.Int("cluster-batch", 25, "cluster bench: sequencer batch size")
 		cPolicy  = flag.String("cluster-policy", "hermes", "cluster bench: routing policy")
@@ -106,6 +107,7 @@ func main() {
 		o := clusterOpts{
 			workers: *cWorkers, rows: 4000, txns: *cTxns, batch: *cBatch,
 			policy: *cPolicy, workload: *cLoad, seed: 42, out: *report,
+			traceOut: *traceOut,
 		}
 		if *rows > 0 {
 			o.rows = *rows

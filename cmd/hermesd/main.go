@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"hermes"
+	"hermes/internal/telemetry"
 )
 
 func main() {
@@ -65,14 +66,23 @@ func main() {
 		fsync     = flag.String("fsync", "", "node mode: journal fsync policy: none (default), batch (group commit) or always")
 		ckptEvery = flag.Duration("checkpoint-every", 0, "node mode: periodic durable checkpoint interval (0 disables)")
 		recov     = flag.Bool("recover", false, "node mode: recovering restart (restore checkpoint, re-seed, replay the journal)")
+		traceRing = flag.Int("trace-ring", 0, "node mode: per-node telemetry ring size in events (0 = default)")
+		traceOff  = flag.Bool("trace-off", false, "node mode: disable lifecycle tracing (metrics stay on)")
+
+		statsAddr = flag.String("stats", "", "fetch a cluster node's /stats from this control-plane address, pretty-print it, and exit")
 	)
 	flag.Parse()
+	if *statsAddr != "" {
+		runStats(*statsAddr)
+		return
+	}
 	if *node >= 0 {
 		runNode(nodeFlags{
 			node: *node, workers: *workers, peers: *peers, policy: *policy,
 			rows: *rows, fusionCap: *fusionCap, alpha: *alpha, batch: *batch,
 			dir: *dir, seqHost: *seqHost, recover: *recov, exec: *exec,
 			fsync: *fsync, ckptEvery: *ckptEvery,
+			traceRing: *traceRing, traceOff: *traceOff,
 		})
 		return
 	}
@@ -215,6 +225,15 @@ func main() {
 				st.Retransmits, st.DupsDropped, st.Crashes, st.Recoveries, st.Downtime)
 			fmt.Printf("sequencer: leader=%d epoch=%d failovers=%d heartbeat-misses=%d\n",
 				st.SeqLeader, st.SeqEpoch, st.SeqFailovers, st.SeqHeartbeatMisses)
+			if phases := db.Telemetry().Phases().SummaryMap(); len(phases) > 0 {
+				fmt.Println("phase latency (histogram-backed, ms):")
+				for c := telemetry.Component(0); c < telemetry.NumComponents; c++ {
+					if ps, ok := phases[c.String()]; ok {
+						fmt.Printf("  %-12s n=%-7d mean=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f\n",
+							c, ps.Count, ps.MeanMs, ps.P50Ms, ps.P95Ms, ps.P99Ms, ps.MaxMs)
+					}
+				}
+			}
 		default:
 			fmt.Println("commands: get set inc owner addnode migrate checkpoint killleader restartleader stats quit")
 		}

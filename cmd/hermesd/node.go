@@ -30,6 +30,8 @@ type nodeFlags struct {
 	exec      string
 	fsync     string
 	ckptEvery time.Duration
+	traceRing int
+	traceOff  bool
 }
 
 // runNode is hermesd's cluster-process mode: spawned by the harness
@@ -74,6 +76,8 @@ func runNode(nf nodeFlags) {
 		Fsync:           nf.fsync,
 		CheckpointEvery: nf.ckptEvery,
 		Recover:         nf.recover,
+		TraceRing:       nf.traceRing,
+		TraceOff:        nf.traceOff,
 	})
 	if err != nil {
 		fatalf("hermesd: node %d: %v", nf.node, err)

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"hermes/internal/harness"
+)
+
+// runStats is hermesd's one-shot stats mode: fetch a running cluster
+// node's /stats snapshot from its control-plane address and pretty-print
+// every counter — the durability counters (fsyncs, group-commit batches,
+// batched acks, torn/corrupt frames) included, not just the scraped
+// /metrics text.
+func runStats(addr string) {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(strings.TrimSuffix(addr, "/") + "/stats")
+	if err != nil {
+		fatalf("hermesd: -stats: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatalf("hermesd: -stats: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		fatalf("hermesd: -stats: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var st harness.ProcStats
+	if err := json.Unmarshal(body, &st); err != nil {
+		fatalf("hermesd: -stats: decoding /stats: %v", err)
+	}
+	fmt.Print(st.Format())
+}

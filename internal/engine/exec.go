@@ -190,6 +190,16 @@ func (n *Node) run(rt *router.Route, role *role, grant lock.Granted, arrival tim
 			n.cluster.collector.RecordMigration(len(rt.Migrations))
 			n.cluster.collector.RecordRemoteReads(role.expectRecords)
 			n.cluster.tracer.Emit(n.id, rt.Txn.ID, telemetry.PhaseCommitted, int64(total))
+			n.cluster.cfg.Telemetry.ObserveCommit(n.id, rt.Txn.ID, [telemetry.NumComponents]int64{
+				telemetry.CompScheduling: int64(bd.Scheduling),
+				telemetry.CompLockWait:   int64(bd.LockWait),
+				telemetry.CompQueuePlan:  int64(bd.QueuePlan),
+				telemetry.CompQueueWait:  int64(bd.QueueWait),
+				telemetry.CompStorage:    int64(bd.Storage),
+				telemetry.CompRemoteWait: int64(bd.RemoteWait),
+				telemetry.CompOther:      int64(bd.Other),
+				telemetry.CompTotal:      int64(total),
+			})
 			if hook := n.cluster.cfg.CommitHook; hook != nil {
 				hook(rt)
 			}

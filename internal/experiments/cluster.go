@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"os"
 	"time"
+
+	"hermes/internal/telemetry"
 )
 
 // ClusterProcess is one hermesd process's counter snapshot folded into the
@@ -37,6 +39,20 @@ type ClusterGate struct {
 	Reason string `json:"reason,omitempty"`
 }
 
+// ClusterTraceSummary condenses a collected cluster trace: how many
+// committed transactions carried a complete cross-process span chain
+// (enqueued -> committed) after clock alignment, and the worst
+// critical-chain clock backstep against the allowed alignment slack.
+type ClusterTraceSummary struct {
+	File             string  `json:"file,omitempty"`
+	Txns             int     `json:"txns"`
+	Committed        int     `json:"committed"`
+	Complete         int     `json:"complete"`
+	CompleteFraction float64 `json:"complete_fraction"`
+	MaxBackstepNs    int64   `json:"max_backstep_ns"`
+	SlackNs          int64   `json:"slack_ns"`
+}
+
 // ClusterReport is the merged result of one multi-process cluster bench
 // run, written as BENCH_cluster.json: the workload parameters, end-to-end
 // throughput and latency from the closed-loop driver, the wire cost per
@@ -55,8 +71,20 @@ type ClusterReport struct {
 	Committed   int64   `json:"committed"`
 	QPS         float64 `json:"qps"`
 	AvgMs       float64 `json:"avg_ms"`
+	P50Ms       float64 `json:"p50_ms,omitempty"`
 	P95Ms       float64 `json:"p95_ms"`
+	P99Ms       float64 `json:"p99_ms,omitempty"`
+	MaxMs       float64 `json:"max_ms,omitempty"`
 	BytesPerTxn float64 `json:"net_bytes_per_txn"`
+
+	// Phases is the cluster-wide histogram-backed commit-latency
+	// decomposition (merged raw buckets across every process, one summary
+	// per component).
+	Phases map[string]telemetry.PhaseSummary `json:"phases,omitempty"`
+	// SlowCaptured sums the tail sampler's captures across processes.
+	SlowCaptured int64 `json:"slow_captured,omitempty"`
+	// Trace is present when the run collected a cluster trace.
+	Trace *ClusterTraceSummary `json:"trace,omitempty"`
 
 	TwinMatch bool             `json:"twin_match"`
 	Processes []ClusterProcess `json:"processes"`

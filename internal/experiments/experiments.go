@@ -356,6 +356,14 @@ func runLoad(sc Scale, sys system, gen workload.Generator,
 			RoutingPerBatchUs: out.RoutingPerBatchUs,
 			RoutingPerTxnUs:   out.RoutingPerTxnUs,
 			Gauges:            tel.Registry().SnapshotMap(),
+			Phases:            tel.Phases().SummaryMap(),
+		}
+		if slow := tel.Tail().Slow(); len(slow) > 0 {
+			rec.SlowCaptured = tel.Tail().Captured()
+			rec.SlowDominant = make(map[string]int64)
+			for _, st := range slow {
+				rec.SlowDominant[st.Dominant.String()]++
+			}
 		}
 		sink(rec)
 	}

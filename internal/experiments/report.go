@@ -1,6 +1,10 @@
 package experiments
 
-import "sync"
+import (
+	"sync"
+
+	"hermes/internal/telemetry"
+)
 
 // RunRecord is one measured system run in machine-readable form — the
 // JSON counterpart of a figure's rendered column, emitted through the
@@ -29,6 +33,15 @@ type RunRecord struct {
 	// present when a report sink is installed, which enables telemetry
 	// for the run.
 	Gauges map[string]float64 `json:"gauges,omitempty"`
+	// Phases is the histogram-backed per-phase commit-latency summary
+	// (log2 buckets; quantiles are bucket upper bounds, within one bucket
+	// of exact). Replaces reading quantiles off sampled averages.
+	Phases map[string]telemetry.PhaseSummary `json:"phases,omitempty"`
+	// SlowCaptured is how many transactions the tail sampler retained
+	// (commit latency over the dynamic p99 estimate); SlowDominant counts
+	// them by critical-path component.
+	SlowCaptured int64            `json:"slow_captured,omitempty"`
+	SlowDominant map[string]int64 `json:"slow_dominant,omitempty"`
 }
 
 var (

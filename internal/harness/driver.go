@@ -2,11 +2,11 @@ package harness
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"hermes/internal/telemetry"
 	"hermes/internal/tx"
 )
 
@@ -21,13 +21,20 @@ type leaderControl interface {
 	Flush()
 }
 
-// RunResult summarizes one completed driver run.
+// RunResult summarizes one completed driver run. The quantiles are
+// histogram-backed (log2 buckets, see telemetry.LatencyHist): each is the
+// upper bound of the bucket holding the exact sample quantile, so it is
+// within one power-of-two bucket of the exact value — and unlike the old
+// sorted-sample p95 it composes across processes and windows.
 type RunResult struct {
 	Committed int64   `json:"committed"`
 	ElapsedMs float64 `json:"elapsed_ms"`
 	QPS       float64 `json:"qps"`
 	AvgMs     float64 `json:"avg_ms"`
+	P50Ms     float64 `json:"p50_ms"`
 	P95Ms     float64 `json:"p95_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	MaxMs     float64 `json:"max_ms"`
 }
 
 // RunStatus is the driver's live progress, served at /runstatus so the
@@ -223,18 +230,16 @@ func (d *driver) runInner(
 		res.QPS = float64(res.Committed) / elapsed.Seconds()
 	}
 	if len(latencies) > 0 {
-		sorted := append([]int64(nil), latencies...)
-		sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
-		var sum int64
-		for _, l := range sorted {
-			sum += l
+		var hist telemetry.LatencyHist
+		for _, l := range latencies {
+			hist.Observe(l)
 		}
-		res.AvgMs = float64(sum) / float64(len(sorted)) / 1e6
-		idx := (len(sorted)*95+99)/100 - 1
-		if idx < 0 {
-			idx = 0
-		}
-		res.P95Ms = float64(sorted[idx]) / 1e6
+		snap := hist.Snapshot()
+		res.AvgMs = snap.MeanNs() / 1e6
+		res.P50Ms = float64(snap.Quantile(0.50)) / 1e6
+		res.P95Ms = float64(snap.Quantile(0.95)) / 1e6
+		res.P99Ms = float64(snap.Quantile(0.99)) / 1e6
+		res.MaxMs = float64(snap.MaxNs()) / 1e6
 	}
 	return res, nil
 }

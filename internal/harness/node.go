@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
@@ -86,6 +87,15 @@ type NodeConfig struct {
 	// otherwise, and starts replaying its journal immediately instead of
 	// waiting for /seed.
 	Recover bool
+	// TraceRing sizes the per-node telemetry event rings (events; rounded
+	// up to a power of two). Zero keeps the default. Size it to hold a
+	// whole run's events when the cluster trace will be collected: a
+	// wrapped ring silently drops the oldest spans.
+	TraceRing int
+	// TraceOff starts the process with lifecycle tracing disabled (the
+	// registry and /metrics stay live). The tracing-on-vs-off digest
+	// equivalence gate runs cluster pairs differing only in this bit.
+	TraceOff bool
 }
 
 // seedSpec is the record-stream description persisted at seeding time so a
@@ -198,7 +208,14 @@ func NewNodeServer(cfg NodeConfig) (*NodeServer, error) {
 				cfg.Self, cpID, err)
 		}
 	}
-	tel := telemetry.New([]tx.NodeID{cfg.Self}, 4096)
+	ringSize := cfg.TraceRing
+	if ringSize <= 0 {
+		ringSize = 4096
+	}
+	tel := telemetry.New([]tx.NodeID{cfg.Self}, ringSize)
+	if cfg.TraceOff {
+		tel.Tracer().SetEnabled(false)
+	}
 	tr := network.NewTCPTransportListener(cfg.Self, cfg.Addrs, cfg.DataLn)
 	tuneTransport(tr)
 	cluster, err := engine.NewWorker(engine.WorkerConfig{
@@ -503,6 +520,26 @@ type ProcStats struct {
 	JournalBatchedAcks int64  `json:"journal_batched_acks"`
 	JournalTorn        int64  `json:"journal_torn"`
 	JournalCorrupt     int64  `json:"journal_corrupt"`
+}
+
+// Format renders the snapshot for humans (hermesd -stats), every counter
+// included — the durability block in particular, which otherwise only
+// appears in the Prometheus text.
+func (st ProcStats) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "node %d (incarnation %d)\n", st.Node, st.Incarnation)
+	fmt.Fprintf(&b, "  txns:       committed=%d aborted=%d\n", st.Committed, st.Aborted)
+	fmt.Fprintf(&b, "  network:    msgs=%d bytes=%d retransmits=%d dups-dropped=%d handshake-failures=%d\n",
+		st.NetMsgs, st.NetBytes, st.Retransmits, st.DupsDropped, st.HandshakeFailures)
+	fmt.Fprintf(&b, "  durability: fsyncs=%d batches=%d batched-acks=%d torn=%d corrupt=%d\n",
+		st.JournalFsyncs, st.JournalBatches, st.JournalBatchedAcks, st.JournalTorn, st.JournalCorrupt)
+	fmt.Fprintf(&b, "  journal:    base-frame=%d\n", st.JournalBase)
+	fmt.Fprintf(&b, "  checkpoint: saves=%d restored=%v", st.CheckpointSaves, st.RestoredCheckpoint)
+	if st.RestoredCheckpoint {
+		fmt.Fprintf(&b, " (id %d)", st.CheckpointID)
+	}
+	b.WriteByte('\n')
+	return b.String()
 }
 
 func (s *NodeServer) stats() ProcStats {

@@ -44,6 +44,12 @@ type ClusterConfig struct {
 	// CheckpointEvery enables each worker's opportunistic periodic
 	// checkpoint trigger when positive.
 	CheckpointEvery time.Duration
+	// TraceRing sizes each process's per-node telemetry rings (events;
+	// zero keeps the default). Size it to hold the whole run when the
+	// trace will be collected (see CollectTrace).
+	TraceRing int
+	// TraceOff starts every process with lifecycle tracing disabled.
+	TraceOff bool
 	// Dir is the scratch directory for journals, seed specs and process
 	// logs. Required.
 	Dir string
@@ -247,6 +253,12 @@ func (c *Cluster) spawn(i int, recover bool) error {
 	}
 	if c.cfg.CheckpointEvery > 0 {
 		args = append(args, "-checkpoint-every", c.cfg.CheckpointEvery.String())
+	}
+	if c.cfg.TraceRing > 0 {
+		args = append(args, "-trace-ring", fmt.Sprint(c.cfg.TraceRing))
+	}
+	if c.cfg.TraceOff {
+		args = append(args, "-trace-off")
 	}
 	if i == 0 {
 		args = append(args, "-seq-host")

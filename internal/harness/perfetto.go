@@ -1,0 +1,159 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"hermes/internal/telemetry"
+)
+
+// Perfetto / Chrome trace-event JSON export of a collected cluster trace:
+// one process ("track group") per cluster process plus one for the
+// cluster scope, one row per transaction, one complete slice per
+// lifecycle phase spanning the time since the previous event, and flow
+// arrows following each transaction across processes. The file loads
+// directly in ui.perfetto.dev (and chrome://tracing).
+
+// perfettoEvent is one Chrome trace-event object. Only the fields the
+// format requires are emitted; ts/dur are microseconds (float to keep
+// sub-microsecond spans visible).
+type perfettoEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Cat  string         `json:"cat,omitempty"`
+	PID  int64          `json:"pid"`
+	TID  int64          `json:"tid"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	ID   uint64         `json:"id,omitempty"`
+	S    string         `json:"s,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// perfettoFile is the top-level JSON object form of the trace.
+type perfettoFile struct {
+	TraceEvents     []perfettoEvent `json:"traceEvents"`
+	DisplayTimeUnit string          `json:"displayTimeUnit"`
+}
+
+// perfettoPID maps an exporting worker to its Perfetto process id. The
+// cluster scope (driver-side enqueued/sequenced events, emitted at the
+// ClusterNode pseudo-node) gets its own process so client-side spans
+// don't overlap node work on the same track.
+const perfettoClusterPID = 1
+
+func perfettoPID(ev TraceEvent) int64 {
+	if ev.Node == telemetry.ClusterNode {
+		return perfettoClusterPID
+	}
+	return int64(ev.Worker) + 2
+}
+
+// WritePerfetto renders the stitched timelines as Chrome trace-event
+// JSON. Timestamps are relative to the trace base (Perfetto shows
+// absolute Unix nanoseconds poorly).
+func WritePerfetto(w io.Writer, ct *ClusterTrace, timelines []TxnTimeline) error {
+	f := perfettoFile{DisplayTimeUnit: "ms"}
+	us := func(ns int64) float64 { return float64(ns-ct.BaseNs) / 1e3 }
+
+	f.TraceEvents = append(f.TraceEvents, perfettoEvent{
+		Name: "process_name", Ph: "M", PID: perfettoClusterPID,
+		Args: map[string]any{"name": "cluster (driver)"},
+	})
+	for i := range ct.Procs {
+		p := &ct.Procs[i]
+		f.TraceEvents = append(f.TraceEvents, perfettoEvent{
+			Name: "process_name", Ph: "M", PID: int64(p.Worker) + 2,
+			Args: map[string]any{"name": fmt.Sprintf("node %d (offset %dns, rtt %dns)",
+				p.Worker, p.OffsetNs, p.RTTNs)},
+		})
+	}
+
+	for ti := range timelines {
+		tl := &timelines[ti]
+		if len(tl.Events) == 0 {
+			continue
+		}
+		tid := int64(tl.Txn)
+		// One slice per phase, spanning the gap since the transaction's
+		// previous event; the first event is an instant.
+		prevTS := tl.Events[0].AlignedTS
+		for i, ev := range tl.Events {
+			pid := perfettoPID(ev)
+			args := map[string]any{"txn": uint64(tl.Txn), "node": int64(ev.Node), "aux": ev.Aux}
+			if i == 0 {
+				f.TraceEvents = append(f.TraceEvents, perfettoEvent{
+					Name: ev.Phase.String(), Ph: "i", Cat: "lifecycle",
+					PID: pid, TID: tid, TS: us(ev.AlignedTS), S: "t", Args: args,
+				})
+			} else {
+				start, dur := prevTS, ev.AlignedTS-prevTS
+				if dur < 0 {
+					// Cross-process alignment slack: clamp to an instant at
+					// the earlier timestamp rather than a negative span.
+					start, dur = ev.AlignedTS, 0
+				}
+				f.TraceEvents = append(f.TraceEvents, perfettoEvent{
+					Name: ev.Phase.String(), Ph: "X", Cat: "lifecycle",
+					PID: pid, TID: tid, TS: us(start), Dur: float64(dur) / 1e3, Args: args,
+				})
+			}
+			prevTS = ev.AlignedTS
+		}
+		// Flow arrows at every process boundary so Perfetto draws the
+		// transaction's path across tracks.
+		last := tl.Events[0]
+		started := false
+		for _, ev := range tl.Events[1:] {
+			if perfettoPID(ev) == perfettoPID(last) {
+				last = ev
+				continue
+			}
+			if !started {
+				f.TraceEvents = append(f.TraceEvents, perfettoEvent{
+					Name: "txn", Ph: "s", Cat: "txn-flow", ID: uint64(tl.Txn),
+					PID: perfettoPID(last), TID: tid, TS: us(last.AlignedTS),
+				})
+				started = true
+			}
+			f.TraceEvents = append(f.TraceEvents, perfettoEvent{
+				Name: "txn", Ph: "t", Cat: "txn-flow", ID: uint64(tl.Txn),
+				PID: perfettoPID(ev), TID: tid, TS: us(ev.AlignedTS),
+			})
+			last = ev
+		}
+		if started {
+			fin := tl.Events[len(tl.Events)-1]
+			f.TraceEvents = append(f.TraceEvents, perfettoEvent{
+				Name: "txn", Ph: "f", Cat: "txn-flow", ID: uint64(tl.Txn), BP: "e",
+				PID: perfettoPID(fin), TID: tid, TS: us(fin.AlignedTS),
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}
+
+// WritePerfettoFile collects, stitches, and writes the trace to path,
+// returning the stitched stats.
+func (c *Cluster) WritePerfettoFile(path string) (TraceStats, error) {
+	ct, err := c.CollectTrace()
+	if err != nil {
+		return TraceStats{}, err
+	}
+	timelines := ct.Stitch()
+	st := ct.Stats(timelines)
+	f, err := os.Create(path)
+	if err != nil {
+		return st, err
+	}
+	if err := WritePerfetto(f, ct, timelines); err != nil {
+		f.Close()
+		return st, err
+	}
+	return st, f.Close()
+}

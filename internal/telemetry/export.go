@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"hermes/internal/tx"
+)
+
+// Binary event-export stream: the wire form served at /trace/export and
+// consumed by the harness trace collector. Layout (little-endian):
+//
+//	header:  magic "HTRC" (4 bytes) | version u16 | reserved u16
+//	         serverNowNs i64 (the exporter's clock at serve time)
+//	frames:  repeated { length u32 | payload }, one event per frame:
+//	         ts i64 | txn u64 | node i64 | phase u8 | aux i64
+//	footer:  length u32 == 0 terminates the stream
+//
+// Length-prefixing makes the stream self-describing: a reader built for
+// version 1 can skip longer frames a newer exporter might emit, and a
+// truncated stream (killed process) fails loudly instead of yielding a
+// torn event.
+
+const (
+	exportMagic   = "HTRC"
+	exportVersion = 1
+	// exportFrameLen is the version-1 event payload size.
+	exportFrameLen = 8 + 8 + 8 + 1 + 8
+)
+
+// EventStream is one process's decoded export: the events plus the
+// exporter's own clock at serve time (one extra offset sample for the
+// collector).
+type EventStream struct {
+	// ServerNowNs is the exporting process's wall clock (Unix nanoseconds)
+	// when the stream was written.
+	ServerNowNs int64
+	// Events is the full drained event log, already time-ordered by the
+	// exporter.
+	Events []Event
+}
+
+// WriteEventStream writes the binary export of evs to w.
+func WriteEventStream(w io.Writer, serverNowNs int64, evs []Event) error {
+	var hdr [16]byte
+	copy(hdr[:4], exportMagic)
+	binary.LittleEndian.PutUint16(hdr[4:6], exportVersion)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(serverNowNs))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	var frame [4 + exportFrameLen]byte
+	binary.LittleEndian.PutUint32(frame[0:4], exportFrameLen)
+	for _, ev := range evs {
+		b := frame[4:]
+		binary.LittleEndian.PutUint64(b[0:8], uint64(ev.TS))
+		binary.LittleEndian.PutUint64(b[8:16], uint64(ev.Txn))
+		binary.LittleEndian.PutUint64(b[16:24], uint64(ev.Node))
+		b[24] = byte(ev.Phase)
+		binary.LittleEndian.PutUint64(b[25:33], uint64(ev.Aux))
+		if _, err := w.Write(frame[:]); err != nil {
+			return err
+		}
+	}
+	var end [4]byte // zero length: end of stream
+	_, err := w.Write(end[:])
+	return err
+}
+
+// ReadEventStream decodes a binary export stream from r. It returns an
+// error on a bad magic/version or a truncated stream.
+func ReadEventStream(r io.Reader) (*EventStream, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("telemetry: export header: %w", err)
+	}
+	if string(hdr[:4]) != exportMagic {
+		return nil, fmt.Errorf("telemetry: bad export magic %q", hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != exportVersion {
+		return nil, fmt.Errorf("telemetry: unsupported export version %d", v)
+	}
+	es := &EventStream{ServerNowNs: int64(binary.LittleEndian.Uint64(hdr[8:16]))}
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+			return nil, fmt.Errorf("telemetry: export truncated (no terminator): %w", err)
+		}
+		n := binary.LittleEndian.Uint32(lenBuf[:])
+		if n == 0 {
+			return es, nil
+		}
+		if n < exportFrameLen || n > 1<<16 {
+			return nil, fmt.Errorf("telemetry: export frame length %d out of range", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("telemetry: export frame truncated: %w", err)
+		}
+		es.Events = append(es.Events, Event{
+			TS:    int64(binary.LittleEndian.Uint64(buf[0:8])),
+			Txn:   tx.TxnID(binary.LittleEndian.Uint64(buf[8:16])),
+			Node:  tx.NodeID(binary.LittleEndian.Uint64(buf[16:24])),
+			Phase: Phase(buf[24]),
+			Aux:   int64(binary.LittleEndian.Uint64(buf[25:33])),
+		})
+	}
+}

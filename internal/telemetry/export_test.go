@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"hermes/internal/tx"
+)
+
+func TestEventStreamRoundtrip(t *testing.T) {
+	evs := []Event{
+		{TS: 100, Txn: 1, Node: ClusterNode, Phase: PhaseEnqueued, Aux: 0},
+		{TS: 200, Txn: 1, Node: 0, Phase: PhaseBatched, Aux: 7},
+		{TS: 300, Txn: 2, Node: 2, Phase: PhaseCommitted, Aux: 12345},
+		{TS: -50, Txn: 0, Node: 1, Phase: PhaseCrash, Aux: -9}, // negative fields survive
+	}
+	var buf bytes.Buffer
+	if err := WriteEventStream(&buf, 987654321, evs); err != nil {
+		t.Fatal(err)
+	}
+	es, err := ReadEventStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if es.ServerNowNs != 987654321 {
+		t.Fatalf("ServerNowNs=%d, want 987654321", es.ServerNowNs)
+	}
+	if len(es.Events) != len(evs) {
+		t.Fatalf("decoded %d events, want %d", len(es.Events), len(evs))
+	}
+	for i, ev := range es.Events {
+		if ev != evs[i] {
+			t.Fatalf("event %d: got %+v, want %+v", i, ev, evs[i])
+		}
+	}
+	// ClusterNode (-1) must round-trip through the unsigned wire form.
+	if es.Events[0].Node != ClusterNode {
+		t.Fatalf("ClusterNode decoded as %d", es.Events[0].Node)
+	}
+}
+
+func TestEventStreamEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteEventStream(&buf, 5, nil); err != nil {
+		t.Fatal(err)
+	}
+	es, err := ReadEventStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es.Events) != 0 || es.ServerNowNs != 5 {
+		t.Fatalf("empty stream decoded as %+v", es)
+	}
+}
+
+func TestEventStreamErrors(t *testing.T) {
+	var good bytes.Buffer
+	if err := WriteEventStream(&good, 1, []Event{{TS: 1, Txn: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	full := good.Bytes()
+
+	check := func(name string, data []byte, wantErr string) {
+		t.Helper()
+		_, err := ReadEventStream(bytes.NewReader(data))
+		if err == nil {
+			t.Fatalf("%s: decoded without error", name)
+		}
+		if !strings.Contains(err.Error(), wantErr) {
+			t.Fatalf("%s: error %q does not mention %q", name, err, wantErr)
+		}
+	}
+
+	bad := append([]byte{}, full...)
+	copy(bad[:4], "XXXX")
+	check("bad magic", bad, "magic")
+
+	bad = append([]byte{}, full...)
+	binary.LittleEndian.PutUint16(bad[4:6], 99)
+	check("bad version", bad, "version")
+
+	// Truncations: inside the header, inside a frame, and the missing
+	// zero-length terminator must all fail loudly.
+	check("header truncated", full[:10], "header")
+	check("frame truncated", full[:16+4+10], "truncated")
+	check("no terminator", full[:len(full)-4], "terminator")
+
+	// An absurd frame length is rejected rather than allocated.
+	bad = append([]byte{}, full[:16]...)
+	var frame [4]byte
+	binary.LittleEndian.PutUint32(frame[:], 1<<30)
+	bad = append(bad, frame[:]...)
+	check("oversized frame", bad, "out of range")
+}
+
+// TestEventStreamSkipsLongerFrames checks forward compatibility: a reader
+// built for version 1 tolerates frames longer than it knows, reading the
+// prefix it understands.
+func TestEventStreamSkipsLongerFrames(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [16]byte
+	copy(hdr[:4], "HTRC")
+	binary.LittleEndian.PutUint16(hdr[4:6], 1)
+	binary.LittleEndian.PutUint64(hdr[8:16], 77)
+	buf.Write(hdr[:])
+	// One frame with 8 extra trailing bytes a future version might add.
+	payload := make([]byte, exportFrameLen+8)
+	binary.LittleEndian.PutUint64(payload[0:8], 42)  // ts
+	binary.LittleEndian.PutUint64(payload[8:16], 9)  // txn
+	binary.LittleEndian.PutUint64(payload[16:24], 1) // node
+	payload[24] = byte(PhaseCommitted)
+	binary.LittleEndian.PutUint64(payload[25:33], 5) // aux
+	var l [4]byte
+	binary.LittleEndian.PutUint32(l[:], uint32(len(payload)))
+	buf.Write(l[:])
+	buf.Write(payload)
+	buf.Write([]byte{0, 0, 0, 0})
+
+	es, err := ReadEventStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es.Events) != 1 {
+		t.Fatalf("decoded %d events, want 1", len(es.Events))
+	}
+	want := Event{TS: 42, Txn: 9, Node: tx.NodeID(1), Phase: PhaseCommitted, Aux: 5}
+	if es.Events[0] != want {
+		t.Fatalf("got %+v, want %+v", es.Events[0], want)
+	}
+}

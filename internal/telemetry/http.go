@@ -1,20 +1,25 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"time"
 
 	"hermes/internal/tx"
 )
 
 // Handler returns the live observability surface:
 //
-//	/metrics        Prometheus text exposition of the registry
+//	/metrics        Prometheus text exposition (registry + phase histograms)
 //	/trace?txn=N    flame-style lifecycle summary of one transaction
 //	/trace          full time-ordered event log (text)
+//	/trace/export   binary event export (length-prefixed frames; see export.go)
+//	/trace/slow     tail sampler captures as JSON
+//	/clock          this process's wall clock as JSON (offset estimation)
 //	/debug/pprof/*  the standard runtime profiles
 //	/debug/vars     expvar JSON
 //	/               a plain index of the above
@@ -26,10 +31,13 @@ func (t *Telemetry) Handler() http.Handler {
 
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		if t == nil || t.registry == nil {
+		if t == nil {
 			return
 		}
-		_ = t.registry.WritePrometheus(w)
+		if t.registry != nil {
+			_ = t.registry.WritePrometheus(w)
+		}
+		_ = t.phases.WritePrometheus(w)
 	})
 
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
@@ -55,6 +63,56 @@ func (t *Telemetry) Handler() http.Handler {
 		}
 	})
 
+	mux.HandleFunc("/trace/export", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		evs := t.Tracer().Events()
+		_ = WriteEventStream(w, time.Now().UnixNano(), evs)
+	})
+
+	mux.HandleFunc("/trace/slow", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		type slowView struct {
+			SlowTxn
+			DominantName string           `json:"dominant_name"`
+			CompsByName  map[string]int64 `json:"comps_by_name"`
+		}
+		tail := t.Tail()
+		slow := tail.Slow()
+		out := struct {
+			ThresholdNs int64      `json:"threshold_ns"`
+			Captured    int64      `json:"captured"`
+			Slow        []slowView `json:"slow"`
+		}{ThresholdNs: tail.ThresholdNs(), Captured: tail.Captured()}
+		for _, st := range slow {
+			v := slowView{SlowTxn: st, DominantName: st.Dominant.String(),
+				CompsByName: make(map[string]int64, int(NumComponents))}
+			for c := Component(0); c < NumComponents; c++ {
+				v.CompsByName[c.String()] = st.Comps[c]
+			}
+			out.Slow = append(out.Slow, v)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(out)
+	})
+
+	mux.HandleFunc("/phases", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		out := make(map[string]HistSnapshot, int(NumComponents))
+		if t != nil {
+			merged := t.phases.Merged()
+			for c := Component(0); c < NumComponents; c++ {
+				out[c.String()] = merged[c]
+			}
+		}
+		_ = json.NewEncoder(w).Encode(out)
+	})
+
+	mux.HandleFunc("/clock", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"now_unix_ns\":%d}\n", time.Now().UnixNano())
+	})
+
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -69,9 +127,13 @@ func (t *Telemetry) Handler() http.Handler {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "hermes observability surface")
-		fmt.Fprintln(w, "  /metrics        Prometheus text metrics")
+		fmt.Fprintln(w, "  /metrics        Prometheus text metrics + phase histograms")
 		fmt.Fprintln(w, "  /trace          full lifecycle event log")
 		fmt.Fprintln(w, "  /trace?txn=N    one transaction's trace")
+		fmt.Fprintln(w, "  /trace/export   binary event export (collector wire form)")
+		fmt.Fprintln(w, "  /trace/slow     slow-transaction tail captures (JSON)")
+		fmt.Fprintln(w, "  /phases         merged per-phase latency histograms (JSON)")
+		fmt.Fprintln(w, "  /clock          process wall clock (JSON)")
 		fmt.Fprintln(w, "  /debug/pprof/   runtime profiles")
 		fmt.Fprintln(w, "  /debug/vars     expvar JSON")
 	})

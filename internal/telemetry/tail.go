@@ -1,0 +1,159 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"hermes/internal/tx"
+)
+
+const (
+	// tailWarmup is how many commits must be observed before the sampler
+	// starts capturing (the p99 estimate is meaningless on a handful of
+	// samples).
+	tailWarmup = 128
+	// tailRefreshEvery is how often (in commits) the cached p99 threshold
+	// is recomputed from the histogram.
+	tailRefreshEvery = 64
+	// tailKeep bounds the retained slow-transaction captures; the oldest
+	// capture is evicted first.
+	tailKeep = 128
+)
+
+// SlowTxn is one retained tail capture: the full lifecycle of a
+// transaction whose commit latency exceeded the dynamic p99 estimate at
+// the time it committed.
+type SlowTxn struct {
+	// Txn is the transaction; Node is the committing node.
+	Txn  tx.TxnID  `json:"txn"`
+	Node tx.NodeID `json:"node"`
+	// LatencyNs is the commit total; ThresholdNs is the p99 estimate it
+	// exceeded.
+	LatencyNs   int64 `json:"latency_ns"`
+	ThresholdNs int64 `json:"threshold_ns"`
+	// Comps is the full latency decomposition (indexed by Component).
+	Comps [NumComponents]int64 `json:"comps"`
+	// Dominant is the critical-path attribution: the component that
+	// contributed the most latency.
+	Dominant Component `json:"dominant"`
+	// Events is the transaction's lifecycle trace as captured at commit
+	// time (may be partial if the rings have wrapped).
+	Events []Event `json:"events"`
+}
+
+// TailSampler retains the full lifecycle of every transaction whose
+// commit latency exceeds a dynamic p99 estimate. The hot path is one
+// lock-free histogram observe plus two atomic loads; only the ~1% of
+// commits over the threshold take the capture lock and drain the rings.
+type TailSampler struct {
+	tracer *Tracer
+	totals LatencyHist
+
+	// threshold is the cached p99 of totals in nanoseconds, refreshed
+	// every tailRefreshEvery commits.
+	threshold atomic.Int64
+
+	mu   sync.Mutex
+	slow []SlowTxn // ring, oldest first once full
+	next int       // ring cursor
+	seen int64     // total captures ever (can exceed len(slow))
+}
+
+// NewTailSampler builds a sampler capturing lifecycle traces from tr.
+func NewTailSampler(tr *Tracer) *TailSampler {
+	return &TailSampler{tracer: tr}
+}
+
+// Observe feeds one commit into the sampler. Called from the engine's
+// commit site; nil-safe.
+func (s *TailSampler) Observe(node tx.NodeID, txn tx.TxnID, comps [NumComponents]int64) {
+	if s == nil {
+		return
+	}
+	total := comps[CompTotal]
+	s.totals.Observe(total)
+	n := s.totals.Count()
+	if n%tailRefreshEvery == 0 {
+		snap := s.totals.Snapshot()
+		s.threshold.Store(snap.Quantile(0.99))
+	}
+	if n < tailWarmup {
+		return
+	}
+	thr := s.threshold.Load()
+	if thr <= 0 || total <= thr {
+		return
+	}
+	s.capture(node, txn, total, thr, comps)
+}
+
+// capture records a slow transaction, grabbing its lifecycle events from
+// the rings. Rare path (tail only), so the lock and the ring drain are
+// acceptable.
+func (s *TailSampler) capture(node tx.NodeID, txn tx.TxnID, total, thr int64, comps [NumComponents]int64) {
+	st := SlowTxn{
+		Txn: txn, Node: node,
+		LatencyNs: total, ThresholdNs: thr,
+		Comps:    comps,
+		Dominant: dominantComponent(comps),
+		Events:   s.tracer.TxnEvents(txn),
+	}
+	s.mu.Lock()
+	if len(s.slow) < tailKeep {
+		s.slow = append(s.slow, st)
+	} else {
+		s.slow[s.next] = st
+		s.next = (s.next + 1) % tailKeep
+	}
+	s.seen++
+	s.mu.Unlock()
+}
+
+// dominantComponent returns the component (excluding the total) that
+// contributed the most latency.
+func dominantComponent(comps [NumComponents]int64) Component {
+	best := CompScheduling
+	for c := Component(1); c < CompTotal; c++ {
+		if comps[c] > comps[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// ThresholdNs returns the current p99 threshold estimate (0 until the
+// first refresh). Nil-safe.
+func (s *TailSampler) ThresholdNs() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.threshold.Load()
+}
+
+// Captured returns how many slow transactions were ever captured
+// (including evicted ones). Nil-safe.
+func (s *TailSampler) Captured() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seen
+}
+
+// Slow returns the retained captures, oldest first. Nil-safe (nil).
+func (s *TailSampler) Slow() []SlowTxn {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SlowTxn, 0, len(s.slow))
+	if len(s.slow) == tailKeep {
+		out = append(out, s.slow[s.next:]...)
+		out = append(out, s.slow[:s.next]...)
+	} else {
+		out = append(out, s.slow...)
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+
+	"hermes/internal/tx"
+)
+
+// feedFast pushes n typical commits (total ~= base) through the sampler.
+func feedFast(s *TailSampler, n int, base int64, startTxn uint64) {
+	for i := 0; i < n; i++ {
+		var comps [NumComponents]int64
+		comps[CompStorage] = base / 2
+		comps[CompTotal] = base
+		s.Observe(0, tx.TxnID(startTxn+uint64(i)), comps)
+	}
+}
+
+func TestTailSamplerCapturesOutliers(t *testing.T) {
+	tr := NewTracer([]tx.NodeID{0}, 1<<10)
+	s := NewTailSampler(tr)
+
+	// Warmup: typical commits around 1000ns. After 128 observations the
+	// threshold has refreshed at least twice (every 64).
+	feedFast(s, 2*tailWarmup, 1000, 1)
+	if thr := s.ThresholdNs(); thr <= 0 || thr > 4096 {
+		t.Fatalf("threshold after warmup = %d, want a small positive bound", thr)
+	}
+	if got := s.Captured(); got != 0 {
+		t.Fatalf("captured %d typical commits, want 0", got)
+	}
+
+	// An outlier far over the p99 estimate, with lifecycle events in the
+	// rings, must be captured with its trace and dominant component.
+	const slowTxn = tx.TxnID(9999)
+	tr.EmitAt(time.Unix(0, 10), ClusterNode, slowTxn, PhaseEnqueued, 0)
+	tr.EmitAt(time.Unix(0, 20), 0, slowTxn, PhaseLocked, 5)
+	tr.EmitAt(time.Unix(0, 30), 0, slowTxn, PhaseCommitted, 1<<20)
+	var comps [NumComponents]int64
+	comps[CompLockWait] = 1 << 19
+	comps[CompStorage] = 1 << 10
+	comps[CompTotal] = 1 << 20
+	s.Observe(0, slowTxn, comps)
+
+	slow := s.Slow()
+	if len(slow) != 1 || s.Captured() != 1 {
+		t.Fatalf("captured %d/%d, want 1", len(slow), s.Captured())
+	}
+	st := slow[0]
+	if st.Txn != slowTxn || st.Node != 0 {
+		t.Fatalf("capture identity wrong: %+v", st)
+	}
+	if st.LatencyNs != 1<<20 || st.ThresholdNs <= 0 || st.LatencyNs <= st.ThresholdNs {
+		t.Fatalf("capture latency/threshold wrong: %+v", st)
+	}
+	if st.Dominant != CompLockWait {
+		t.Fatalf("dominant=%s, want lock_wait", st.Dominant)
+	}
+	if len(st.Events) != 3 || st.Events[0].Phase != PhaseEnqueued || st.Events[2].Phase != PhaseCommitted {
+		t.Fatalf("capture missing lifecycle events: %+v", st.Events)
+	}
+}
+
+func TestTailSamplerWarmupGate(t *testing.T) {
+	s := NewTailSampler(NewTracer([]tx.NodeID{0}, 64))
+	// Even a huge latency is not captured before warmup completes.
+	feedFast(s, tailWarmup/2, 1000, 1)
+	var comps [NumComponents]int64
+	comps[CompTotal] = 1 << 30
+	s.Observe(0, 7, comps)
+	if got := s.Captured(); got != 0 {
+		t.Fatalf("captured %d before warmup, want 0", got)
+	}
+}
+
+func TestTailSamplerEvictsOldestFirst(t *testing.T) {
+	tr := NewTracer([]tx.NodeID{0}, 64)
+	s := NewTailSampler(tr)
+	feedFast(s, 2*tailWarmup, 1000, 1)
+
+	// Overflow the retention ring: 1.5x tailKeep outliers. Interleave 199
+	// typical commits per outlier so outliers stay under 0.5% of the
+	// population and the p99 threshold never chases into their bucket.
+	n := tailKeep + tailKeep/2
+	for i := 0; i < n; i++ {
+		var comps [NumComponents]int64
+		comps[CompStorage] = 1 << 19
+		comps[CompTotal] = 1 << 20
+		s.Observe(0, tx.TxnID(100000+i), comps)
+		feedFast(s, 199, 1000, uint64(1000000+i*200))
+	}
+	if got := s.Captured(); got < int64(tailKeep) {
+		t.Fatalf("captured %d, want >= %d", got, tailKeep)
+	}
+	slow := s.Slow()
+	if len(slow) != tailKeep {
+		t.Fatalf("retained %d, want exactly %d", len(slow), tailKeep)
+	}
+	for i := 1; i < len(slow); i++ {
+		if slow[i].Txn <= slow[i-1].Txn {
+			t.Fatalf("retained captures not oldest-first: %d then %d", slow[i-1].Txn, slow[i].Txn)
+		}
+	}
+}
+
+func TestTailSamplerNilSafe(t *testing.T) {
+	var s *TailSampler
+	s.Observe(0, 1, [NumComponents]int64{CompTotal: 100})
+	if s.Captured() != 0 || s.ThresholdNs() != 0 || s.Slow() != nil {
+		t.Fatal("nil sampler not inert")
+	}
+}

@@ -2,21 +2,27 @@ package telemetry
 
 import "hermes/internal/tx"
 
-// Telemetry bundles the lifecycle tracer and the metric registry — one
-// handle the engine threads through its layers and the HTTP surface
+// Telemetry bundles the lifecycle tracer, the metric registry, the
+// per-phase latency histograms, and the slow-transaction tail sampler —
+// one handle the engine threads through its layers and the HTTP surface
 // serves from. A nil *Telemetry is a valid "fully disabled" instance:
 // every accessor is nil-safe and returns the nil-safe zero of its part.
 type Telemetry struct {
 	tracer   *Tracer
 	registry *Registry
+	phases   *PhaseHistograms
+	tail     *TailSampler
 }
 
 // New builds a Telemetry with one ring of ringSize events per node (see
 // NewTracer) and an empty registry. Tracing starts enabled.
 func New(nodes []tx.NodeID, ringSize int) *Telemetry {
+	tr := NewTracer(nodes, ringSize)
 	return &Telemetry{
-		tracer:   NewTracer(nodes, ringSize),
+		tracer:   tr,
 		registry: NewRegistry(),
+		phases:   NewPhaseHistograms(nodes),
+		tail:     NewTailSampler(tr),
 	}
 }
 
@@ -37,4 +43,33 @@ func (t *Telemetry) Registry() *Registry {
 		return nil
 	}
 	return t.registry
+}
+
+// Phases returns the per-phase latency histograms (nil when t is nil —
+// still safe to Observe/snapshot).
+func (t *Telemetry) Phases() *PhaseHistograms {
+	if t == nil {
+		return nil
+	}
+	return t.phases
+}
+
+// Tail returns the slow-transaction tail sampler (nil when t is nil —
+// still safe to Observe/read).
+func (t *Telemetry) Tail() *TailSampler {
+	if t == nil {
+		return nil
+	}
+	return t.tail
+}
+
+// ObserveCommit feeds one committed transaction's latency decomposition
+// (indexed by Component, CompTotal included) into the histograms and the
+// tail sampler. Nil-safe; lock-free except for the rare tail capture.
+func (t *Telemetry) ObserveCommit(node tx.NodeID, txn tx.TxnID, comps [NumComponents]int64) {
+	if t == nil {
+		return
+	}
+	t.phases.Observe(node, comps)
+	t.tail.Observe(node, txn, comps)
 }

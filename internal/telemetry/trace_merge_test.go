@@ -1,0 +1,203 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"hermes/internal/tx"
+)
+
+// TestTraceMergesAcrossRings is the regression for /trace?txn=N: a
+// transaction's events live in many rings (the cluster ring, one ring per
+// node, the catch-all), each emitted in its own local order, and the
+// merged view must interleave them into global timestamp order.
+func TestTraceMergesAcrossRings(t *testing.T) {
+	tel := New([]tx.NodeID{0, 1, 2}, 64)
+	tr := tel.Tracer()
+	base := time.Unix(0, 0)
+	at := func(ns int64) time.Time { return base.Add(time.Duration(ns)) }
+
+	// Emission order is deliberately scrambled relative to timestamps and
+	// spread across five rings; within each ring events also arrive
+	// out of global order relative to other rings.
+	const txn = tx.TxnID(42)
+	tr.EmitAt(at(70), 2, txn, PhaseCommitted, 700) // node 2 ring
+	tr.EmitAt(at(10), ClusterNode, txn, PhaseEnqueued, 0)
+	tr.EmitAt(at(40), 1, txn, PhaseBatched, 4) // node 1 ring
+	tr.EmitAt(at(20), ClusterNode, txn, PhaseSequenced, 0)
+	tr.EmitAt(at(30), 0, txn, PhaseBatched, 4) // node 0 ring
+	tr.EmitAt(at(50), 2, txn, PhaseBatched, 4)
+	tr.EmitAt(at(60), 2, txn, PhaseRouted, 2)
+	tr.EmitAt(at(45), 99, txn, PhaseMigratedIn, 64) // unknown node -> catch-all
+	// Unrelated traffic in every ring must not leak into the txn view.
+	tr.EmitAt(at(35), 0, 7, PhaseBatched, 4)
+	tr.EmitAt(at(15), ClusterNode, 7, PhaseEnqueued, 0)
+
+	evs := tr.TxnEvents(txn)
+	wantPhases := []Phase{PhaseEnqueued, PhaseSequenced, PhaseBatched, PhaseBatched,
+		PhaseMigratedIn, PhaseBatched, PhaseRouted, PhaseCommitted}
+	if len(evs) != len(wantPhases) {
+		t.Fatalf("TxnEvents returned %d events, want %d: %+v", len(evs), len(wantPhases), evs)
+	}
+	if !sort.SliceIsSorted(evs, func(i, j int) bool { return evs[i].TS < evs[j].TS }) {
+		t.Fatalf("TxnEvents not in timestamp order: %+v", evs)
+	}
+	for i, ev := range evs {
+		if ev.Phase != wantPhases[i] {
+			t.Fatalf("event %d phase=%s, want %s (merge order wrong)", i, ev.Phase, wantPhases[i])
+		}
+	}
+	// The catch-all ring's event (node 99) must appear at its timestamp
+	// position, between node 1's and node 2's batched events.
+	if evs[4].Node != 99 {
+		t.Fatalf("catch-all event out of place: %+v", evs[4])
+	}
+
+	// The HTTP summary view must render the same order.
+	srv := httptest.NewServer(tel.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/trace?txn=42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	out := string(body)
+	if !strings.Contains(out, "txn 42 trace (8 events)") {
+		t.Fatalf("/trace?txn=42 wrong event count:\n%s", out)
+	}
+	last := -1
+	for _, phase := range []string{"enqueued", "sequenced", "migrated-in", "routed", "committed"} {
+		idx := strings.Index(out, phase)
+		if idx < 0 {
+			t.Fatalf("/trace?txn=42 missing %q:\n%s", phase, out)
+		}
+		if idx < last {
+			t.Fatalf("/trace?txn=42 renders %q out of order:\n%s", phase, out)
+		}
+		last = idx
+	}
+}
+
+func TestTraceExportEndpoint(t *testing.T) {
+	tel := New([]tx.NodeID{0, 1}, 64)
+	tr := tel.Tracer()
+	base := time.Unix(0, 1000)
+	tr.EmitAt(base, ClusterNode, 5, PhaseEnqueued, 0)
+	tr.EmitAt(base.Add(10), 0, 5, PhaseBatched, 1)
+	tr.EmitAt(base.Add(20), 1, 5, PhaseCommitted, 20)
+
+	srv := httptest.NewServer(tel.Handler())
+	defer srv.Close()
+	before := time.Now().UnixNano()
+	resp, err := srv.Client().Get(srv.URL + "/trace/export")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	es, err := ReadEventStream(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if es.ServerNowNs < before || es.ServerNowNs > time.Now().UnixNano() {
+		t.Fatalf("server clock %d outside request window", es.ServerNowNs)
+	}
+	if len(es.Events) != 3 {
+		t.Fatalf("exported %d events, want 3", len(es.Events))
+	}
+	if es.Events[0].Phase != PhaseEnqueued || es.Events[2].Phase != PhaseCommitted {
+		t.Fatalf("export order wrong: %+v", es.Events)
+	}
+	if es.Events[0].Node != ClusterNode {
+		t.Fatalf("ClusterNode did not survive export: %+v", es.Events[0])
+	}
+}
+
+func TestSlowPhasesClockEndpoints(t *testing.T) {
+	tel := New([]tx.NodeID{0}, 1<<10)
+	// Drive the sampler past warmup then land one outlier.
+	for i := 0; i < 2*tailWarmup; i++ {
+		tel.ObserveCommit(0, tx.TxnID(i+1), [NumComponents]int64{
+			CompStorage: 500, CompTotal: 1000,
+		})
+	}
+	tel.Tracer().EmitAt(time.Unix(0, 5), 0, 777, PhaseCommitted, 1<<20)
+	tel.ObserveCommit(0, 777, [NumComponents]int64{
+		CompRemoteWait: 1 << 19, CompTotal: 1 << 20,
+	})
+
+	srv := httptest.NewServer(tel.Handler())
+	defer srv.Close()
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: %d: %s", path, resp.StatusCode, b)
+		}
+		return b
+	}
+
+	var slow struct {
+		ThresholdNs int64 `json:"threshold_ns"`
+		Captured    int64 `json:"captured"`
+		Slow        []struct {
+			Txn          uint64           `json:"txn"`
+			DominantName string           `json:"dominant_name"`
+			CompsByName  map[string]int64 `json:"comps_by_name"`
+		} `json:"slow"`
+	}
+	if err := json.Unmarshal(get("/trace/slow"), &slow); err != nil {
+		t.Fatal(err)
+	}
+	if slow.Captured != 1 || len(slow.Slow) != 1 {
+		t.Fatalf("slow endpoint captured=%d len=%d, want 1", slow.Captured, len(slow.Slow))
+	}
+	if slow.Slow[0].Txn != 777 || slow.Slow[0].DominantName != "remote_wait" {
+		t.Fatalf("slow capture wrong: %+v", slow.Slow[0])
+	}
+	if slow.Slow[0].CompsByName["total"] != 1<<20 {
+		t.Fatalf("comps_by_name wrong: %+v", slow.Slow[0].CompsByName)
+	}
+
+	var phases map[string]HistSnapshot
+	if err := json.Unmarshal(get("/phases"), &phases); err != nil {
+		t.Fatal(err)
+	}
+	tot, ok := phases["total"]
+	if !ok || tot.Count != int64(2*tailWarmup+1) {
+		t.Fatalf("/phases total count=%d, want %d", tot.Count, 2*tailWarmup+1)
+	}
+	// The raw snapshot must be re-mergeable by a collector: quantiles work.
+	if tot.Quantile(0.5) == 0 {
+		t.Fatal("/phases snapshot lost its buckets")
+	}
+
+	var clock struct {
+		NowUnixNs int64 `json:"now_unix_ns"`
+	}
+	before := time.Now().UnixNano()
+	if err := json.Unmarshal(get("/clock"), &clock); err != nil {
+		t.Fatal(err)
+	}
+	if clock.NowUnixNs < before || clock.NowUnixNs > time.Now().UnixNano() {
+		t.Fatalf("/clock %d outside request window", clock.NowUnixNs)
+	}
+
+	// /metrics must carry the histogram family alongside the registry.
+	if out := string(get("/metrics")); !strings.Contains(out, "hermes_phase_latency_seconds_bucket") {
+		t.Fatalf("/metrics missing phase histogram family:\n%s", out)
+	}
+}

@@ -51,6 +51,31 @@ go test -race -count=1 \
 echo "==> telemetry-equivalence gate (-race)"
 go test -race -count=1 -run 'TestTelemetryEquivalence' ./internal/chaos
 
+# Observability gate: the cluster trace plane. Histogram correctness
+# (bucket boundaries, concurrent-writer merge, quantile property test),
+# the binary event-export wire format, the tail sampler, the multi-ring
+# /trace merge, and the 3-process cluster trace export — schema-valid
+# Perfetto output, >=99% committed txns with complete cross-process span
+# chains, clock-aligned monotonic critical paths, and byte-identical
+# cluster digests with export on vs off (see docs/OBSERVABILITY.md,
+# "Cluster tracing"). Pinned by name so it survives -short; the list
+# guard fails loudly if a rename ever empties the match set.
+echo "==> observability gate (-race)"
+obs_run='TestHist|TestPhase|TestTail|TestTrace|TestEventStream|TestSlowPhasesClockEndpoints'
+listed=$(go test -list "${obs_run}" ./internal/telemetry | grep -c '^Test' || true)
+if [[ "${listed}" -eq 0 ]]; then
+    echo "observability gate matched no telemetry tests: the suite was renamed or deleted" >&2
+    exit 1
+fi
+go test -race -count=1 -run "${obs_run}" ./internal/telemetry
+cluster_trace_run='TestStitchTimelines|TestWritePerfettoSchema|TestClusterTraceExport|TestClusterTraceOnOffDigestEquivalence|TestNodeServerTraceEndpointsNoLeak|TestCollectTraceKilledWorker'
+listed=$(go test -list "${cluster_trace_run}" ./internal/harness | grep -c '^Test' || true)
+if [[ "${listed}" -eq 0 ]]; then
+    echo "observability gate matched no harness trace tests: the suite was renamed or deleted" >&2
+    exit 1
+fi
+go test -count=1 -timeout 10m ${short_flag} -run "${cluster_trace_run}" ./internal/harness
+
 # Exec-equivalence gate: the queue-oriented zero-lock executor must quiesce
 # to node digests byte-identical to the conservative lock manager for every
 # routing policy, including the lossy + mid-run-crash and leader-kill
