@@ -5,6 +5,7 @@ import (
 	"os"
 	"time"
 
+	"hermes/internal/chaos"
 	"hermes/internal/experiments"
 	"hermes/internal/harness"
 )
@@ -20,6 +21,7 @@ type clusterOpts struct {
 	seed     int64
 	out      string
 	traceOut string
+	wan      bool
 }
 
 // traceRingFor sizes the per-node telemetry rings to hold a whole run:
@@ -179,6 +181,16 @@ func runClusterBench(o clusterOpts) bool {
 			break
 		}
 	}
+	// Optional second run: the same workload through the seeded WAN fault
+	// profile. Its twin match feeds the gate below.
+	if o.wan {
+		wan, err := runClusterWAN(o, spec)
+		if err != nil {
+			return fail("wan: %v", err)
+		}
+		rep.WAN = wan
+	}
+
 	switch {
 	case res.Committed != int64(o.txns):
 		rep.Gate = experiments.ClusterGate{Pass: false,
@@ -195,6 +207,12 @@ func runClusterBench(o clusterOpts) bool {
 		rep.Gate = experiments.ClusterGate{Pass: false,
 			Reason: fmt.Sprintf("clock-aligned timestamps not monotonic: %dns backstep exceeds %dns alignment slack",
 				traceStats.MaxBackstepNs, traceStats.SlackNs)}
+	case rep.WAN != nil && rep.WAN.Committed != int64(o.txns):
+		rep.Gate = experiments.ClusterGate{Pass: false,
+			Reason: fmt.Sprintf("WAN run committed %d of %d transactions", rep.WAN.Committed, o.txns)}
+	case rep.WAN != nil && !rep.WAN.TwinMatch:
+		rep.Gate = experiments.ClusterGate{Pass: false,
+			Reason: "WAN run digests diverge from the in-process twin"}
 	default:
 		rep.Gate = experiments.ClusterGate{Pass: true}
 	}
@@ -205,6 +223,107 @@ func runClusterBench(o clusterOpts) bool {
 	}
 	fmt.Printf("cluster: digests match the in-process twin across %d workers\n", o.workers)
 	return true
+}
+
+// runClusterWAN replays the bench workload through the seeded WAN fault
+// profile: every inter-process data link goes through the netchaos proxy
+// with realistic asymmetric latency (5ms intra-region, 40ms cross-region),
+// a 2-second bidirectional partition that heals on its own, the heartbeat
+// supervisor armed, and backpressure at its default watermarks. The run
+// measures throughput under degraded networking and proves the digests
+// still match the fault-free in-process twin.
+func runClusterWAN(o clusterOpts, spec harness.WorkloadSpec) (*experiments.ClusterWANSection, error) {
+	const (
+		intra  = 5 * time.Millisecond
+		cross  = 40 * time.Millisecond
+		jitter = 2 * time.Millisecond
+		heal   = 2 * time.Second
+	)
+	sched := chaos.ClusterWANSchedule(o.seed, intra, cross, jitter, heal)
+	dir, err := os.MkdirTemp("", "hermes-cluster-wan-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	c, err := harness.StartCluster(harness.ClusterConfig{
+		Workers:   o.workers,
+		Policy:    o.policy,
+		Rows:      o.rows,
+		Payload:   64,
+		BatchSize: o.batch,
+		Net:       sched.Net,
+		Dir:       dir,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("start: %w", err)
+	}
+	defer c.Close()
+	if err := c.Seed(); err != nil {
+		return nil, fmt.Errorf("seed: %w", err)
+	}
+	super := c.StartSupervisor(harness.SupervisorConfig{
+		Interval: 100 * time.Millisecond,
+		Misses:   3,
+	})
+	start := time.Now()
+	if err := c.Run(spec); err != nil {
+		return nil, fmt.Errorf("run: %w", err)
+	}
+	c.NetPlane().Start()
+	res, err := c.WaitRun(5 * time.Minute)
+	if err != nil {
+		return nil, fmt.Errorf("wait: %w", err)
+	}
+	if err := c.Quiesce(60 * time.Second); err != nil {
+		return nil, fmt.Errorf("quiesce: %w", err)
+	}
+	digests, err := c.Digests()
+	if err != nil {
+		return nil, fmt.Errorf("digests: %w", err)
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		return nil, fmt.Errorf("stats: %w", err)
+	}
+	twin, err := harness.RunTwin(harness.TwinConfig{
+		Workers: o.workers, Policy: o.policy, Rows: o.rows, Payload: 64,
+		BatchSize: o.batch,
+	}, spec)
+	if err != nil {
+		return nil, fmt.Errorf("twin: %w", err)
+	}
+
+	ns := c.NetPlane().Stats()
+	sec := &experiments.ClusterWANSection{
+		Schedule:       sched.Name,
+		IntraMs:        intra.Milliseconds(),
+		CrossMs:        cross.Milliseconds(),
+		HealMs:         heal.Milliseconds(),
+		Committed:      res.Committed,
+		QPS:            res.QPS,
+		AvgMs:          res.AvgMs,
+		P50Ms:          res.P50Ms,
+		P95Ms:          res.P95Ms,
+		P99Ms:          res.P99Ms,
+		PartitionDrops: ns.TotalPartitionDrops(),
+		StreamResets:   ns.TotalResets(),
+		Restarts:       super.Stats().TotalRestarts(),
+	}
+	for _, st := range stats {
+		sec.OverloadDelayed += st.OverloadDelayed
+		sec.OverloadShed += st.OverloadShed
+	}
+	sec.TwinMatch = len(digests) == len(twin.Digests)
+	for i := range digests {
+		if !sec.TwinMatch || digests[i] != twin.Digests[i] {
+			sec.TwinMatch = false
+			break
+		}
+	}
+	fmt.Printf("cluster: WAN profile %s — %d txns in %.1fs, %.0f txn/s, p95 %.2fms, %d partition drops, twin match %v\n",
+		sched.Name, res.Committed, time.Since(start).Seconds(), res.QPS, res.P95Ms, sec.PartitionDrops, sec.TwinMatch)
+	return sec, nil
 }
 
 func writeClusterReport(path string, rep *experiments.ClusterReport) {

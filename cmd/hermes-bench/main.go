@@ -48,6 +48,7 @@ func main() {
 		cPolicy  = flag.String("cluster-policy", "hermes", "cluster bench: routing policy")
 		cLoad    = flag.String("cluster-workload", "ycsb", "cluster bench: workload kind (ycsb|hotspot)")
 		cWorkers = flag.Int("cluster-workers", 3, "cluster bench: worker processes")
+		cWAN     = flag.Bool("cluster-wan", false, "cluster bench: also replay the workload under the seeded WAN fault profile (asymmetric latency + partition/heal) and gate on its twin match")
 
 		execBench = flag.Bool("execbench", false, "run the lock-vs-queue hotspot twin bench instead of an experiment")
 		ebTxns    = flag.Int("execbench-txns", 65536, "execbench: transactions (rounded up to a batch multiple)")
@@ -107,7 +108,7 @@ func main() {
 		o := clusterOpts{
 			workers: *cWorkers, rows: 4000, txns: *cTxns, batch: *cBatch,
 			policy: *cPolicy, workload: *cLoad, seed: 42, out: *report,
-			traceOut: *traceOut,
+			traceOut: *traceOut, wan: *cWAN,
 		}
 		if *rows > 0 {
 			o.rows = *rows

@@ -32,6 +32,8 @@ type nodeFlags struct {
 	ckptEvery time.Duration
 	traceRing int
 	traceOff  bool
+	ovDelay   int64
+	ovShed    int64
 }
 
 // runNode is hermesd's cluster-process mode: spawned by the harness
@@ -78,6 +80,8 @@ func runNode(nf nodeFlags) {
 		Recover:         nf.recover,
 		TraceRing:       nf.traceRing,
 		TraceOff:        nf.traceOff,
+		OverloadDelay:   nf.ovDelay,
+		OverloadShed:    nf.ovShed,
 	})
 	if err != nil {
 		fatalf("hermesd: node %d: %v", nf.node, err)

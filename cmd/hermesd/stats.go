@@ -16,14 +16,33 @@ import (
 // every counter — the durability counters (fsyncs, group-commit batches,
 // batched acks, torn/corrupt frames) included, not just the scraped
 // /metrics text.
+//
+// A node that is mid-restart (the supervisor is bringing it back, or the
+// orchestrator just respawned it) refuses connections for a moment even
+// though its port stays bound; retry briefly with capped backoff instead
+// of failing on the first refusal.
 func runStats(addr string) {
 	if !strings.Contains(addr, "://") {
 		addr = "http://" + addr
 	}
 	client := &http.Client{Timeout: 5 * time.Second}
-	resp, err := client.Get(strings.TrimSuffix(addr, "/") + "/stats")
-	if err != nil {
-		fatalf("hermesd: -stats: %v", err)
+	url := strings.TrimSuffix(addr, "/") + "/stats"
+	var resp *http.Response
+	var err error
+	backoff := 50 * time.Millisecond
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		resp, err = client.Get(url)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			fatalf("hermesd: -stats: node at %s still unreachable after 3s of retries (mid-restart, or wrong control address?): %v", addr, err)
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > 500*time.Millisecond {
+			backoff = 500 * time.Millisecond
+		}
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)

@@ -508,6 +508,17 @@ func (c *Cluster) ReliableStats() network.ReliableStats {
 // constructing a compatible replacement cluster (recovery).
 func (c *Cluster) ConfigCopy() Config { return c.cfg }
 
+// RoleGoroutines sums per-transaction role goroutines spawned across all
+// nodes. Queue mode must report zero — record waits are mailbox
+// continuations on the bucket workers, never parked goroutines.
+func (c *Cluster) RoleGoroutines() int64 {
+	var n int64
+	for _, nd := range c.nodeList() {
+		n += nd.RoleGoroutines()
+	}
+	return n
+}
+
 // Collector exposes the cluster's metrics.
 func (c *Cluster) Collector() *metrics.Collector { return c.collector }
 

@@ -43,18 +43,41 @@ func (n *Node) run(rt *router.Route, role *role, grant lock.Granted, arrival tim
 	granted := time.Now()
 	n.cluster.tracer.Emit(n.id, rt.Txn.ID, telemetry.PhaseLocked, int64(granted.Sub(dispatch)))
 
-	var storageTime time.Duration
+	storageTime, ok := n.pushOwned(rt, role)
+	if !ok {
+		return // node shutting down
+	}
 
-	// Phase 1: push owned records (remote reads, write-back inputs, and
-	// migration payloads) to their destinations, deleting outbound
-	// migration sources. Serving records is real work for the owner: it
-	// occupies an executor slot and consumes a fraction of ExecCost, so
-	// systems that repeatedly pull from a hot node (G-Store's and
-	// T-Part's per-batch pulls) keep loading it, while a migration frees
-	// it — the effect behind Figs. 11-14.
+	// Phase 2: wait for inbound records if any are expected.
+	var remote map[tx.Key][]byte
+	var remoteReady time.Time
+	if role.expectRecords > 0 {
+		remote = n.mailboxFor(rt.Txn.ID).waitFor(role.expectRecords, n.quit)
+		if remote == nil {
+			return // shutting down
+		}
+		remoteReady = time.Now()
+		n.cluster.tracer.Emit(n.id, rt.Txn.ID, telemetry.PhaseRemoteReady, int64(role.expectRecords))
+	} else {
+		remoteReady = granted
+	}
+
+	n.finish(rt, role, remote, arrival, dispatch, granted, remoteReady, storageTime, planShare)
+}
+
+// pushOwned is Phase 1: push owned records (remote reads, write-back
+// inputs, and migration payloads) to their destinations, deleting outbound
+// migration sources. Serving records is real work for the owner: it
+// occupies an executor slot and consumes a fraction of ExecCost, so
+// systems that repeatedly pull from a hot node (G-Store's and T-Part's
+// per-batch pulls) keep loading it, while a migration frees it — the
+// effect behind Figs. 11-14. It reports false if the node is shutting
+// down.
+func (n *Node) pushOwned(rt *router.Route, role *role) (time.Duration, bool) {
+	var storageTime time.Duration
 	if len(role.pushTo) > 0 {
 		if !n.execSlot() {
-			return // node shutting down
+			return 0, false
 		}
 		if d := n.cluster.cfg.ExecCost / 4; d > 0 {
 			t0 := time.Now()
@@ -85,21 +108,16 @@ func (n *Node) run(rt *router.Route, role *role, grant lock.Granted, arrival tim
 	if len(role.pushTo) > 0 {
 		n.execDone()
 	}
+	return storageTime, true
+}
 
-	// Phase 2: wait for inbound records if any are expected.
-	var remote map[tx.Key][]byte
-	var remoteReady time.Time
-	if role.expectRecords > 0 {
-		remote = n.mailboxFor(rt.Txn.ID).waitFor(role.expectRecords, n.quit)
-		if remote == nil {
-			return // shutting down
-		}
-		remoteReady = time.Now()
-		n.cluster.tracer.Emit(n.id, rt.Txn.ID, telemetry.PhaseRemoteReady, int64(role.expectRecords))
-	} else {
-		remoteReady = granted
-	}
-
+// finish is Phase 3 plus commit accounting: the role-specific work, lock
+// release, and — at the committing role — the latency breakdown and commit
+// report. remote is nil when the role expected no records.
+func (n *Node) finish(rt *router.Route, role *role, remote map[tx.Key][]byte,
+	arrival, dispatch, granted, remoteReady time.Time,
+	storageTime time.Duration, planShare time.Duration,
+) {
 	// Phase 3: role-specific work.
 	aborted := false
 	switch {
@@ -208,6 +226,48 @@ func (n *Node) run(rt *router.Route, role *role, grant lock.Granted, arrival tim
 			n.cluster.tracer.Emit(n.id, rt.Txn.ID, telemetry.PhaseAborted, 0)
 		}
 		n.cluster.completeTxn(rt.Txn)
+	}
+}
+
+// runQueuedSplit is queue mode's path for roles that expect inbound
+// records, invoked inline by the bucket worker that completed the
+// admission rendezvous. It performs Phase 1 immediately, then — instead of
+// parking a goroutine on the mailbox the way lock mode does — registers a
+// continuation that fires when the last record lands; the continuation
+// re-enters the bucket pool via qexec.Submit so the storage work and
+// ExecCost sleeps of Phase 3 never run on the transport receive loop. If
+// the node crashes before the records arrive the continuation simply never
+// fires, leaving its queue entries (and the in-flight migration gauge)
+// abandoned — the same semantics as a crashed node's lock table.
+func (n *Node) runQueuedSplit(rt *router.Route, role *role, arrival, admitted time.Time, planShare time.Duration) {
+	gauge := len(rt.Migrations) > 0 && rt.Mode != router.Provision && n.isCommitter(rt)
+	if gauge {
+		n.cluster.collector.AddMigrationsInFlight(1)
+	}
+	dispatch := admitted
+	granted := time.Now()
+	n.cluster.tracer.Emit(n.id, rt.Txn.ID, telemetry.PhaseLocked, int64(granted.Sub(dispatch)))
+
+	storageTime, ok := n.pushOwned(rt, role)
+	if !ok {
+		if gauge {
+			n.cluster.collector.AddMigrationsInFlight(-1)
+		}
+		return // node shutting down
+	}
+
+	cont := func(remote map[tx.Key][]byte) {
+		remoteReady := time.Now()
+		n.cluster.tracer.Emit(n.id, rt.Txn.ID, telemetry.PhaseRemoteReady, int64(role.expectRecords))
+		n.finish(rt, role, remote, arrival, dispatch, granted, remoteReady, storageTime, planShare)
+		if gauge {
+			n.cluster.collector.AddMigrationsInFlight(-1)
+		}
+	}
+	if remote, ready := n.mailboxFor(rt.Txn.ID).subscribe(role.expectRecords, func(remote map[tx.Key][]byte) {
+		n.qx.Submit(rt.Txn.ID, func() { cont(remote) })
+	}); ready {
+		cont(remote)
 	}
 }
 

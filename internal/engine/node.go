@@ -39,6 +39,11 @@ type Node struct {
 	mailMu sync.Mutex
 	mail   map[tx.TxnID]*mailbox
 
+	// roleGoroutines counts per-transaction role goroutines ever spawned.
+	// Queue mode must keep this at zero: record waits are mailbox
+	// continuations, not parked goroutines (the regression test keys on it).
+	roleGoroutines atomic.Int64
+
 	quit chan struct{}
 	wg   sync.WaitGroup
 }
@@ -251,6 +256,7 @@ func (n *Node) schedule(rt *router.Route, arrival time.Time) {
 		n.cluster.tracer.Emit(n.id, rt.Txn.ID, telemetry.PhaseRouted, master)
 	}
 	grant := n.locks.Acquire(rt.Txn.ID, role.shared, role.excl)
+	n.roleGoroutines.Add(1)
 	n.wg.Add(1)
 	go func() {
 		defer n.wg.Done()
@@ -258,12 +264,19 @@ func (n *Node) schedule(rt *router.Route, arrival time.Time) {
 	}()
 }
 
+// RoleGoroutines reports how many per-transaction role goroutines this
+// node has ever spawned (zero in queue mode).
+func (n *Node) RoleGoroutines() int64 { return n.roleGoroutines.Load() }
+
 // scheduleQueue is the queue-mode scheduler: it derives every role for the
 // batch first (planning), then admits the whole batch into the per-key
-// queues in one call. Roles that wait on no inbound records run *inline* on
-// the bucket worker that completes their rendezvous — no goroutine spawn,
-// no channel handoff; roles that do expect records keep a waiting goroutine
-// so a mailbox wait can never stall a bucket worker.
+// queues in one call. Every role runs *inline* on the bucket worker that
+// completes its rendezvous — no goroutine spawn, no channel handoff. Roles
+// that expect inbound records split at the mailbox instead of parking: the
+// rendezvous worker runs Phase 1 and registers a continuation that the
+// record receiver re-submits to the bucket pool when the last record
+// lands, so a mailbox wait never stalls a bucket worker and never holds a
+// goroutine either.
 func (n *Node) scheduleQueue(plan *router.Plan, arrival time.Time) {
 	planStart := time.Now()
 	type job struct {
@@ -304,29 +317,21 @@ func (n *Node) scheduleQueue(plan *router.Plan, arrival time.Time) {
 	}
 	admitted := time.Now()
 	for i := range jobs {
-		if jobs[i].role.expectRecords > 0 {
-			continue
-		}
 		rt, role := jobs[i].rt, jobs[i].role
 		// Inline runs are joined via qx.Close() in wait(), not the node
 		// WaitGroup: if the node crashes before the rendezvous, the closure
 		// simply never fires.
-		ops[i].OnReady = func() {
-			n.run(rt, role, nil, arrival, admitted, planShare)
+		if role.expectRecords > 0 {
+			ops[i].OnReady = func() {
+				n.runQueuedSplit(rt, role, arrival, admitted, planShare)
+			}
+		} else {
+			ops[i].OnReady = func() {
+				n.run(rt, role, nil, arrival, admitted, planShare)
+			}
 		}
 	}
-	grants := n.qx.AdmitBatch(ops)
-	for i := range jobs {
-		if jobs[i].role.expectRecords == 0 {
-			continue
-		}
-		rt, role, grant := jobs[i].rt, jobs[i].role, grants[i]
-		n.wg.Add(1)
-		go func() {
-			defer n.wg.Done()
-			n.run(rt, role, grant, arrival, admitted, planShare)
-		}()
-	}
+	_ = n.qx.AdmitBatch(ops)
 }
 
 // isCommitter reports whether this node is the one that reports
@@ -553,10 +558,16 @@ func (n *Node) dropMailbox(id tx.TxnID) {
 }
 
 // mailbox accumulates records pushed to this node for one transaction.
+// Consumers either block on waitFor (lock mode's waiting goroutine) or
+// register a continuation with subscribe (queue mode's split path).
 type mailbox struct {
 	mu     sync.Mutex
 	recs   map[tx.Key][]byte
 	notify chan struct{}
+	// want/cont are the registered continuation: when at least want
+	// records have accumulated, put fires cont once with the record map.
+	want int
+	cont func(map[tx.Key][]byte)
 }
 
 func newMailbox() *mailbox {
@@ -568,11 +579,36 @@ func (m *mailbox) put(records []network.Record) {
 	for _, r := range records {
 		m.recs[r.Key] = r.Value
 	}
+	var fire func(map[tx.Key][]byte)
+	var out map[tx.Key][]byte
+	if m.cont != nil && len(m.recs) >= m.want {
+		fire, out = m.cont, m.recs
+		m.cont = nil
+	}
 	m.mu.Unlock()
 	select {
 	case m.notify <- struct{}{}:
 	default:
 	}
+	if fire != nil {
+		// Outside the mutex: the continuation re-submits into the bucket
+		// pool and must not deadlock against a concurrent put.
+		fire(out)
+	}
+}
+
+// subscribe registers fn to fire once at least want records have arrived.
+// If they already have, it returns (records, true) and registers nothing —
+// the caller runs the continuation itself. fn fires on the goroutine that
+// delivers the final record.
+func (m *mailbox) subscribe(want int, fn func(map[tx.Key][]byte)) (map[tx.Key][]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.recs) >= want {
+		return m.recs, true
+	}
+	m.want, m.cont = want, fn
+	return nil, false
 }
 
 // waitFor blocks until at least want records have arrived (or quit

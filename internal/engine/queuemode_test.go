@@ -97,6 +97,60 @@ func TestQueueModeBreakdownHasNoLockWait(t *testing.T) {
 	}
 }
 
+// TestQueueModeGoroutineCount: queue mode must never spawn a
+// per-transaction role goroutine — not even for roles that wait on inbound
+// records, which ride a mailbox continuation back into the bucket pool
+// instead of parking. Lock mode spawns one per involved role, so the same
+// cross-node workload distinguishes the two paths; requiring remote reads
+// ensures the record-waiting (continuation) path actually ran rather than
+// passing vacuously.
+func TestQueueModeGoroutineCount(t *testing.T) {
+	run := func(t *testing.T, mode string) *Cluster {
+		t.Helper()
+		ids := []tx.NodeID{0, 1, 2}
+		c, err := New(Config{
+			Nodes:    ids,
+			Policy:   policies(3)["calvin"],
+			Seq:      sequencer.Config{BatchSize: 8, Interval: 2 * time.Millisecond},
+			ExecMode: mode,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(c.Stop)
+		loadCounters(c, testRows)
+		for i := 0; i < 60; i++ {
+			// One key owned by node 0, one by node 2: every transaction
+			// needs cross-node record pushes, so record-expecting roles
+			// exist on every batch.
+			near := tx.MakeKey(0, uint64(i%40))
+			far := tx.MakeKey(0, uint64(150+(i%40)))
+			if err := c.SubmitAndWait(tx.NodeID(i%3), incProc(near, far)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !c.Drain(20 * time.Second) {
+			t.Fatalf("cluster did not drain (pending=%d)", c.Pending())
+		}
+		if rr := c.Collector().RemoteReads(); rr == 0 {
+			t.Fatal("workload produced no remote reads; record-wait path not exercised")
+		}
+		return c
+	}
+	t.Run("queue", func(t *testing.T) {
+		c := run(t, ExecModeQueue)
+		if n := c.RoleGoroutines(); n != 0 {
+			t.Fatalf("queue mode spawned %d role goroutines, want 0", n)
+		}
+	})
+	t.Run("lock", func(t *testing.T) {
+		c := run(t, ExecModeLock)
+		if n := c.RoleGoroutines(); n == 0 {
+			t.Fatal("lock mode reported zero role goroutines; counter is broken")
+		}
+	})
+}
+
 func TestUnknownExecModeRejected(t *testing.T) {
 	pf := policies(2)["calvin"]
 	_, err := New(Config{

@@ -22,6 +22,9 @@ type ClusterProcess struct {
 	DupsDropped       int64  `json:"dups_dropped"`
 	HandshakeFailures int64  `json:"handshake_failures"`
 
+	OverloadDelayed int64 `json:"overload_delayed"`
+	OverloadShed    int64 `json:"overload_shed"`
+
 	RestoredCheckpoint bool   `json:"restored_checkpoint"`
 	CheckpointID       uint64 `json:"checkpoint_id"`
 	CheckpointSaves    int64  `json:"checkpoint_saves"`
@@ -51,6 +54,37 @@ type ClusterTraceSummary struct {
 	CompleteFraction float64 `json:"complete_fraction"`
 	MaxBackstepNs    int64   `json:"max_backstep_ns"`
 	SlackNs          int64   `json:"slack_ns"`
+}
+
+// ClusterWANSection records the optional second bench run under the
+// seeded WAN fault schedule: the same workload replayed through the
+// netchaos proxy plane (asymmetric inter-region latency plus a
+// partition/heal cycle) with the heartbeat supervisor armed. Throughput
+// and tail latency are expected to degrade; the digests are not — the
+// twin match here is the headline determinism-under-faults claim.
+type ClusterWANSection struct {
+	Schedule string `json:"schedule"`
+	IntraMs  int64  `json:"intra_ms"`
+	CrossMs  int64  `json:"cross_ms"`
+	HealMs   int64  `json:"heal_ms"`
+
+	Committed int64   `json:"committed"`
+	QPS       float64 `json:"qps"`
+	AvgMs     float64 `json:"avg_ms"`
+	P50Ms     float64 `json:"p50_ms,omitempty"`
+	P95Ms     float64 `json:"p95_ms"`
+	P99Ms     float64 `json:"p99_ms,omitempty"`
+
+	// Fault-plane evidence that the schedule actually fired.
+	PartitionDrops int64 `json:"partition_drops"`
+	StreamResets   int64 `json:"stream_resets"`
+	Restarts       int   `json:"supervisor_restarts"`
+
+	// Backpressure counters summed across processes.
+	OverloadDelayed int64 `json:"overload_delayed"`
+	OverloadShed    int64 `json:"overload_shed"`
+
+	TwinMatch bool `json:"twin_match"`
 }
 
 // ClusterReport is the merged result of one multi-process cluster bench
@@ -88,6 +122,8 @@ type ClusterReport struct {
 
 	TwinMatch bool             `json:"twin_match"`
 	Processes []ClusterProcess `json:"processes"`
+	// WAN is present when the bench also ran the seeded WAN fault profile.
+	WAN *ClusterWANSection `json:"wan,omitempty"`
 	Gate      ClusterGate      `json:"gate"`
 	Written   time.Time        `json:"written"`
 }

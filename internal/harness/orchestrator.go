@@ -16,6 +16,7 @@ import (
 
 	"hermes/internal/diskio"
 	"hermes/internal/engine"
+	"hermes/internal/netchaos"
 	"hermes/internal/tx"
 )
 
@@ -50,6 +51,19 @@ type ClusterConfig struct {
 	TraceRing int
 	// TraceOff starts every process with lifecycle tracing disabled.
 	TraceOff bool
+	// Net, when set, routes every inter-process data-plane link through a
+	// netchaos proxy injecting the schedule's faults. The control plane
+	// stays direct so health probes and the driver survive partitions.
+	// The leader transport id is automatically aliased onto worker 0 (its
+	// co-host) for rule and partition matching.
+	Net *netchaos.Schedule
+	// OverloadDelay and OverloadShed are the driver's backpressure
+	// watermarks on local queue depth (reliable-layer unacked+backlog plus
+	// queued exec keys): at Delay admission is paced, at Shed it is
+	// rejected until the depth drains. Zero picks defaults; negative
+	// disables that watermark.
+	OverloadDelay int64
+	OverloadShed  int64
 	// Dir is the scratch directory for journals, seed specs and process
 	// logs. Required.
 	Dir string
@@ -73,48 +87,68 @@ type Cluster struct {
 	cfg       ClusterConfig
 	bin       string
 	addrs     map[tx.NodeID]string
+	views     []map[tx.NodeID]string // per-process peer maps (proxied when net != nil)
 	dataLns   []*net.TCPListener
 	ctrlLns   []*net.TCPListener
 	leaderLn  *net.TCPListener
 	ctrlAddrs []string
 	logs      []*os.File
-	procs     []*proc
 	client    *http.Client
+	net       *netchaos.Plane
+
+	// procMu guards procs: the supervisor reaps/respawns concurrently
+	// with tests calling KillWorker/RestartWorker/Close.
+	procMu sync.Mutex
+	procs  []*proc
 
 	mu     sync.Mutex
 	closed bool
+	super  *Supervisor
 }
 
 var (
-	buildOnce sync.Once
-	buildPath string
-	buildErr  error
+	buildMu    sync.Mutex
+	buildPaths = map[bool]string{}
+	buildErrs  = map[bool]error{}
+	buildDone  = map[bool]bool{}
 )
 
 // HermesdBinary builds ./cmd/hermesd once per test process and returns the
-// binary path.
+// binary path. With HERMESD_BUILD_RACE=1 in the environment the children
+// are built with -race, so a CI gate can put the race detector inside every
+// process of the cluster, not just the orchestrating test.
 func HermesdBinary() (string, error) {
-	buildOnce.Do(func() {
-		root, err := moduleRoot()
-		if err != nil {
-			buildErr = err
-			return
-		}
-		dir, err := os.MkdirTemp("", "hermesd-bin-")
-		if err != nil {
-			buildErr = err
-			return
-		}
-		out := filepath.Join(dir, "hermesd")
-		cmd := exec.Command("go", "build", "-o", out, "./cmd/hermesd")
-		cmd.Dir = root
-		if msg, err := cmd.CombinedOutput(); err != nil {
-			buildErr = fmt.Errorf("harness: building hermesd: %v\n%s", err, msg)
-			return
-		}
-		buildPath = out
-	})
-	return buildPath, buildErr
+	race := os.Getenv("HERMESD_BUILD_RACE") == "1"
+	buildMu.Lock()
+	defer buildMu.Unlock()
+	if buildDone[race] {
+		return buildPaths[race], buildErrs[race]
+	}
+	buildDone[race] = true
+	root, err := moduleRoot()
+	if err != nil {
+		buildErrs[race] = err
+		return "", err
+	}
+	dir, err := os.MkdirTemp("", "hermesd-bin-")
+	if err != nil {
+		buildErrs[race] = err
+		return "", err
+	}
+	out := filepath.Join(dir, "hermesd")
+	args := []string{"build"}
+	if race {
+		args = append(args, "-race")
+	}
+	args = append(args, "-o", out, "./cmd/hermesd")
+	cmd := exec.Command("go", args...)
+	cmd.Dir = root
+	if msg, err := cmd.CombinedOutput(); err != nil {
+		buildErrs[race] = fmt.Errorf("harness: building hermesd: %v\n%s", err, msg)
+		return "", buildErrs[race]
+	}
+	buildPaths[race] = out
+	return out, nil
 }
 
 // moduleRoot walks up from the working directory to the enclosing go.mod.
@@ -147,6 +181,12 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	if cfg.FusionCap == 0 {
 		cfg.FusionCap = int(cfg.Rows / 40)
+	}
+	if cfg.OverloadDelay == 0 {
+		cfg.OverloadDelay = 512
+	}
+	if cfg.OverloadShed == 0 {
+		cfg.OverloadShed = 4096
 	}
 	bin := cfg.BinPath
 	if bin == "" {
@@ -189,6 +229,34 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	c.leaderLn = ln
 	c.addrs[engine.LeaderNode] = ln.Addr().String()
 
+	if cfg.Net != nil {
+		// The leader transport is co-hosted in worker 0's process, so for
+		// rule matching and partition membership its id is worker 0.
+		if cfg.Net.Alias == nil {
+			cfg.Net.Alias = map[int]int{}
+		}
+		cfg.Net.Alias[int(engine.LeaderNode)] = 0
+		c.net = netchaos.NewPlane(cfg.Net)
+		c.views = make([]map[tx.NodeID]string, cfg.Workers)
+		for i := 0; i < cfg.Workers; i++ {
+			view := make(map[tx.NodeID]string, len(c.addrs))
+			for id, addr := range c.addrs {
+				// Same-process links (self, and worker 0 to its co-hosted
+				// leader) stay direct: no real network to condition.
+				if int(id) == i || (id == engine.LeaderNode && i == 0) {
+					view[id] = addr
+					continue
+				}
+				proxied, err := c.net.Route(i, int(id), addr)
+				if err != nil {
+					return fail(err)
+				}
+				view[id] = proxied
+			}
+			c.views[i] = view
+		}
+	}
+
 	for i := 0; i < cfg.Workers; i++ {
 		if err := c.spawn(i, false); err != nil {
 			return fail(err)
@@ -210,10 +278,16 @@ func listenLoopback() (*net.TCPListener, error) {
 	return ln.(*net.TCPListener), nil
 }
 
-// peersFlag renders the id=addr map for the child command line.
-func (c *Cluster) peersFlag() string {
-	parts := make([]string, 0, len(c.addrs))
-	for id, addr := range c.addrs {
+// peersFlag renders worker i's id=addr map for its command line. Under a
+// fault plane each process gets its own view, with every remote peer
+// routed through that process's per-link proxies.
+func (c *Cluster) peersFlag(i int) string {
+	addrs := c.addrs
+	if c.views != nil {
+		addrs = c.views[i]
+	}
+	parts := make([]string, 0, len(addrs))
+	for id, addr := range addrs {
 		parts = append(parts, fmt.Sprintf("%d=%s", id, addr))
 	}
 	return strings.Join(parts, ",")
@@ -237,7 +311,7 @@ func (c *Cluster) spawn(i int, recover bool) error {
 	args := []string{
 		"-node", fmt.Sprint(i),
 		"-workers", fmt.Sprint(c.cfg.Workers),
-		"-peers", c.peersFlag(),
+		"-peers", c.peersFlag(i),
 		"-policy", c.cfg.Policy,
 		"-rows", fmt.Sprint(c.cfg.Rows),
 		"-fusioncap", fmt.Sprint(c.cfg.FusionCap),
@@ -247,6 +321,12 @@ func (c *Cluster) spawn(i int, recover bool) error {
 	}
 	if c.cfg.ExecMode != "" {
 		args = append(args, "-exec", c.cfg.ExecMode)
+	}
+	if c.cfg.OverloadDelay != 0 {
+		args = append(args, "-overload-delay", fmt.Sprint(c.cfg.OverloadDelay))
+	}
+	if c.cfg.OverloadShed != 0 {
+		args = append(args, "-overload-shed", fmt.Sprint(c.cfg.OverloadShed))
 	}
 	if c.cfg.Fsync != "" {
 		args = append(args, "-fsync", c.cfg.Fsync)
@@ -301,8 +381,28 @@ func (c *Cluster) spawn(i int, recover bool) error {
 	}
 	p := &proc{cmd: cmd, done: make(chan error, 1)}
 	go func() { p.done <- cmd.Wait() }()
+	c.procMu.Lock()
 	c.procs[i] = p
+	c.procMu.Unlock()
 	return nil
+}
+
+// getProc reads worker i's proc handle under the lifecycle lock.
+func (c *Cluster) getProc(i int) *proc {
+	c.procMu.Lock()
+	defer c.procMu.Unlock()
+	return c.procs[i]
+}
+
+// takeProc claims worker i's proc handle for teardown: whoever gets the
+// non-nil pointer owns the kill+reap; everyone else sees nil. This is what
+// lets a test's KillWorker and the supervisor's reaper race safely.
+func (c *Cluster) takeProc(i int) *proc {
+	c.procMu.Lock()
+	defer c.procMu.Unlock()
+	p := c.procs[i]
+	c.procs[i] = nil
+	return p
 }
 
 func (c *Cluster) waitHealthy(i int, timeout time.Duration) error {
@@ -381,7 +481,7 @@ func (c *Cluster) WaitRun(timeout time.Duration) (*RunResult, error) {
 // stay bound in the parent, so peers keep retransmitting into the backlog
 // until RestartWorker brings it back.
 func (c *Cluster) KillWorker(i int) error {
-	p := c.procs[i]
+	p := c.takeProc(i)
 	if p == nil {
 		return fmt.Errorf("harness: worker %d is not running", i)
 	}
@@ -393,7 +493,6 @@ func (c *Cluster) KillWorker(i int) error {
 	case <-time.After(10 * time.Second):
 		return fmt.Errorf("harness: worker %d did not die after SIGKILL", i)
 	}
-	c.procs[i] = nil
 	return nil
 }
 
@@ -401,7 +500,7 @@ func (c *Cluster) KillWorker(i int) error {
 // from its persisted seed spec, bumps its incarnation, replays its journal
 // and rejoins on the same ports.
 func (c *Cluster) RestartWorker(i int) error {
-	if c.procs[i] != nil {
+	if c.getProc(i) != nil {
 		return fmt.Errorf("harness: worker %d is still running", i)
 	}
 	if err := c.spawn(i, true); err != nil {
@@ -409,6 +508,11 @@ func (c *Cluster) RestartWorker(i int) error {
 	}
 	return c.waitHealthy(i, 10*time.Second)
 }
+
+// NetPlane returns the cluster's fault plane (nil without ClusterConfig.Net).
+// Callers arm the schedule with Start once the workload is running, and may
+// drive manual faults through it.
+func (c *Cluster) NetPlane() *netchaos.Plane { return c.net }
 
 // Quiesce drives the cluster to a provably settled state: the leader has
 // nothing pending, and in a single sweep every worker has scheduled the
@@ -543,16 +647,28 @@ func (c *Cluster) Close() error {
 		return nil
 	}
 	c.closed = true
+	super := c.super
+	c.super = nil
 	c.mu.Unlock()
 
+	// The supervisor must stop before processes start disappearing for
+	// good, or it would dutifully resurrect them mid-teardown.
+	if super != nil {
+		super.Stop()
+	}
+
 	var firstErr error
-	for i, p := range c.procs {
+	procs := make([]*proc, len(c.procs))
+	for i := range c.procs {
+		procs[i] = c.takeProc(i)
+	}
+	for i, p := range procs {
 		if p == nil {
 			continue
 		}
 		_ = c.post(i, "/shutdown", struct{}{}, nil)
 	}
-	for i, p := range c.procs {
+	for i, p := range procs {
 		if p == nil {
 			continue
 		}
@@ -568,7 +684,9 @@ func (c *Cluster) Close() error {
 				}
 			}
 		}
-		c.procs[i] = nil
+	}
+	if c.net != nil {
+		c.net.Close()
 	}
 	for _, ln := range c.dataLns {
 		if ln != nil {

@@ -1,0 +1,242 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"hermes/internal/leaktest"
+	"hermes/internal/netchaos"
+)
+
+// superTestConfig is the fast supervisor tuning used across these tests:
+// probes every 50ms, dead after 2 misses, so a SIGKILL is detected and
+// repaired well inside a second.
+var superTestConfig = SupervisorConfig{
+	Interval: 50 * time.Millisecond,
+	Misses:   2,
+}
+
+// TestSupervisorRevivesKilledWorker SIGKILLs a worker mid-run and never
+// restarts it from the test: the heartbeat supervisor must detect the dead
+// control plane, respawn the process in recovery mode, and the run must
+// still commit everything.
+func TestSupervisorRevivesKilledWorker(t *testing.T) {
+	c := startTestCluster(t, "hermes")
+	super := c.StartSupervisor(superTestConfig)
+	spec := WorkloadSpec{
+		Kind: WorkloadYCSB, Seed: 42, Txns: 1200, Rows: 4000,
+		KeysPerTxn: 3, Payload: 64, Theta: 0.8, Window: 50,
+	}
+	if err := c.Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st, err := c.Status()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Completed >= int64(spec.Txns/3) || st.Done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run never reached the kill point: %+v", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := c.KillWorker(2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.WaitRun(120 * time.Second)
+	if err != nil {
+		dumpClusterState(t, c)
+		t.Fatal(err)
+	}
+	if res.Committed != int64(spec.Txns) {
+		t.Fatalf("committed %d of %d", res.Committed, spec.Txns)
+	}
+	if err := c.Quiesce(30 * time.Second); err != nil {
+		dumpClusterState(t, c)
+		t.Fatal(err)
+	}
+	st := super.Stats()
+	if st.TotalRestarts() == 0 {
+		t.Fatalf("supervisor performed no restarts: %+v", st)
+	}
+	if st.Workers[2].Misses == 0 {
+		t.Errorf("supervisor counted no missed probes for the killed worker: %+v", st.Workers[2])
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc := stats[2].Incarnation; inc < 2 {
+		t.Errorf("revived worker reports incarnation %d, want >= 2", inc)
+	}
+}
+
+// TestSupervisorBreakerOpens exhausts a Budget=1 supervisor: the first
+// kill is repaired, the second must trip the circuit breaker and leave the
+// worker down instead of restarting forever.
+func TestSupervisorBreakerOpens(t *testing.T) {
+	c := startTestCluster(t, "calvin")
+	super := c.StartSupervisor(SupervisorConfig{
+		Interval: 50 * time.Millisecond,
+		Misses:   2,
+		Budget:   1,
+	})
+	waitRevived := func(restarts int) {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		for super.Stats().Workers[1].Restarts < restarts || c.getProc(1) == nil {
+			if time.Now().After(deadline) {
+				t.Fatalf("worker 1 not revived to %d restarts: %+v", restarts, super.Stats().Workers[1])
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if err := c.KillWorker(1); err != nil {
+		t.Fatal(err)
+	}
+	waitRevived(1)
+	if err := c.KillWorker(1); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for !super.Stats().Workers[1].BreakerOpen {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never opened after the budget was spent: %+v", super.Stats().Workers[1])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if p := c.getProc(1); p != nil {
+		t.Error("breaker is open but the worker was restarted anyway")
+	}
+	if got := super.Stats().Workers[1].Restarts; got != 1 {
+		t.Errorf("restarts = %d, want exactly the budget of 1", got)
+	}
+}
+
+// TestSupervisorKillUnderPartitionLeaksNothing is the teardown-hygiene
+// check for the whole fault stack: a worker is SIGKILLed while the data
+// plane is partitioned, the supervisor revives it through the outage (its
+// probes use the direct control plane), and after Close neither the proxy
+// plane, the supervisor, nor the orchestrator may leave a goroutine
+// behind.
+func TestSupervisorKillUnderPartitionLeaksNothing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process cluster tests skipped in -short mode")
+	}
+	if _, err := HermesdBinary(); err != nil {
+		t.Fatalf("building hermesd: %v", err)
+	}
+	defer leaktest.Check(t)()
+
+	c, err := StartCluster(ClusterConfig{
+		Workers: 3, Policy: "hermes", Rows: 4000, Payload: 64, BatchSize: 25,
+		Net: &netchaos.Schedule{Name: "partition-only", Seed: 7},
+		Dir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Seed(); err != nil {
+		t.Fatal(err)
+	}
+	super := c.StartSupervisor(superTestConfig)
+	spec := WorkloadSpec{
+		Kind: WorkloadYCSB, Seed: 11, Txns: 600, Rows: 4000,
+		KeysPerTxn: 3, Payload: 64, Theta: 0.8, Window: 50,
+	}
+	if err := c.Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	c.NetPlane().Start()
+	// Partition worker 2 away, then SIGKILL it mid-outage: the supervisor
+	// must detect and revive it while its data links are still dark.
+	c.NetPlane().PartitionBetween([]int{0, 1}, []int{2}, 1500*time.Millisecond)
+	if err := c.KillWorker(2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.WaitRun(120 * time.Second)
+	if err != nil {
+		dumpClusterState(t, c)
+		t.Fatal(err)
+	}
+	if res.Committed != int64(spec.Txns) {
+		t.Fatalf("committed %d of %d", res.Committed, spec.Txns)
+	}
+	if err := c.Quiesce(30 * time.Second); err != nil {
+		dumpClusterState(t, c)
+		t.Fatal(err)
+	}
+	if super.Stats().TotalRestarts() == 0 {
+		t.Fatal("supervisor performed no restarts under the partition")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClusterBackpressureCounters pins the overload gate's plumbing: with
+// the delay watermark forced to 1, almost every submission sees nonzero
+// local queue depth, so the run must finish with the delayed counter
+// visible in the driver's status, the /stats snapshot, and /metrics — and
+// still commit everything, because backpressure only retimes the ordered
+// submitter.
+func TestClusterBackpressureCounters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process cluster tests skipped in -short mode")
+	}
+	if _, err := HermesdBinary(); err != nil {
+		t.Fatalf("building hermesd: %v", err)
+	}
+	c, err := StartCluster(ClusterConfig{
+		Workers: 3, Policy: "hermes", Rows: 4000, Payload: 64, BatchSize: 25,
+		OverloadDelay: 1, Dir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	if err := c.Seed(); err != nil {
+		t.Fatal(err)
+	}
+	spec := WorkloadSpec{
+		Kind: WorkloadYCSB, Seed: 42, Txns: 400, Rows: 4000,
+		KeysPerTxn: 3, Payload: 64, Theta: 0.8, Window: 50,
+	}
+	if err := c.Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.WaitRun(120 * time.Second)
+	if err != nil {
+		dumpClusterState(t, c)
+		t.Fatal(err)
+	}
+	if res.Committed != int64(spec.Txns) {
+		t.Fatalf("committed %d of %d", res.Committed, spec.Txns)
+	}
+	st, err := c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Delayed == 0 {
+		t.Error("watermark 1 paced no submissions; the gate is not wired to the driver")
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats[0].OverloadDelayed == 0 {
+		t.Errorf("/stats reports no delayed admissions on the driver host: %+v", stats[0])
+	}
+	metrics, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := metrics[0]["hermes_overload_delayed_total"]; !ok {
+		t.Error("hermes_overload_delayed_total missing from the driver host's /metrics")
+	}
+}

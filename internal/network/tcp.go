@@ -84,6 +84,10 @@ type TCPTransport struct {
 	sendTimeout    time.Duration
 
 	handshakeFails atomic.Int64
+	// reconnects counts connections dropped mid-stream (a failed Encode on
+	// an established gob stream) and re-dialed; a mid-stream RST from the
+	// peer or a fault proxy shows up here, not as a delivery failure.
+	reconnects atomic.Int64
 
 	// dialSleepHook, when set (tests), observes each jittered retry wait
 	// just before it is slept.
@@ -238,6 +242,10 @@ func (t *TCPTransport) handshakeDial(c net.Conn, timeout time.Duration) error {
 // a bad or missing handshake.
 func (t *TCPTransport) HandshakeFailures() int64 { return t.handshakeFails.Load() }
 
+// Reconnects reports how many established connections broke mid-stream and
+// were dropped for re-dial.
+func (t *TCPTransport) Reconnects() int64 { return t.reconnects.Load() }
+
 // SetSendTimeout overrides the per-message write deadline (0 disables).
 func (t *TCPTransport) SetSendTimeout(d time.Duration) {
 	t.mu.Lock()
@@ -296,6 +304,7 @@ func (t *TCPTransport) Send(m Message) error {
 		// Drop the broken connection; the next loop iteration (or a later
 		// Send) re-dials. A gob stream is unusable after a failed Encode,
 		// so the whole connection goes.
+		t.reconnects.Add(1)
 		t.mu.Lock()
 		if t.conns[m.To] == conn {
 			delete(t.conns, m.To)

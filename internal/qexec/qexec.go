@@ -78,13 +78,15 @@ type txnState struct {
 func (s *txnState) ID() tx.TxnID          { return s.id }
 func (s *txnState) Done() <-chan struct{} { return s.done }
 
-// message is one unit of worker inbox traffic: either an admission of the
-// transaction's keys in this worker's bucket (release=false) or a
-// retirement of those keys (release=true).
+// message is one unit of worker inbox traffic: an admission of the
+// transaction's keys in this worker's bucket (release=false), a retirement
+// of those keys (release=true), or a bare continuation (run != nil) posted
+// by Submit.
 type message struct {
 	st      *txnState
 	keys    []keyRef
 	release bool
+	run     func()
 }
 
 // entry is one queue slot on one key.
@@ -302,6 +304,18 @@ func (e *Executor) Release(id tx.TxnID) {
 	}
 }
 
+// Submit runs fn on the bucket worker that owns id's hash. This is the
+// mailbox-continuation path: a transaction that went dormant waiting for
+// inbound records re-enters the worker pool when they arrive, instead of
+// holding a parked goroutine the whole time. Ordering relative to other
+// work on that worker is arbitrary — by the time a continuation is
+// submitted, its admission rendezvous has already fixed everything order
+// depends on. fn is dropped if the executor is closed before a worker
+// drains it (crashed-node semantics, like abandoned queue entries).
+func (e *Executor) Submit(id tx.TxnID, fn func()) {
+	e.workers[splitmix64(uint64(id))%uint64(len(e.workers))].push1(message{run: fn})
+}
+
 // QueuedKeys reports the number of keys with a non-empty queue across all
 // buckets; quiescence checks require it to reach zero at drain.
 func (e *Executor) QueuedKeys() int {
@@ -381,9 +395,12 @@ func (w *worker) loop() {
 					return
 				default:
 				}
-				if m.release {
+				switch {
+				case m.run != nil:
+					m.run()
+				case m.release:
 					w.release(m)
-				} else {
+				default:
 					w.admit(m)
 				}
 			}

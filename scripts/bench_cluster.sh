@@ -5,9 +5,13 @@
 # -cluster`, drives the deterministic YCSB stream through them, replays
 # the same stream on the in-process twin, and writes BENCH_cluster.json
 # at the repo root: QPS, avg/p95 latency, wire bytes per transaction,
-# per-process transport counters, and the gate verdict. The gate requires
-# every transaction committed AND the final node digests byte-identical
-# to the twin; the script exits non-zero when it fails.
+# per-process transport counters, and the gate verdict. A second run then
+# replays the same workload under the seeded WAN fault profile (5ms
+# intra-region / 40ms cross-region latency through the netchaos proxies,
+# a 2s partition that heals on its own, supervisor armed) and lands as
+# the "wan" section of the report. The gate requires every transaction
+# committed AND the final node digests byte-identical to the twin — for
+# both runs; the script exits non-zero when it fails.
 #
 # Usage:
 #   scripts/bench_cluster.sh                          # 3 workers, ycsb, hermes
@@ -16,6 +20,6 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out=BENCH_cluster.json
-echo "==> go run ./cmd/hermes-bench -cluster -report $out $*"
-go run ./cmd/hermes-bench -cluster -report "$out" "$@"
+echo "==> go run ./cmd/hermes-bench -cluster -cluster-wan -report $out $*"
+go run ./cmd/hermes-bench -cluster -cluster-wan -report "$out" "$@"
 echo "==> wrote $out"

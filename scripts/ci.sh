@@ -117,6 +117,29 @@ go test -count=1 -timeout 10m ${short_flag} \
     -run 'TestClusterE2E|TestClusterKillRestart|TestClusterSIGTERMDrains|TestClusterDurableRestart|TestNodeServer|TestRunTwin' \
     . ./internal/harness
 
+# Cluster netchaos gate: the self-healing acceptance run. Three real
+# hermesd processes with every inter-process data link routed through the
+# seeded fault proxy — asymmetric WAN latency, one mid-stream RST of the
+# leader link, a 2s bidirectional partition that heals on its own — plus
+# a SIGKILL that only the heartbeat supervisor repairs. The run must
+# commit everything and quiesce to digests byte-identical to the
+# fault-free in-process twin, with the child processes built -race
+# (HERMESD_BUILD_RACE=1) so data races in the recovery paths surface
+# here. The supervisor/backpressure unit suite rides along. Skips under
+# -short (spawns OS processes); the list guard fails loudly if a rename
+# ever empties the match set (see docs/CLUSTER.md, "Network faults & the
+# supervisor").
+echo "==> cluster netchaos gate (fault proxy + supervisor, -race children)"
+netchaos_run='TestClusterNetChaos|TestSupervisor|TestClusterBackpressureCounters|TestPlane|TestWANProfile'
+netchaos_pkgs=". ./internal/harness ./internal/netchaos"
+listed=$(go test -list "${netchaos_run}" ${netchaos_pkgs} | grep -c '^Test' || true)
+if [[ "${listed}" -eq 0 ]]; then
+    echo "cluster netchaos gate matched no tests: the suite was renamed or deleted" >&2
+    exit 1
+fi
+HERMESD_BUILD_RACE=1 go test -race -count=1 -timeout 15m ${short_flag} \
+    -run "${netchaos_run}" ${netchaos_pkgs}
+
 # Smoke-run the routing benchmark (1 iteration) so it can't silently rot;
 # scripts/bench.sh runs the full gated comparison against the baseline.
 echo "==> go test -bench=BenchmarkPrescientRouting -benchtime=1x ./internal/core"
